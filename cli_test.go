@@ -1,0 +1,78 @@
+package castanet_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools smoke-tests the three binaries end to end: build
+// once, then exercise their primary flows.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"castanet", "atmgen", "boardctl"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	t.Run("castanet-e3", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(bin, "castanet"), "-experiment", "e3", "-cells", "200").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"E3:", "events ratio", "clock cycles / line cell"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("castanet-bad-experiment", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(bin, "castanet"), "-experiment", "nope").CombinedOutput()
+		if err == nil {
+			t.Fatalf("unknown experiment accepted:\n%s", out)
+		}
+	})
+
+	t.Run("atmgen-roundtrip", func(t *testing.T) {
+		trace := filepath.Join(bin, "t.trace")
+		out, err := exec.Command(filepath.Join(bin, "atmgen"),
+			"-model", "onoff", "-rate", "50000", "-burstiness", "4", "-n", "500", "-o", trace).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != 501 { // header + 500 intervals
+			t.Errorf("trace has %d lines, want 501", lines)
+		}
+	})
+
+	t.Run("atmgen-bad-model", func(t *testing.T) {
+		if out, err := exec.Command(filepath.Join(bin, "atmgen"), "-model", "nope").CombinedOutput(); err == nil {
+			t.Fatalf("unknown model accepted:\n%s", out)
+		}
+	})
+
+	t.Run("boardctl", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(bin, "boardctl"), "-device", "switch", "-demo").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"VALID", "byte lane", "demo test cycle", "hardware activity"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Command atmgen generates cell-level traffic traces from the model
+// library — the "simulated real-world traces" of Fig. 1 — in the plain
+// text format replayed by traffic.Trace and the hardware test board
+// harness.
+//
+// Usage:
+//
+//	atmgen -model mpeg -n 10000 -o starwars.trace
+//	atmgen -model onoff -rate 50000 -burstiness 4 -n 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "poisson", "traffic model: cbr, poisson, onoff, pareto, mmpp, mpeg")
+		rate       = flag.Float64("rate", 100e3, "mean cell rate in cells/s (cbr, poisson, onoff, mmpp)")
+		burstiness = flag.Float64("burstiness", 4, "peak/mean ratio (onoff), rate2/rate1 ratio (mmpp)")
+		n          = flag.Int("n", 1000, "number of inter-arrival intervals")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	m, err := buildModel(*model, *rate, *burstiness)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atmgen:", err)
+		os.Exit(2)
+	}
+	if err := traffic.Validate(m); err != nil {
+		fmt.Fprintln(os.Stderr, "atmgen:", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := traffic.WriteTrace(w, m, sim.NewRNG(*seed), *n); err != nil {
+		fmt.Fprintln(os.Stderr, "atmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func buildModel(name string, rate, burstiness float64) (traffic.Model, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("rate must be positive")
+	}
+	switch name {
+	case "cbr":
+		return traffic.NewCBR(rate), nil
+	case "poisson":
+		return traffic.NewPoisson(rate), nil
+	case "onoff":
+		if burstiness <= 1 {
+			return nil, fmt.Errorf("onoff burstiness must exceed 1")
+		}
+		peak := rate * burstiness
+		// Equal mean ON time of 1 ms; OFF sized for the requested mean.
+		on := sim.Millisecond
+		off := sim.Duration(float64(on) * (burstiness - 1))
+		return &traffic.OnOff{
+			PeakInterval: sim.FromSeconds(1 / peak),
+			MeanOn:       on,
+			MeanOff:      off,
+		}, nil
+	case "mmpp":
+		if burstiness <= 1 {
+			return nil, fmt.Errorf("mmpp burstiness must exceed 1")
+		}
+		// Two states around the requested mean: r1 and r1*burstiness.
+		r1 := 2 * rate / (1 + burstiness)
+		return &traffic.MMPP2{
+			Rate1:    r1,
+			Rate2:    r1 * burstiness,
+			Sojourn1: sim.Millisecond,
+			Sojourn2: sim.Millisecond,
+		}, nil
+	case "pareto":
+		if burstiness <= 1 {
+			return nil, fmt.Errorf("pareto burstiness must exceed 1")
+		}
+		peak := rate * burstiness
+		on := sim.Millisecond
+		off := sim.Duration(float64(on) * (burstiness - 1))
+		return &traffic.ParetoOnOff{
+			PeakInterval: sim.FromSeconds(1 / peak),
+			MeanOn:       on,
+			MeanOff:      off,
+			Alpha:        1.5,
+		}, nil
+	case "mpeg":
+		return traffic.DefaultMPEG(3 * sim.Microsecond), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}

@@ -1,0 +1,76 @@
+// Command castanet runs the co-verification experiments that reproduce
+// the paper's evaluation. Each experiment prints the table recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	castanet -experiment e1 -cells 10000
+//	castanet -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"castanet/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
+		cells = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
+		seed  = flag.Uint64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	run := func(name string) bool {
+		want := strings.ToLower(*exp)
+		return want == "all" || want == name
+	}
+	ran := false
+	if run("e1") {
+		fmt.Println(experiments.E1(*cells, *seed))
+		ran = true
+	}
+	if run("e2") {
+		fmt.Println(experiments.E2(min64(*cells, 800), *seed))
+		ran = true
+	}
+	if run("e3") {
+		fmt.Println(experiments.E3(min64(*cells, 1000), *seed))
+		ran = true
+	}
+	if run("e4") {
+		fmt.Println(experiments.E4(min64(*cells, 800), *seed))
+		ran = true
+	}
+	if run("e5") {
+		fmt.Println(experiments.E5(*seed))
+		ran = true
+	}
+	if run("e6") {
+		fmt.Println(experiments.E6(min64(*cells, 2000), *seed))
+		ran = true
+	}
+	if run("e7") {
+		fmt.Println(experiments.E7(min64(*cells, 500), *seed))
+		ran = true
+	}
+	if run("e8") {
+		fmt.Println(experiments.E8(*seed))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "castanet: unknown experiment %q (want e1..e8 or all)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

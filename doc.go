@@ -1,0 +1,29 @@
+// Package castanet is a reproduction of "A System-Level Co-Verification
+// Environment for ATM Hardware Design" (Post, Müller, Grötker; DATE 1998):
+// a telecommunication network simulator coupled to an event-driven HDL
+// simulator and a hardware test board, so that network-level test benches
+// verify ATM hardware at every abstraction level.
+//
+// The implementation lives under internal/:
+//
+//	sim         discrete-event kernel shared by all engines
+//	netsim      OPNET-like network simulator (network/node/process domains)
+//	traffic     traffic model library (CBR, Poisson, ON/OFF, MMPP, MPEG)
+//	hdl         VHDL-semantics event-driven simulator (std_logic, deltas)
+//	cyclesim    cycle-based engine / stand-in silicon
+//	atm         ATM cell substrate (HEC, GCRA, translation, accounting)
+//	ipc, scsi   coupling transports
+//	mapping     abstraction interfaces (cell <-> bit-level streams)
+//	cosim       CASTANET core: conservative sync, interface process
+//	board       hardware test board model (byte lanes, test cycles)
+//	dut         RTL devices under test (4x4 switch, accounting unit)
+//	refmodel    algorithmic reference models + comparison engine
+//	conformance conformance test vectors
+//	rtltb       traditional pure-RTL test bench (baseline)
+//	coverify    assembled co-verification environments
+//	experiments reproduction harnesses E1..E6
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The root test file bench_test.go exposes
+// one benchmark per reproduced table/figure.
+package castanet

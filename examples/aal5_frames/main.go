@@ -1,0 +1,134 @@
+// Frame-level verification over the cell-level hardware: AAL5 above the
+// co-verified switch.
+//
+// Higher-layer software exchanges variable-length frames; the hardware
+// only ever sees 53-octet cells. This example segments application frames
+// into AAL5 cell trains, pushes them through the full co-verification
+// loop (network simulator -> CASTANET coupling -> RTL switch), and
+// reassembles frames from the hardware's output cells — verifying frame
+// payload integrity end to end across all abstraction layers, with the
+// AAL5 CRC-32 checked over every byte the hardware handled.
+//
+// Run: go run ./examples/aal5_frames
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"castanet/internal/atm"
+	"castanet/internal/cosim"
+	"castanet/internal/coverify"
+	"castanet/internal/dut"
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/netsim"
+	"castanet/internal/sim"
+)
+
+func main() {
+	rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{Seed: 11})
+
+	// Frame reassembly per output port, fed from the hardware responses
+	// instead of the cell comparator.
+	type gotFrame struct {
+		port    int
+		vc      atm.VC
+		payload []byte
+	}
+	var delivered []gotFrame
+	reassemblers := make([]*atm.Reassembler, dut.SwitchPorts)
+	for p := 0; p < dut.SwitchPorts; p++ {
+		p := p
+		reassemblers[p] = atm.NewReassembler()
+		reassemblers[p].OnFrame = func(vc atm.VC, payload []byte) {
+			delivered = append(delivered, gotFrame{port: p, vc: vc, payload: payload})
+		}
+		reassemblers[p].OnError = func(vc atm.VC, err error) {
+			log.Fatalf("AAL5 reassembly error on port %d, %v: %v", p, vc, err)
+		}
+	}
+	push := func(kind ipc.Kind, c *atm.Cell) {
+		port := int(kind - coverify.KindCellOut(0))
+		reassemblers[port].Push(c)
+	}
+	rig.Iface.OnResponse = func(ctx *netsim.Ctx, resp cosim.Response) {
+		push(resp.Kind, resp.Value.(*atm.Cell))
+	}
+
+	// The application traffic: one frame per input port, routed by the
+	// default full-mesh table (input p, VCI 100+q -> output q).
+	frames := []struct {
+		inPort  int
+		vc      atm.VC
+		payload []byte
+	}{
+		{0, coverify.PortVCs(0)[2], bytes.Repeat([]byte("signalling "), 20)},
+		{1, coverify.PortVCs(1)[0], bytes.Repeat([]byte{0xCA, 0xFE}, 300)},
+		{2, coverify.PortVCs(2)[3], []byte("short frame")},
+		{3, coverify.PortVCs(3)[1], bytes.Repeat([]byte{7}, 1024)},
+	}
+
+	iface, _ := rig.Net.Lookup("castanet")
+	cellSlot := 3 * sim.Microsecond
+	var t sim.Time = sim.Microsecond
+	totalCells := 0
+	for _, f := range frames {
+		cells, err := atm.SegmentAAL5(f.vc, f.payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalCells += len(cells)
+		for i, c := range cells {
+			c := c
+			at := t + sim.Time(i)*cellSlot
+			port := f.inPort
+			rig.Net.Sched.At(at, func() {
+				iface.Inject(rig.Net.NewPacket("cell", c, atm.CellBytes*8), port)
+			})
+		}
+	}
+
+	horizon := t + sim.Time(30*cellSlot) + 2*sim.Millisecond
+	rig.Net.Run(horizon)
+	// Drain the hardware pipeline and feed the tail responses.
+	if err := rig.Entity.Deliver(ipc.Message{Kind: ipc.KindSync, Time: horizon + sim.Millisecond}); err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range rig.Entity.TakeOutbox() {
+		v, err := (mapping.CellCodec{}).Decode(m.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		push(m.Kind, v.(*atm.Cell))
+	}
+
+	fmt.Printf("AAL5 over the co-verified switch: %d frames as %d cells\n\n", len(frames), totalCells)
+	fmt.Printf("  %8s %8s %10s %8s %8s\n", "in-port", "out-port", "out-vc", "bytes", "verdict")
+	ok := 0
+	for _, f := range frames {
+		route, _ := rig.DUT.Table.Lookup(f.vc)
+		found := false
+		for _, g := range delivered {
+			if g.port == route.Port && g.vc == route.Out {
+				found = true
+				verdict := "PASS"
+				if !bytes.Equal(g.payload, f.payload) {
+					verdict = "FAIL (payload differs)"
+				} else {
+					ok++
+				}
+				fmt.Printf("  %8d %8d %10s %8d %8s\n", f.inPort, g.port, g.vc, len(g.payload), verdict)
+			}
+		}
+		if !found {
+			fmt.Printf("  %8d %8s %10s %8d %8s\n", f.inPort, "-", "-", len(f.payload), "LOST")
+		}
+	}
+	if ok == len(frames) {
+		fmt.Println("\nRESULT: every frame crossed the hardware intact (CRC-32 verified)")
+	} else {
+		fmt.Println("\nRESULT: FAILED")
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: the smallest complete co-verification loop.
+//
+// A network-level traffic source drives cells simultaneously into an
+// algorithmic reference model and — through the CASTANET coupling with its
+// conservative synchronization protocol — into a register-transfer-level
+// ATM switch simulated with VHDL semantics. The comparison engine checks
+// every hardware response against the reference.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"castanet/internal/coverify"
+	"castanet/internal/dut"
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+func main() {
+	// Offer 100 cells of Poisson traffic on each of the four switch
+	// ports, using the default full-mesh connection table.
+	var workload [dut.SwitchPorts]coverify.PortTraffic
+	for p := 0; p < dut.SwitchPorts; p++ {
+		workload[p] = coverify.PortTraffic{
+			Model: traffic.NewPoisson(50e3), // 50k cells/s
+			VCs:   coverify.PortVCs(p),
+			Cells: 100,
+		}
+	}
+
+	rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
+		Seed:    42,
+		Traffic: workload,
+	})
+
+	// 100 cells at 50 kcell/s is 2 ms of network time; the rig drains the
+	// hardware pipeline afterwards.
+	if err := rig.Run(3 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("co-verification finished")
+	fmt.Println("  offered cells     :", rig.Offered)
+	fmt.Println("  matched vs ref    :", rig.Cmp.Matched)
+	fmt.Println("  mismatches        :", len(rig.Cmp.Mismatches()))
+	fmt.Println("  lost cells        :", len(rig.Cmp.Outstanding()))
+	fmt.Println("  causality errors  :", rig.Entity.CausalityErrors)
+	fmt.Println("  HDL clock cycles  :", rig.ClockCycles())
+	fmt.Println("  max hardware lag  :", rig.Entity.MaxLag)
+	if rig.Cmp.Clean() {
+		fmt.Println("RESULT: device under test matches the reference model")
+	} else {
+		fmt.Println("RESULT: FAILED —", rig.Cmp.Summary())
+		for _, m := range rig.Cmp.Mismatches() {
+			fmt.Println("  ", m)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module castanet
+
+go 1.22

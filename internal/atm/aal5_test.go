@@ -1,0 +1,220 @@
+package atm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAAL5RoundTrip(t *testing.T) {
+	vc := VC{VPI: 1, VCI: 42}
+	payload := []byte("the quick brown fox jumps over the lazy dog, repeatedly and at length")
+	cells, err := SegmentAAL5(vc, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 70 bytes + 8 trailer = 78 -> 2 cells.
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	if cells[0].PTI != PTIUserData0 || cells[1].PTI != PTIUserData1 {
+		t.Errorf("PTI sequence = %d,%d", cells[0].PTI, cells[1].PTI)
+	}
+	r := NewReassembler()
+	var got []byte
+	r.OnFrame = func(v VC, p []byte) {
+		if v != vc {
+			t.Errorf("frame on %v", v)
+		}
+		got = p
+	}
+	for _, c := range cells {
+		r.Push(c)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled %q", got)
+	}
+	if r.Frames != 1 || r.Errors != 0 || r.Pending() != 0 {
+		t.Errorf("state: frames=%d errors=%d pending=%d", r.Frames, r.Errors, r.Pending())
+	}
+}
+
+// Property: any payload survives segmentation + reassembly.
+func TestAAL5RoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		cells, err := SegmentAAL5(VC{VPI: 3, VCI: 33}, payload)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler()
+		var got []byte
+		ok := false
+		r.OnFrame = func(v VC, p []byte) { got = p; ok = true }
+		for _, c := range cells {
+			r.Push(c)
+		}
+		return ok && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAAL5EmptyFrame(t *testing.T) {
+	cells, err := SegmentAAL5(VC{VPI: 1, VCI: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("empty frame cells = %d, want 1 (trailer only)", len(cells))
+	}
+	r := NewReassembler()
+	frames := 0
+	r.OnFrame = func(v VC, p []byte) {
+		frames++
+		if len(p) != 0 {
+			t.Errorf("payload = %d bytes", len(p))
+		}
+	}
+	r.Push(cells[0])
+	if frames != 1 {
+		t.Fatal("empty frame not delivered")
+	}
+}
+
+func TestAAL5ExactMultiple(t *testing.T) {
+	// 40 bytes payload + 8 trailer = 48: exactly one cell, zero padding.
+	payload := bytes.Repeat([]byte{0xAB}, 40)
+	cells, err := SegmentAAL5(VC{VPI: 1, VCI: 1}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(cells))
+	}
+	// 41 bytes: trailer no longer fits the first cell.
+	payload = append(payload, 0xCD)
+	cells, _ = SegmentAAL5(VC{VPI: 1, VCI: 1}, payload)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+}
+
+func TestAAL5InterleavedVCs(t *testing.T) {
+	a, _ := SegmentAAL5(VC{VPI: 1, VCI: 1}, bytes.Repeat([]byte{1}, 100))
+	b, _ := SegmentAAL5(VC{VPI: 2, VCI: 2}, bytes.Repeat([]byte{2}, 100))
+	r := NewReassembler()
+	got := map[VC][]byte{}
+	r.OnFrame = func(v VC, p []byte) { got[v] = p }
+	// Interleave cell by cell.
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) {
+			r.Push(a[i])
+		}
+		if i < len(b) {
+			r.Push(b[i])
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("frames = %d", len(got))
+	}
+	if got[VC{VPI: 1, VCI: 1}][0] != 1 || got[VC{VPI: 2, VCI: 2}][0] != 2 {
+		t.Error("frames crossed connections")
+	}
+}
+
+func TestAAL5DetectsCorruption(t *testing.T) {
+	cells, _ := SegmentAAL5(VC{VPI: 1, VCI: 1}, bytes.Repeat([]byte{7}, 100))
+	cells[0].Payload[10] ^= 0x01
+	r := NewReassembler()
+	var gotErr error
+	r.OnError = func(v VC, err error) { gotErr = err }
+	for _, c := range cells {
+		r.Push(c)
+	}
+	if gotErr != ErrAAL5CRC {
+		t.Fatalf("err = %v, want CRC mismatch", gotErr)
+	}
+	if r.Frames != 0 || r.Errors != 1 {
+		t.Errorf("frames=%d errors=%d", r.Frames, r.Errors)
+	}
+}
+
+func TestAAL5DetectsLostLastCell(t *testing.T) {
+	// Losing the end-of-PDU cell merges two PDUs; the CRC of the merged
+	// buffer fails.
+	first, _ := SegmentAAL5(VC{VPI: 1, VCI: 1}, bytes.Repeat([]byte{1}, 100))
+	second, _ := SegmentAAL5(VC{VPI: 1, VCI: 1}, bytes.Repeat([]byte{2}, 100))
+	r := NewReassembler()
+	frames, errs := 0, 0
+	r.OnFrame = func(v VC, p []byte) { frames++ }
+	r.OnError = func(v VC, err error) { errs++ }
+	for _, c := range first[:len(first)-1] { // drop last cell
+		r.Push(c)
+	}
+	for _, c := range second {
+		r.Push(c)
+	}
+	if frames != 0 || errs != 1 {
+		t.Errorf("frames=%d errs=%d, want 0/1", frames, errs)
+	}
+}
+
+func TestAAL5DetectsLostMiddleCell(t *testing.T) {
+	payload := bytes.Repeat([]byte{9}, 300)
+	cells, _ := SegmentAAL5(VC{VPI: 1, VCI: 1}, payload)
+	r := NewReassembler()
+	errs := 0
+	frames := 0
+	r.OnError = func(v VC, err error) { errs++ }
+	r.OnFrame = func(v VC, p []byte) { frames++ }
+	for i, c := range cells {
+		if i == 2 {
+			continue // lose one middle cell
+		}
+		r.Push(c)
+	}
+	if frames != 0 || errs != 1 {
+		t.Errorf("frames=%d errs=%d after cell loss", frames, errs)
+	}
+}
+
+func TestAAL5TooLarge(t *testing.T) {
+	if _, err := SegmentAAL5(VC{}, make([]byte, MaxAAL5Payload+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestAAL5IgnoresOAM(t *testing.T) {
+	r := NewReassembler()
+	r.Push(&Cell{Header: Header{VPI: 1, VCI: 1, PTI: PTIEndToEndOAM}})
+	r.Push(IdleCell())
+	if r.Pending() != 0 || r.Errors != 0 {
+		t.Error("OAM/idle cells disturbed reassembly")
+	}
+}
+
+func TestAAL5KnownCRC(t *testing.T) {
+	// Cross-check the CRC-32 implementation against a published AAL5
+	// property: CRC of data followed by its own CRC (complemented
+	// residue) is constant. Simpler invariant: two different inputs give
+	// different CRCs and the function is deterministic.
+	a := aal5CRC([]byte("123456789"))
+	b := aal5CRC([]byte("123456789"))
+	c := aal5CRC([]byte("123456780"))
+	if a != b {
+		t.Error("CRC not deterministic")
+	}
+	if a == c {
+		t.Error("CRC collision on trivial change")
+	}
+	// Known-answer test: CRC-32/MPEG-2 style (same table, init all ones,
+	// no reflection) of "123456789" is 0x0376E6E7; AAL5 additionally
+	// complements the result.
+	if got := a ^ 0xFFFFFFFF; got != 0x0376E6E7 {
+		t.Errorf("CRC kernel = %#08x, want 0x0376E6E7 (complemented)", got)
+	}
+}

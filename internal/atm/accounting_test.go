@@ -1,0 +1,109 @@
+package atm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccountingCountsPerVC(t *testing.T) {
+	a := NewAccounting(Tariff{CellsPerUnit: 10})
+	vc1 := VC{VPI: 1, VCI: 10}
+	vc2 := VC{VPI: 2, VCI: 20}
+	a.Register(vc1)
+	a.Register(vc2)
+	for i := 0; i < 25; i++ {
+		a.Observe(&Cell{Header: Header{VPI: 1, VCI: 10}}, 0)
+	}
+	for i := 0; i < 7; i++ {
+		a.Observe(&Cell{Header: Header{VPI: 2, VCI: 20, CLP: 1}}, 0)
+	}
+	r1, _ := a.Record(vc1)
+	if r1.Cells != 25 || r1.CLP1Cells != 0 {
+		t.Errorf("vc1 = %+v", r1)
+	}
+	if u := a.Units(vc1); u != 2 {
+		t.Errorf("vc1 units = %d, want 2 (25 cells / 10 per unit)", u)
+	}
+	r2, _ := a.Record(vc2)
+	if r2.Cells != 7 || r2.CLP1Cells != 7 {
+		t.Errorf("vc2 = %+v", r2)
+	}
+	// 7 CLP1 cells weigh as 3.5 cells -> 0 units at 10 cells/unit.
+	if u := a.Units(vc2); u != 0 {
+		t.Errorf("vc2 units = %d, want 0", u)
+	}
+}
+
+func TestAccountingIgnoresIdle(t *testing.T) {
+	a := NewAccounting(Tariff{CellsPerUnit: 1})
+	a.Register(VC{})
+	a.Observe(IdleCell(), 0)
+	a.Observe(&Cell{}, 0) // unassigned
+	if r, _ := a.Record(VC{}); r.Cells != 0 {
+		t.Errorf("idle/unassigned cells were charged: %+v", r)
+	}
+	if a.Unregistered != 0 {
+		t.Error("idle cell counted as unregistered")
+	}
+}
+
+func TestAccountingUnregistered(t *testing.T) {
+	a := NewAccounting(Tariff{CellsPerUnit: 1})
+	a.Observe(&Cell{Header: Header{VPI: 3, VCI: 33}}, 0)
+	if a.Unregistered != 1 {
+		t.Errorf("Unregistered = %d", a.Unregistered)
+	}
+}
+
+func TestTariffWeighting(t *testing.T) {
+	tf := Tariff{CellsPerUnit: 100}
+	// 200 CLP0 cells = 2 units; 200 CLP1 cells = 1 unit.
+	if u := tf.Units(200, 0); u != 2 {
+		t.Errorf("CLP0 units = %d", u)
+	}
+	if u := tf.Units(200, 200); u != 1 {
+		t.Errorf("CLP1 units = %d", u)
+	}
+	// Zero-division guard.
+	if u := (Tariff{}).Units(1000, 0); u != 0 {
+		t.Errorf("zero tariff units = %d", u)
+	}
+}
+
+// Property: units are monotone in cell count and never exceed
+// cells/CellsPerUnit.
+func TestTariffMonotone(t *testing.T) {
+	f := func(cells, clp1 uint16, per uint8) bool {
+		if per == 0 {
+			return true
+		}
+		tf := Tariff{CellsPerUnit: uint64(per)}
+		c := uint64(cells)
+		l := uint64(clp1)
+		if l > c {
+			l = c
+		}
+		u := tf.Units(c, l)
+		if u > c/uint64(per) {
+			return false
+		}
+		return tf.Units(c+1, l) >= u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordsSorted(t *testing.T) {
+	a := NewAccounting(Tariff{CellsPerUnit: 1})
+	a.Register(VC{VPI: 2, VCI: 1})
+	a.Register(VC{VPI: 1, VCI: 9})
+	a.Register(VC{VPI: 1, VCI: 2})
+	rs := a.Records()
+	if len(rs) != 3 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	if rs[0].VC != (VC{VPI: 1, VCI: 2}) || rs[2].VC != (VC{VPI: 2, VCI: 1}) {
+		t.Errorf("order = %v %v %v", rs[0].VC, rs[1].VC, rs[2].VC)
+	}
+}

@@ -1,0 +1,129 @@
+package atm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"castanet/internal/sim"
+)
+
+func TestHECKnownVector(t *testing.T) {
+	// All-zero header: CRC8(0,0,0,0) = 0, coset gives 0x55 — the idle-cell
+	// HEC pattern used for cell delineation on an idle line... except the
+	// idle cell has CLP=1. Check the raw function.
+	if got := HEC(0, 0, 0, 0); got != 0x55 {
+		t.Errorf("HEC(0,0,0,0) = %#x, want 0x55", got)
+	}
+}
+
+func TestHECDetectsSingleBitErrors(t *testing.T) {
+	h := Header{VPI: 42, VCI: 1234, PTI: 1, CLP: 0}
+	b := h.MarshalHeader()
+	// Flip every single bit of the 4 header octets: HEC must mismatch.
+	for byteIdx := 0; byteIdx < 4; byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupted := b
+			corrupted[byteIdx] ^= 1 << uint(bit)
+			if _, err := UnmarshalHeader(corrupted); err == nil {
+				t.Errorf("single-bit error at [%d].%d not detected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(gfc, vpi byte, vci uint16, pti, clp byte) bool {
+		h := Header{GFC: gfc & 0x0F, VPI: vpi, VCI: vci, PTI: pti & 0x07, CLP: clp & 1}
+		got, err := UnmarshalHeader(h.MarshalHeader())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellMarshalRoundTrip(t *testing.T) {
+	c := &Cell{Header: Header{VPI: 7, VCI: 99, PTI: PTIUserData0}, Seq: 0xDEADBEEF}
+	for i := range c.Payload {
+		c.Payload[i] = byte(i)
+	}
+	c.StampSeq()
+	got, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != c.Header {
+		t.Errorf("header = %+v, want %+v", got.Header, c.Header)
+	}
+	if got.Seq != 0xDEADBEEF {
+		t.Errorf("seq = %#x", got.Seq)
+	}
+	if got.Payload != c.Payload {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestIdleCell(t *testing.T) {
+	c := IdleCell()
+	if !c.IsIdle() {
+		t.Fatal("IdleCell not idle")
+	}
+	if c.IsUnassigned() {
+		t.Fatal("idle cell reported unassigned")
+	}
+	if c.Payload[0] != 0x6A {
+		t.Errorf("idle payload fill = %#x, want 0x6A", c.Payload[0])
+	}
+	u := &Cell{}
+	if !u.IsUnassigned() || u.IsIdle() {
+		t.Error("zero cell must be unassigned, not idle")
+	}
+}
+
+func TestCellTime(t *testing.T) {
+	ct := CellTime(LinkRateSTM1)
+	// 53*8/155.52e6 = 2.726 us.
+	if ct < 2726*sim.Nanosecond || ct > 2727*sim.Nanosecond {
+		t.Errorf("STM-1 cell time = %v, want ~2.726us", ct)
+	}
+}
+
+func TestVCString(t *testing.T) {
+	if s := (VC{VPI: 3, VCI: 77}).String(); s != "3.77" {
+		t.Errorf("VC string = %q", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := &Cell{Header: Header{VPI: 1}}
+	d := c.Clone()
+	d.VPI = 2
+	d.Payload[0] = 0xFF
+	if c.VPI != 1 || c.Payload[0] != 0 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func BenchmarkHEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HEC(byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+	}
+}
+
+func BenchmarkCellMarshal(b *testing.B) {
+	c := &Cell{Header: Header{VPI: 1, VCI: 100}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		img := c.Marshal()
+		if _, err := Unmarshal(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGCRA(b *testing.B) {
+	g := NewGCRA(1e6, 500*sim.Nanosecond)
+	for i := 0; i < b.N; i++ {
+		g.Arrive(sim.Time(i) * 900 * sim.Nanosecond)
+	}
+}

@@ -1,0 +1,105 @@
+package cosim
+
+import (
+	"fmt"
+
+	"castanet/internal/ipc"
+)
+
+// Coupling is the channel between the network-simulator side and the
+// hardware side. Send pushes one time-stamped message and returns every
+// response the hardware produced while processing it — the strict
+// request/response alternation keeps both deployments (in-process and
+// socket) deterministic.
+type Coupling interface {
+	Send(msg ipc.Message) ([]ipc.Message, error)
+	Close() error
+}
+
+// Direct couples the interface process to an Entity by plain function
+// calls — both engines in one OS process, the fastest deployment.
+type Direct struct {
+	Entity *Entity
+}
+
+// Send implements Coupling.
+func (d *Direct) Send(msg ipc.Message) ([]ipc.Message, error) {
+	if err := d.Entity.Deliver(msg); err != nil {
+		return nil, err
+	}
+	return d.Entity.TakeOutbox(), nil
+}
+
+// Close implements Coupling.
+func (d *Direct) Close() error { return nil }
+
+// Remote couples over an ipc.Transport (socket or pipe) to an
+// EntityServer in another goroutine or process — the paper's UNIX-IPC
+// deployment. The protocol is strictly alternating: one request, then
+// responses terminated by a KindSync acknowledgement carrying the
+// hardware's clock.
+type Remote struct {
+	Transport ipc.Transport
+	// PeerTime is the hardware clock reported by the last acknowledgement.
+	PeerTime int64
+}
+
+// Send implements Coupling.
+func (r *Remote) Send(msg ipc.Message) ([]ipc.Message, error) {
+	if err := r.Transport.Send(msg); err != nil {
+		return nil, err
+	}
+	var out []ipc.Message
+	for {
+		m, err := r.Transport.Recv()
+		if err != nil {
+			return out, err
+		}
+		if m.Kind == ipc.KindSync {
+			r.PeerTime = int64(m.Time)
+			return out, nil
+		}
+		if m.Kind == kindError {
+			return out, fmt.Errorf("cosim: remote entity: %s", m.Data)
+		}
+		out = append(out, m)
+	}
+}
+
+// Close implements Coupling.
+func (r *Remote) Close() error { return r.Transport.Close() }
+
+// kindError carries a remote-side failure description back to the client.
+const kindError ipc.Kind = 2
+
+// EntityServer drives an Entity from a transport: the far end of a Remote
+// coupling. Serve processes requests until the transport closes.
+type EntityServer struct {
+	Entity    *Entity
+	Transport ipc.Transport
+}
+
+// Serve runs the request loop. It returns nil when the client closes the
+// connection.
+func (s *EntityServer) Serve() error {
+	for {
+		msg, err := s.Transport.Recv()
+		if err != nil {
+			return nil // client went away; a clean end of co-simulation
+		}
+		if derr := s.Entity.Deliver(msg); derr != nil {
+			if serr := s.Transport.Send(ipc.Message{Kind: kindError, Time: s.Entity.HDL.Now(), Data: []byte(derr.Error())}); serr != nil {
+				return serr
+			}
+			continue
+		}
+		for _, resp := range s.Entity.TakeOutbox() {
+			if err := s.Transport.Send(resp); err != nil {
+				return err
+			}
+		}
+		if err := s.Transport.Send(ipc.Message{Kind: ipc.KindSync, Time: s.Entity.HDL.Now()}); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package cosim is CASTANET's core: the coupling between the
+// discrete-event network simulator (package netsim, standing in for OPNET)
+// and the event-driven HDL simulator (package hdl, standing in for
+// Synopsys VSS) or the hardware test board (package board).
+//
+// The coupling follows §3 of the paper:
+//
+//   - An InterfaceProcess on the network-simulator side initializes the
+//     peer engine and exchanges time-stamped messages.
+//   - An Entity on the HDL side receives those messages, performs signal
+//     conditioning through the abstraction interfaces of package mapping,
+//     and returns the device-under-test responses.
+//   - Synchronization is conservative (§3.1): the HDL simulator may only
+//     process events strictly older than the latest time stamp received
+//     from the network simulator, then advances through a bounded timing
+//     window derived from the per-message-type processing delays δ_j.
+//     The HDL clock therefore always lags the network clock and no
+//     rollback is ever needed; deadlock is impossible because every
+//     message grants a new window.
+package cosim
+
+import (
+	"fmt"
+	"sort"
+
+	"castanet/internal/hdl"
+	"castanet/internal/ipc"
+	"castanet/internal/sim"
+)
+
+// ApplyFunc drives one received message into the hardware model (signal
+// conditioning): typically it decodes the payload and enqueues it on a
+// mapping.CellPortWriter or pokes configuration registers.
+type ApplyFunc func(e *Entity, msg ipc.Message) error
+
+// inQueue is one time-stamped input message queue I_j of §3.1.
+type inQueue struct {
+	kind  ipc.Kind
+	delta sim.Duration // δ_j: processing window granted per message
+	apply ApplyFunc
+	msgs  []ipc.Message
+	last  sim.Time // newest stamp seen for this queue
+}
+
+// Entity is the co-simulation entity instantiated inside the HDL
+// simulation (Fig. 2). It owns the synchronization state and the outbox of
+// responses travelling back to the network simulator.
+type Entity struct {
+	HDL *hdl.Simulator
+
+	queues []*inQueue
+	byKind map[ipc.Kind]*inQueue
+
+	tcur sim.Time // current co-simulation time = newest stamp received
+	gmin sim.Time // global causality lower bound
+
+	outbox []ipc.Message
+
+	// Statistics.
+	Received        uint64 // messages delivered
+	Applied         uint64 // data messages driven into the model
+	Windows         uint64 // timing windows executed
+	CausalityErrors uint64 // messages arriving in the simulator's past
+
+	// MaxLag records the largest observed gap between an incoming message
+	// stamp and the hardware clock — how far the hardware trails the
+	// network simulator under the conservative protocol.
+	MaxLag sim.Duration
+
+	// FreezeLagStats suspends MaxLag recording; the end-of-run drain sets
+	// it so the artificial final fast-forward does not dominate the
+	// steady-state figure.
+	FreezeLagStats bool
+}
+
+// NewEntity wraps an HDL simulator. Input queues are declared with Input
+// before the first Deliver.
+func NewEntity(h *hdl.Simulator) *Entity {
+	return &Entity{HDL: h, byKind: make(map[ipc.Kind]*inQueue)}
+}
+
+// Input declares an input message type: its queue, its processing delay
+// δ (the maximum number of simulated time the hardware needs to consume
+// one such message — clock cycles × period), and the signal-conditioning
+// function.
+func (e *Entity) Input(kind ipc.Kind, delta sim.Duration, apply ApplyFunc) {
+	if _, dup := e.byKind[kind]; dup {
+		panic(fmt.Sprintf("cosim: input kind %d declared twice", kind))
+	}
+	if delta < 0 {
+		panic("cosim: negative processing delay")
+	}
+	q := &inQueue{kind: kind, delta: delta, apply: apply}
+	e.byKind[kind] = q
+	e.queues = append(e.queues, q)
+	sort.Slice(e.queues, func(i, j int) bool { return e.queues[i].kind < e.queues[j].kind })
+}
+
+// minDelta returns the smallest processing delay over all declared input
+// types — the window granted after applying a batch of messages (§3.1:
+// "the local simulation time is advanced by the minimum of each message
+// type's processing delay").
+func (e *Entity) minDelta() sim.Duration {
+	if len(e.queues) == 0 {
+		return 0
+	}
+	min := e.queues[0].delta
+	for _, q := range e.queues[1:] {
+		if q.delta < min {
+			min = q.delta
+		}
+	}
+	return min
+}
+
+// Now returns the co-simulation time (the newest network-simulator stamp).
+func (e *Entity) Now() sim.Time { return e.tcur }
+
+// Emit queues a response message stamped with the current HDL time.
+// Device-output callbacks (e.g. a CellPortReader's OnCell) call it.
+func (e *Entity) Emit(kind ipc.Kind, data []byte) {
+	e.outbox = append(e.outbox, ipc.Message{Kind: kind, Time: e.HDL.Now(), Data: data})
+}
+
+// TakeOutbox returns and clears the accumulated responses.
+func (e *Entity) TakeOutbox() []ipc.Message {
+	out := e.outbox
+	e.outbox = nil
+	return out
+}
+
+// ErrCausality is wrapped by Deliver when a message is stamped before an
+// already granted horizon — the Fig.-3 error the protocol exists to
+// prevent.
+var ErrCausality = fmt.Errorf("cosim: causality violation")
+
+// Deliver feeds one time-stamped message into the entity, advancing the
+// HDL simulation according to the conservative protocol:
+//
+//  1. A stamp in the past of the granted horizon is a causality error.
+//  2. A newer stamp t_k lets the HDL simulator process every event
+//     strictly older than t_k, then sets the co-simulation time to t_k.
+//  3. Data messages join their queue I_j; every batch of queue heads that
+//     the global bound proves complete is applied, after which the HDL
+//     simulator runs through a window of min_j δ_j to process it.
+func (e *Entity) Deliver(msg ipc.Message) error {
+	e.Received++
+	if msg.Time < e.gmin {
+		e.CausalityErrors++
+		return fmt.Errorf("%w: stamp %v before horizon %v", ErrCausality, msg.Time, e.gmin)
+	}
+	// Record how far the hardware clock trails the incoming network time
+	// stamp before the new window is granted — the lag the conservative
+	// protocol maintains (bounded by the message/sync interval).
+	if lag := msg.Time - e.HDL.Now(); lag > e.MaxLag && !e.FreezeLagStats {
+		e.MaxLag = lag
+	}
+	if msg.Time > e.tcur {
+		if err := e.runBefore(msg.Time); err != nil {
+			return err
+		}
+		e.tcur = msg.Time
+	}
+	e.gmin = msg.Time
+	switch msg.Kind {
+	case ipc.KindSync:
+		// Pure time update: no data, the horizon advance above is all.
+		return nil
+	case ipc.KindInit:
+		// Initialization is handled by the coupling setup; accept silently
+		// so remote servers can log it.
+		return nil
+	}
+	q, ok := e.byKind[msg.Kind]
+	if !ok {
+		return fmt.Errorf("cosim: message for undeclared input kind %d", msg.Kind)
+	}
+	q.msgs = append(q.msgs, msg)
+	q.last = msg.Time
+	return e.drainReady()
+}
+
+// runBefore executes HDL events with time stamps strictly smaller than t
+// (§3.1: "allowed to process all events with a time stamp smaller than
+// t_k, but not equal").
+func (e *Entity) runBefore(t sim.Time) error {
+	for e.HDL.NextTime() < t {
+		if _, err := e.HDL.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runThrough executes HDL events up to and including t.
+func (e *Entity) runThrough(t sim.Time) error {
+	for e.HDL.NextTime() <= t {
+		if _, err := e.HDL.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainReady applies every queued message whose stamp the global bound
+// has proven complete (all queues have seen this stamp or newer), batch by
+// batch in stamp order, granting a δ-window after each batch.
+func (e *Entity) drainReady() error {
+	for {
+		// Earliest queued stamp.
+		var t sim.Time = sim.Never
+		for _, q := range e.queues {
+			if len(q.msgs) > 0 && q.msgs[0].Time < t {
+				t = q.msgs[0].Time
+			}
+		}
+		if t == sim.Never {
+			return nil
+		}
+		if t > e.gmin {
+			// Cannot happen with a single FIFO channel (stamps are
+			// monotone), kept for multi-channel couplings: wait for the
+			// bound to advance.
+			return nil
+		}
+		// Apply every head message with stamp t, in kind order, FIFO
+		// within a queue.
+		for _, q := range e.queues {
+			for len(q.msgs) > 0 && q.msgs[0].Time == t {
+				m := q.msgs[0]
+				q.msgs = q.msgs[1:]
+				if q.apply != nil {
+					if err := q.apply(e, m); err != nil {
+						return err
+					}
+				}
+				e.Applied++
+			}
+		}
+		// Grant the processing window.
+		e.Windows++
+		if err := e.runThrough(t + e.minDelta()); err != nil {
+			return err
+		}
+	}
+}
+
+// Flush grants the hardware a final window up to the given network time,
+// used at end of simulation to let in-flight cells drain out of the DUT.
+func (e *Entity) Flush(until sim.Time) error {
+	if until > e.tcur {
+		e.tcur = until
+		e.gmin = until
+	}
+	return e.runBefore(e.tcur)
+}
+
+// LagInvariantHolds reports whether the HDL clock is at or behind the
+// co-simulation horizon plus one processing window — the paper's "the
+// simulated time of the VHDL simulator always lags behind OPNET's
+// simulated time" property.
+func (e *Entity) LagInvariantHolds() bool {
+	return e.HDL.Now() <= e.tcur+e.minDelta()
+}

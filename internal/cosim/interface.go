@@ -1,0 +1,156 @@
+package cosim
+
+import (
+	"fmt"
+
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/netsim"
+	"castanet/internal/sim"
+)
+
+// Response is one decoded answer from the hardware side.
+type Response struct {
+	Kind  ipc.Kind
+	Value interface{}
+	// HWTime is the hardware simulator's clock when the response was
+	// produced; by the lag invariant it never exceeds the network time at
+	// which the response is observed.
+	HWTime sim.Time
+	// NetTime is the network simulator's clock when the response was
+	// picked up.
+	NetTime sim.Time
+}
+
+// InterfaceProcess is the CASTANET interface model on the network-
+// simulator side (Fig. 2): a netsim.Processor that initializes the peer,
+// converts abstract packets to time-stamped messages, keeps the peer's
+// clock fed through periodic sync messages, and surfaces hardware
+// responses back into the network simulation.
+type InterfaceProcess struct {
+	// Coupling connects to the HDL entity or the hardware test board.
+	Coupling Coupling
+	// Registry supplies the conversion functions (abstract value <-> byte
+	// payload) per message kind.
+	Registry *mapping.Registry
+	// Classify maps an arriving packet and its input port to a message
+	// kind — one kind per input queue I_j of the entity. A nil Classify
+	// sends every packet as KindData.
+	Classify func(pkt *netsim.Packet, port int) ipc.Kind
+	// OnResponse consumes each decoded hardware response. When nil,
+	// responses with a registered codec are re-injected as packets on
+	// output port 0 (if connected).
+	OnResponse func(ctx *netsim.Ctx, r Response)
+	// OnError receives coupling failures; default panics, because a broken
+	// coupling invalidates the whole verification run.
+	OnError func(err error)
+	// SyncEvery is the period of time-update messages that keep the
+	// hardware clock advancing through traffic pauses. Zero disables
+	// periodic sync.
+	SyncEvery sim.Duration
+
+	// Sent counts data messages pushed to the hardware side.
+	Sent uint64
+	// Responses counts decoded responses.
+	Responses uint64
+}
+
+// KindData is the default message kind used when no Classify function is
+// configured.
+const KindData = ipc.KindUser
+
+// Init implements netsim.Processor: it sends the initialization message
+// (time stamp zero) and arms the sync ticker.
+func (p *InterfaceProcess) Init(ctx *netsim.Ctx) {
+	p.push(ctx, ipc.Message{Kind: ipc.KindInit, Time: ctx.Now()})
+	if p.SyncEvery > 0 {
+		ctx.SetTimer(p.SyncEvery, syncTag{})
+	}
+}
+
+type syncTag struct{}
+
+// respTag schedules delivery of a response whose hardware time stamp lies
+// ahead of the network clock (the DUT produced it inside its granted
+// δ-window). Scheduling it as a future self event keeps the network
+// domain causal: events may be generated for future times, never past
+// ones (Fig. 3).
+type respTag struct{ r Response }
+
+// Arrival implements netsim.Processor: encode and forward one packet.
+func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+	kind := KindData
+	if p.Classify != nil {
+		kind = p.Classify(pkt, port)
+	}
+	data, err := p.Registry.Encode(kind, pkt.Data)
+	if err != nil {
+		p.fail(fmt.Errorf("cosim: encoding packet for kind %d: %w", kind, err))
+		return
+	}
+	p.Sent++
+	p.push(ctx, ipc.Message{Kind: kind, Time: ctx.Now(), Data: data})
+}
+
+// Timer implements netsim.Processor: periodic time updates and deferred
+// response deliveries.
+func (p *InterfaceProcess) Timer(ctx *netsim.Ctx, tag interface{}) {
+	switch tg := tag.(type) {
+	case syncTag:
+		p.push(ctx, ipc.Message{Kind: ipc.KindSync, Time: ctx.Now()})
+		ctx.SetTimer(p.SyncEvery, syncTag{})
+	case respTag:
+		p.deliver(ctx, tg.r)
+	}
+}
+
+// push sends one message and dispatches the responses it provoked.
+func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
+	resps, err := p.Coupling.Send(msg)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	for _, rm := range resps {
+		value, err := p.decode(rm)
+		if err != nil {
+			p.fail(err)
+			continue
+		}
+		p.Responses++
+		r := Response{Kind: rm.Kind, Value: value, HWTime: rm.Time}
+		if rm.Time > ctx.Now() {
+			// The DUT produced this inside its δ-window, ahead of the
+			// network clock: hand it back as a future event.
+			ctx.SetTimer(rm.Time-ctx.Now(), respTag{r})
+			continue
+		}
+		p.deliver(ctx, r)
+	}
+}
+
+// deliver dispatches one response at the current network time.
+func (p *InterfaceProcess) deliver(ctx *netsim.Ctx, r Response) {
+	r.NetTime = ctx.Now()
+	if p.OnResponse != nil {
+		p.OnResponse(ctx, r)
+	} else if ctx.Connected(0) {
+		ctx.Send(ctx.Net().NewPacket("hw-response", r.Value, 0), 0)
+	}
+}
+
+func (p *InterfaceProcess) decode(m ipc.Message) (interface{}, error) {
+	if _, ok := p.Registry.Lookup(m.Kind); ok {
+		return p.Registry.Decode(m.Kind, m.Data)
+	}
+	// Unregistered response kinds pass through as raw bytes.
+	return m.Data, nil
+}
+
+func (p *InterfaceProcess) fail(err error) {
+	if p.OnError != nil {
+		p.OnError(err)
+		return
+	}
+	panic(err)
+}

@@ -1,0 +1,64 @@
+package cosim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"castanet/internal/atm"
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/sim"
+)
+
+// Property: for ANY non-decreasing sequence of message stamps (data or
+// sync, any interleaving), the conservative protocol never reports a
+// causality error, never deadlocks (Deliver always returns), and keeps
+// the lag invariant.
+func TestProtocolSafetyProperty(t *testing.T) {
+	cell := &atm.Cell{Header: atm.Header{VPI: 1, VCI: 1}}
+	data, _ := (mapping.CellCodec{}).Encode(cell)
+	f := func(gaps []uint8, kinds []bool) bool {
+		e := newLoopbackEntity()
+		now := sim.Time(0)
+		for i, g := range gaps {
+			now += sim.Duration(g) * 100 * sim.Nanosecond
+			msg := ipc.Message{Kind: ipc.KindSync, Time: now}
+			if i < len(kinds) && kinds[i] {
+				msg = ipc.Message{Kind: KindData, Time: now, Data: data}
+			}
+			if err := e.Deliver(msg); err != nil {
+				return false
+			}
+			if !e.LagInvariantHolds() {
+				return false
+			}
+		}
+		return e.CausalityErrors == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a decreasing stamp anywhere is always rejected and never
+// corrupts subsequent processing.
+func TestProtocolRejectsPastProperty(t *testing.T) {
+	f := func(fwd, back uint16) bool {
+		e := newLoopbackEntity()
+		// Bounded horizon so the property check stays fast: up to ~200us
+		// of hardware time per case.
+		t1 := sim.Duration(fwd%200+2) * sim.Microsecond
+		if err := e.Deliver(ipc.Message{Kind: ipc.KindSync, Time: t1}); err != nil {
+			return false
+		}
+		past := t1 - sim.Duration(back%1000+1)*sim.Nanosecond
+		if err := e.Deliver(ipc.Message{Kind: ipc.KindSync, Time: past}); err == nil {
+			return false // must be rejected
+		}
+		// The entity keeps working afterwards.
+		return e.Deliver(ipc.Message{Kind: ipc.KindSync, Time: t1 + sim.Microsecond}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package coverify
+
+import (
+	"fmt"
+
+	"castanet/internal/atm"
+	"castanet/internal/cosim"
+	"castanet/internal/dut"
+	"castanet/internal/hdl"
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/netsim"
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+// KindRawCell carries raw 53-octet images (conformance vectors, possibly
+// invalid by construction) into the accounting unit's line.
+const KindRawCell = ipc.KindUser + 32
+
+// AcctRigConfig parameterizes the accounting-unit case study (§4 of the
+// paper: "We have used CASTANET for the functional verification of an ATM
+// accounting unit").
+type AcctRigConfig struct {
+	Seed        uint64
+	ClockPeriod sim.Duration
+	Delta       sim.Duration
+	// VCs are the metered connections.
+	VCs []atm.VC
+	// Tariff for the reference charging computation.
+	Tariff atm.Tariff
+	// Sources describes the traffic: per entry a model, a VC index into
+	// VCs (or -1 for an unregistered connection) and a cell budget.
+	Sources []AcctSource
+	// SyncEvery is the time-update period.
+	SyncEvery sim.Duration
+}
+
+// AcctSource is one traffic stream of the case study.
+type AcctSource struct {
+	Model traffic.Model
+	VC    int // index into VCs, or -1 for an unregistered VC
+	CLP1  float64
+	Cells uint64
+}
+
+// AcctRig is the accounting-unit co-verification environment: the same
+// cell stream is metered by the algorithmic reference (atm.Accounting)
+// and, through the coupling, by the RTL accounting unit; at end of run
+// the per-connection counters and charging units are compared.
+type AcctRig struct {
+	Cfg AcctRigConfig
+
+	Net    *netsim.Network
+	HDL    *hdl.Simulator
+	DUT    *dut.AccountingUnit
+	Ref    *atm.Accounting
+	Entity *cosim.Entity
+	Iface  *cosim.InterfaceProcess
+
+	writer  *mapping.CellPortWriter
+	Offered uint64
+	// Exceptions counts hardware exception strobes observed.
+	Exceptions uint64
+}
+
+// NewAcctRig elaborates the environment.
+func NewAcctRig(cfg AcctRigConfig) *AcctRig {
+	if cfg.ClockPeriod == 0 {
+		cfg.ClockPeriod = 50 * sim.Nanosecond
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 64 * cfg.ClockPeriod
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 50 * sim.Microsecond
+	}
+	if cfg.Tariff.CellsPerUnit == 0 {
+		cfg.Tariff = atm.Tariff{CellsPerUnit: 100}
+	}
+	r := &AcctRig{Cfg: cfg}
+
+	r.HDL = hdl.New()
+	clk := r.HDL.Bit("clk", hdl.U)
+	r.HDL.Clock(clk, cfg.ClockPeriod)
+	r.DUT = dut.NewAccountingUnit(r.HDL, clk, 256)
+	r.DUT.Exception.OnChange(func(now sim.Time, old, new hdl.LV) {
+		if new[0].IsHigh() {
+			r.Exceptions++
+		}
+	})
+	r.Ref = atm.NewAccounting(cfg.Tariff)
+	for _, vc := range cfg.VCs {
+		r.Ref.Register(vc)
+		if _, err := r.DUT.Register(vc); err != nil {
+			panic(err)
+		}
+	}
+
+	r.Entity = cosim.NewEntity(r.HDL)
+	r.writer = mapping.NewCellPortWriter(r.HDL, "castanet_tx", clk, r.DUT.In.Data, r.DUT.In.Sync)
+	r.Entity.Input(cosim.KindData, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
+		v, err := (mapping.CellCodec{}).Decode(msg.Data)
+		if err != nil {
+			return err
+		}
+		r.writer.Enqueue(v.(*atm.Cell))
+		return nil
+	})
+	r.Entity.Input(KindRawCell, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
+		if len(msg.Data) != atm.CellBytes {
+			return fmt.Errorf("coverify: raw vector of %d bytes", len(msg.Data))
+		}
+		var img [atm.CellBytes]byte
+		copy(img[:], msg.Data)
+		r.writer.EnqueueRaw(img)
+		return nil
+	})
+
+	registry := mapping.NewRegistry()
+	registry.Register(cosim.KindData, mapping.CellCodec{})
+	registry.Register(KindRawCell, mapping.BytesCodec{})
+	r.Iface = &cosim.InterfaceProcess{
+		Coupling:  &cosim.Direct{Entity: r.Entity},
+		Registry:  registry,
+		SyncEvery: cfg.SyncEvery,
+		Classify: func(pkt *netsim.Packet, port int) ipc.Kind {
+			if _, raw := pkt.Data.([]byte); raw {
+				return KindRawCell
+			}
+			return cosim.KindData
+		},
+	}
+
+	r.Net = netsim.New(cfg.Seed)
+	ifaceNode := r.Net.Node("castanet", r.Iface)
+	refNode := r.Net.Node("refacct", &acctRefProc{rig: r})
+	for i, s := range cfg.Sources {
+		s := s
+		src := &netsim.Source{
+			Gen:   s.Model,
+			Limit: s.Cells,
+			Make: func(ctx *netsim.Ctx, k uint64) *netsim.Packet {
+				var vc atm.VC
+				if s.VC >= 0 {
+					vc = cfg.VCs[s.VC]
+				} else {
+					vc = atm.VC{VPI: 0xEE, VCI: 0xEEE} // deliberately unregistered
+				}
+				c := &atm.Cell{Header: atm.Header{VPI: vc.VPI, VCI: vc.VCI}}
+				if s.CLP1 > 0 && ctx.RNG().Bool(s.CLP1) {
+					c.CLP = 1
+				}
+				c.Seq = uint32(r.Offered)
+				r.Offered++
+				c.StampSeq()
+				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
+			},
+		}
+		srcNode := r.Net.Node(fmt.Sprintf("src%d", i), src)
+		split := r.Net.Node(fmt.Sprintf("split%d", i), &netsim.Func{
+			OnArrival: func(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+				cell := pkt.Data.(*atm.Cell)
+				ctx.Send(ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size), 0)
+				ctx.Send(ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size), 1)
+			},
+		})
+		r.Net.Connect(srcNode, 0, split, 0, netsim.LinkParams{})
+		r.Net.Connect(split, 0, refNode, 0, netsim.LinkParams{})
+		r.Net.Connect(split, 1, ifaceNode, 0, netsim.LinkParams{})
+	}
+	return r
+}
+
+// acctRefProc feeds the reference accounting algorithm. Raw byte images
+// (conformance vectors) are parsed first; images that fail the HEC are
+// invisible to the meter, exactly as they are at the bit level.
+type acctRefProc struct{ rig *AcctRig }
+
+func (a *acctRefProc) Init(ctx *netsim.Ctx) {}
+func (a *acctRefProc) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+	switch data := pkt.Data.(type) {
+	case *atm.Cell:
+		a.rig.Ref.Observe(data, ctx.Now())
+	case []byte:
+		var img [atm.CellBytes]byte
+		copy(img[:], data)
+		if cell, err := atm.Unmarshal(img); err == nil {
+			a.rig.Ref.Observe(cell, ctx.Now())
+		}
+	default:
+		panic(fmt.Sprintf("coverify: accounting reference got %T", pkt.Data))
+	}
+}
+func (a *acctRefProc) Timer(ctx *netsim.Ctx, tag interface{}) {}
+
+// InjectVector schedules a raw conformance vector image into both the
+// hardware path and the reference model at the given simulation time
+// (both sides of the comparison must see the same stimulus). Call before
+// Run.
+func (r *AcctRig) InjectVector(at sim.Time, img [atm.CellBytes]byte) {
+	iface, ok := r.Net.Lookup("castanet")
+	if !ok {
+		panic("coverify: interface node missing")
+	}
+	ref, ok := r.Net.Lookup("refacct")
+	if !ok {
+		panic("coverify: reference node missing")
+	}
+	raw := make([]byte, atm.CellBytes)
+	copy(raw, img[:])
+	r.Net.Sched.At(at, func() {
+		iface.Inject(r.Net.NewPacket("vector", raw, atm.CellBytes*8), 0)
+		ref.Inject(r.Net.NewPacket("vector", raw, atm.CellBytes*8), 0)
+	})
+}
+
+// Run executes the case study and drains the hardware.
+func (r *AcctRig) Run(until sim.Time) error {
+	r.Net.Run(until)
+	if err := r.Entity.Deliver(ipc.Message{Kind: ipc.KindSync, Time: until + 100*53*r.Cfg.ClockPeriod}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CounterMismatch is one discrepancy between the reference and hardware
+// counters.
+type CounterMismatch struct {
+	VC    atm.VC
+	Field string
+	Ref   uint64
+	DUT   uint64
+}
+
+// Compare checks every registered connection's counters (total cells,
+// CLP1 cells) and the unregistered-cell count between the reference
+// algorithm and the hardware.
+func (r *AcctRig) Compare() []CounterMismatch {
+	var out []CounterMismatch
+	for _, vc := range r.Cfg.VCs {
+		rec, _ := r.Ref.Record(vc)
+		slot, ok := r.DUT.Slot(vc)
+		if !ok {
+			out = append(out, CounterMismatch{VC: vc, Field: "slot", Ref: 1, DUT: 0})
+			continue
+		}
+		if got := uint64(r.DUT.Counter(slot, false)); got != rec.Cells {
+			out = append(out, CounterMismatch{VC: vc, Field: "cells", Ref: rec.Cells, DUT: got})
+		}
+		if got := uint64(r.DUT.Counter(slot, true)); got != rec.CLP1Cells {
+			out = append(out, CounterMismatch{VC: vc, Field: "clp1", Ref: rec.CLP1Cells, DUT: got})
+		}
+	}
+	if r.Ref.Unregistered != r.DUT.Unregistered {
+		out = append(out, CounterMismatch{Field: "unregistered", Ref: r.Ref.Unregistered, DUT: r.DUT.Unregistered})
+	}
+	return out
+}
+
+// Units returns the charging units per connection from the reference
+// tariff applied to the hardware counters — the billing-level check.
+func (r *AcctRig) Units(vc atm.VC) (ref, dutv uint64) {
+	ref = r.Ref.Units(vc)
+	slot, ok := r.DUT.Slot(vc)
+	if !ok {
+		return ref, 0
+	}
+	dutv = r.Cfg.Tariff.Units(uint64(r.DUT.Counter(slot, false)), uint64(r.DUT.Counter(slot, true)))
+	return ref, dutv
+}
+
+// Report summarizes the case study.
+func (r *AcctRig) Report() string {
+	return fmt.Sprintf("offered=%d observed(dut)=%d unregistered(dut)=%d exceptions=%d mismatches=%d",
+		r.Offered, r.DUT.Observed, r.DUT.Unregistered, r.Exceptions, len(r.Compare()))
+}

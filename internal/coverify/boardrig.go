@@ -1,0 +1,173 @@
+package coverify
+
+import (
+	"fmt"
+
+	"castanet/internal/atm"
+	"castanet/internal/board"
+	"castanet/internal/cosim"
+	"castanet/internal/cyclesim"
+	"castanet/internal/dut"
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/netsim"
+	"castanet/internal/refmodel"
+	"castanet/internal/sim"
+)
+
+// BoardRig is the hardware-in-the-simulation-loop environment (the right
+// path of Fig. 1): the same network-level test bench drives the
+// "fabricated" switch — a cycle-based device mounted on the test board —
+// through the board coupling instead of the HDL simulator, and the same
+// comparator checks the outputs against the reference model. Test benches
+// are thereby reused unchanged from simulation to functional chip
+// verification, the paper's central claim.
+type BoardRig struct {
+	Cfg SwitchRigConfig
+
+	Net     *netsim.Network
+	Dev     *cyclesim.Switch
+	Board   *board.Board
+	Harness *board.StreamHarness
+	Ref     *refmodel.SwitchRef
+	Iface   *cosim.InterfaceProcess
+	Cmp     *refmodel.Comparator
+
+	nextSeq uint32
+	Offered uint64
+}
+
+// NewBoardRig elaborates the hardware-in-the-loop environment. The board
+// runs at the configured HDL clock rate (capped at the board's 20 MHz)
+// with the given memory depth per test cycle.
+func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
+	if cfg.ClockPeriod == 0 {
+		cfg.ClockPeriod = 50 * sim.Nanosecond
+	}
+	if cfg.Table == nil {
+		cfg.Table = DefaultTable()
+	}
+	if cfg.Switch == (dut.SwitchConfig{}) {
+		cfg.Switch = dut.DefaultSwitchConfig()
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 50 * sim.Microsecond
+	}
+	r := &BoardRig{Cfg: cfg}
+
+	r.Dev = cyclesim.NewSwitch(cfg.Table, cfg.Switch.InFifoCells, cfg.Switch.OutFifoCells)
+	clockHz := 1 / (sim.Duration(cfg.ClockPeriod)).Seconds()
+	if clockHz > board.MaxClockHz {
+		clockHz = board.MaxClockHz
+	}
+	r.Board = board.New(r.Dev, clockHz, memDepth)
+	if err := r.Board.Configure(board.SwitchConfig()); err != nil {
+		return nil, err
+	}
+	h, err := board.NewStreamHarness(r.Board, board.SwitchStreams())
+	if err != nil {
+		return nil, err
+	}
+	r.Harness = h
+	coupling := &board.Coupling{
+		Harness: h,
+		KindOf: func(k ipc.Kind) int {
+			s := int(k - KindCellIn(0))
+			if s < 0 || s >= dut.SwitchPorts {
+				return -1
+			}
+			return s
+		},
+		RespKind: func(s int) ipc.Kind { return KindCellOut(s) },
+		// Worst-case drain: a full output FIFO serializing at line rate
+		// behind the last stimulus byte.
+		DrainCycles: (cfg.Switch.OutFifoCells + 8) * 53,
+	}
+
+	r.Net = netsim.New(cfg.Seed)
+	r.Cmp = refmodel.NewComparator()
+	r.Ref = &refmodel.SwitchRef{Table: cfg.Table}
+	r.Ref.OnForward = func(ctx *netsim.Ctx, outPort int, c *atm.Cell) {
+		r.Cmp.Expect(outPort, c)
+	}
+	registry := mapping.NewRegistry()
+	for p := 0; p < dut.SwitchPorts; p++ {
+		registry.Register(KindCellIn(p), mapping.CellCodec{})
+		registry.Register(KindCellOut(p), mapping.CellCodec{})
+	}
+	r.Iface = &cosim.InterfaceProcess{
+		Coupling:  coupling,
+		Registry:  registry,
+		SyncEvery: cfg.SyncEvery,
+		Classify:  func(pkt *netsim.Packet, port int) ipc.Kind { return KindCellIn(port) },
+		OnResponse: func(ctx *netsim.Ctx, resp cosim.Response) {
+			port := int(resp.Kind - KindCellOut(0))
+			r.Cmp.Actual(port, resp.Value.(*atm.Cell))
+		},
+	}
+
+	refNode := r.Net.Node("refswitch", r.Ref)
+	ifaceNode := r.Net.Node("castanet", r.Iface)
+	for p := 0; p < dut.SwitchPorts; p++ {
+		tr := cfg.Traffic[p]
+		if tr.Model == nil || tr.Cells == 0 {
+			continue
+		}
+		trc := tr
+		src := &netsim.Source{
+			Gen:   trc.Model,
+			Limit: trc.Cells,
+			Make: func(ctx *netsim.Ctx, i uint64) *netsim.Packet {
+				vc := trc.VCs[int(i)%len(trc.VCs)]
+				c := &atm.Cell{Header: atm.Header{VPI: vc.VPI, VCI: vc.VCI}}
+				if trc.CLP1 > 0 && ctx.RNG().Bool(trc.CLP1) {
+					c.CLP = 1
+				}
+				c.Seq = r.nextSeq
+				r.nextSeq++
+				r.Offered++
+				c.StampSeq()
+				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
+			},
+		}
+		srcNode := r.Net.Node(fmt.Sprintf("src%d", p), src)
+		p := p
+		split := r.Net.Node(fmt.Sprintf("split%d", p), &netsim.Func{
+			OnArrival: func(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+				cell := pkt.Data.(*atm.Cell)
+				ctx.Send(ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size), 0)
+				ctx.Send(ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size), 1)
+			},
+		})
+		r.Net.Connect(srcNode, 0, split, 0, netsim.LinkParams{})
+		r.Net.Connect(split, 0, refNode, p, netsim.LinkParams{})
+		r.Net.Connect(split, 1, ifaceNode, p, netsim.LinkParams{})
+	}
+	return r, nil
+}
+
+// Run executes the verification, then flushes remaining hardware output
+// through one final sync-triggered test cycle batch.
+func (r *BoardRig) Run(until sim.Time) error {
+	r.Net.Run(until)
+	coupling := r.Iface.Coupling
+	resps, err := coupling.Send(ipc.Message{Kind: ipc.KindSync, Time: until})
+	if err != nil {
+		return err
+	}
+	for _, m := range resps {
+		var img [atm.CellBytes]byte
+		copy(img[:], m.Data)
+		cell, err := atm.Unmarshal(img)
+		if err != nil {
+			return err
+		}
+		r.Cmp.Actual(int(m.Kind-KindCellOut(0)), cell)
+	}
+	return nil
+}
+
+// Report summarizes the hardware-in-the-loop run including board timing.
+func (r *BoardRig) Report() string {
+	return fmt.Sprintf("offered=%d %s drops=%d | %s", r.Offered, r.Cmp.Summary(), r.Dev.Drops(), r.Board)
+}

@@ -1,0 +1,283 @@
+package coverify
+
+import (
+	"fmt"
+
+	"castanet/internal/atm"
+	"castanet/internal/cosim"
+	"castanet/internal/dut"
+	"castanet/internal/hdl"
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/netsim"
+	"castanet/internal/refmodel"
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+// kindPolicedOut labels cells the UPC hardware let through.
+const kindPolicedOut = ipc.KindUser + 48
+
+// SlotAligned wraps a traffic model so every inter-arrival interval is a
+// whole number of hardware clock cycles — the physical reality of a
+// slotted ATM line, and the condition under which the network-level GCRA
+// reference and the cycle-counting UPC hardware make identical
+// conformance decisions.
+type SlotAligned struct {
+	Model  traffic.Model
+	Period sim.Duration
+}
+
+// Next implements traffic.Model.
+func (s SlotAligned) Next(rng *sim.RNG) sim.Duration {
+	d := s.Model.Next(rng)
+	q := (d + s.Period/2) / s.Period * s.Period
+	if q < s.Period {
+		q = s.Period
+	}
+	return q
+}
+
+// PolicerContract is one UPC contract of the rig.
+type PolicerContract struct {
+	VC           atm.VC
+	PeakInterval sim.Duration // contracted minimum cell spacing
+	Tau          sim.Duration // cell delay variation tolerance
+}
+
+// PolicerRigConfig parameterizes the UPC co-verification.
+type PolicerRigConfig struct {
+	Seed        uint64
+	ClockPeriod sim.Duration
+	Delta       sim.Duration
+	Tag         bool // tag instead of discard
+	Contracts   []PolicerContract
+	Sources     []PolicerSource
+	SyncEvery   sim.Duration
+}
+
+// PolicerSource is one offered stream.
+type PolicerSource struct {
+	Model traffic.Model
+	VC    atm.VC
+	Cells uint64
+}
+
+// PolicerRig verifies the UPC hardware against the GCRA reference: both
+// see the same slot-aligned cell stream; the comparator checks that
+// exactly the same cells emerge, with identical CLP tagging.
+type PolicerRig struct {
+	Cfg PolicerRigConfig
+
+	Net    *netsim.Network
+	HDL    *hdl.Simulator
+	DUT    *dut.Policer
+	Ref    *refmodel.PolicerRef
+	Entity *cosim.Entity
+	Iface  *cosim.InterfaceProcess
+	Cmp    *Comparator1
+
+	writer  *mapping.CellPortWriter
+	nextSeq uint32
+	Offered uint64
+
+	// RefTrace/DUTTrace, when set, observe each policed arrival on the
+	// reference path (with its network time) and the hardware path (with
+	// its cycle count) — diagnostic hooks for timing-alignment analysis.
+	RefTrace func(c *atm.Cell, at sim.Time)
+	DUTTrace func(c *atm.Cell, cycle uint64)
+}
+
+// Comparator1 is a single-stream variant of the refmodel comparator: it
+// matches by sequence number on one logical port.
+type Comparator1 struct {
+	expected map[uint32]*atm.Cell
+	matched  map[uint32]bool
+	Matched  uint64
+	Bad      []string
+}
+
+// NewComparator1 returns an empty single-stream comparator.
+func NewComparator1() *Comparator1 {
+	return &Comparator1{expected: make(map[uint32]*atm.Cell), matched: make(map[uint32]bool)}
+}
+
+// Expect records a reference output cell.
+func (c *Comparator1) Expect(cell *atm.Cell) { c.expected[cell.Seq] = cell.Clone() }
+
+// Actual records a hardware output cell.
+func (c *Comparator1) Actual(cell *atm.Cell) {
+	exp, ok := c.expected[cell.Seq]
+	if !ok {
+		c.Bad = append(c.Bad, fmt.Sprintf("seq %d: hardware passed a cell the reference policer dropped (%v clp=%d)",
+			cell.Seq, cell.VC(), cell.CLP))
+		return
+	}
+	if c.matched[cell.Seq] {
+		c.Bad = append(c.Bad, fmt.Sprintf("seq %d: duplicate", cell.Seq))
+		return
+	}
+	if exp.Header != cell.Header {
+		c.Bad = append(c.Bad, fmt.Sprintf("seq %d: header %+v, reference %+v", cell.Seq, cell.Header, exp.Header))
+		return
+	}
+	c.matched[cell.Seq] = true
+	c.Matched++
+}
+
+// Outstanding returns reference cells the hardware never delivered.
+func (c *Comparator1) Outstanding() int {
+	n := 0
+	for seq := range c.expected {
+		if !c.matched[seq] {
+			n++
+		}
+	}
+	return n
+}
+
+// Clean reports a perfect comparison.
+func (c *Comparator1) Clean() bool { return len(c.Bad) == 0 && c.Outstanding() == 0 }
+
+// NewPolicerRig elaborates the UPC co-verification environment.
+func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
+	if cfg.ClockPeriod == 0 {
+		cfg.ClockPeriod = 50 * sim.Nanosecond
+	}
+	if cfg.Delta == 0 {
+		// UPC hardware is timing-sensitive: its conformance decisions
+		// depend on exact cell spacing. A large processing window δ would
+		// let the hardware clock overrun later cells' time stamps,
+		// delaying their physical transmission and perturbing the very
+		// inter-arrival gaps under test. One clock of lookahead keeps the
+		// coupling cycle-faithful (arrivals are at least one slot apart).
+		cfg.Delta = cfg.ClockPeriod
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 50 * sim.Microsecond
+	}
+	r := &PolicerRig{Cfg: cfg}
+
+	r.HDL = hdl.New()
+	clk := r.HDL.Bit("clk", hdl.U)
+	r.HDL.Clock(clk, cfg.ClockPeriod)
+	r.DUT = dut.NewPolicer(r.HDL, clk, 64)
+	if cfg.Tag {
+		r.DUT.Action = dut.PolicerTag
+	}
+
+	ref := refmodel.NewPolicerRef(cfg.Tag)
+	r.Ref = ref
+	r.Cmp = NewComparator1()
+	ref.OnForward = func(ctx *netsim.Ctx, c *atm.Cell) { r.Cmp.Expect(c) }
+
+	for _, ct := range cfg.Contracts {
+		if err := r.DUT.ContractFor(ct.VC, ct.PeakInterval, ct.Tau, cfg.ClockPeriod); err != nil {
+			panic(err)
+		}
+		ref.Contract(ct.VC, ct.PeakInterval, ct.Tau)
+	}
+
+	r.Entity = cosim.NewEntity(r.HDL)
+	r.writer = mapping.NewCellPortWriter(r.HDL, "castanet_tx", clk, r.DUT.In.Data, r.DUT.In.Sync)
+	r.Entity.Input(cosim.KindData, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
+		v, err := (mapping.CellCodec{}).Decode(msg.Data)
+		if err != nil {
+			return err
+		}
+		r.writer.Enqueue(v.(*atm.Cell))
+		return nil
+	})
+	rd := mapping.NewCellPortReader(r.HDL, "castanet_rx", clk, r.DUT.Out.Data, r.DUT.Out.Sync)
+	rd.SkipIdle = true
+	rd.OnCell = func(c *atm.Cell) {
+		data, err := (mapping.CellCodec{}).Encode(c)
+		if err != nil {
+			panic(err)
+		}
+		r.Entity.Emit(kindPolicedOut, data)
+	}
+
+	registry := mapping.NewRegistry()
+	registry.Register(cosim.KindData, mapping.CellCodec{})
+	registry.Register(kindPolicedOut, mapping.CellCodec{})
+	r.Iface = &cosim.InterfaceProcess{
+		Coupling:  &cosim.Direct{Entity: r.Entity},
+		Registry:  registry,
+		SyncEvery: cfg.SyncEvery,
+		OnResponse: func(ctx *netsim.Ctx, resp cosim.Response) {
+			r.Cmp.Actual(resp.Value.(*atm.Cell))
+		},
+	}
+
+	r.Net = netsim.New(cfg.Seed)
+	ifaceNode := r.Net.Node("castanet", r.Iface)
+	refNode := r.Net.Node("refupc", ref)
+	// The reference policer must observe the cell stream at the same
+	// reference point as the hardware: after the physical line has
+	// serialized it (one cell per 53 byte clocks). Without this line
+	// model, conformance decisions near the GCRA boundary would differ
+	// between the instantaneous network view and the bit-level view —
+	// not a hardware bug, a mis-placed observation point.
+	line := &netsim.Queue{ServiceTime: 53 * cfg.ClockPeriod}
+	lineNode := r.Net.Node("line", line)
+	r.Net.Connect(lineNode, 0, refNode, 0, netsim.LinkParams{})
+	for i, s := range cfg.Sources {
+		s := s
+		src := &netsim.Source{
+			Gen:   SlotAligned{Model: s.Model, Period: cfg.ClockPeriod},
+			Limit: s.Cells,
+			Make: func(ctx *netsim.Ctx, k uint64) *netsim.Packet {
+				c := &atm.Cell{Header: atm.Header{VPI: s.VC.VPI, VCI: s.VC.VCI}}
+				c.Seq = r.nextSeq
+				r.nextSeq++
+				r.Offered++
+				c.StampSeq()
+				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
+			},
+		}
+		srcNode := r.Net.Node(fmt.Sprintf("src%d", i), src)
+		split := r.Net.Node(fmt.Sprintf("split%d", i), &netsim.Func{
+			OnArrival: func(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+				cell := pkt.Data.(*atm.Cell)
+				ctx.Send(ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size), 0)
+				ctx.Send(ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size), 1)
+			},
+		})
+		r.Net.Connect(srcNode, 0, split, 0, netsim.LinkParams{})
+		r.Net.Connect(split, 0, lineNode, i, netsim.LinkParams{})
+		r.Net.Connect(split, 1, ifaceNode, 0, netsim.LinkParams{})
+	}
+	return r
+}
+
+// Run executes the verification and drains the pipeline.
+func (r *PolicerRig) Run(until sim.Time) error {
+	if r.RefTrace != nil {
+		r.Ref.OnArrival = func(c *atm.Cell, at sim.Time) { r.RefTrace(c, at) }
+	}
+	if r.DUTTrace != nil {
+		r.DUT.OnPolice = func(c *atm.Cell, cycle uint64) { r.DUTTrace(c, cycle) }
+	}
+	r.Net.Run(until)
+	r.Entity.FreezeLagStats = true
+	if err := r.Entity.Deliver(ipc.Message{Kind: ipc.KindSync, Time: until + 100*53*r.Cfg.ClockPeriod}); err != nil {
+		return err
+	}
+	for _, m := range r.Entity.TakeOutbox() {
+		v, err := (mapping.CellCodec{}).Decode(m.Data)
+		if err != nil {
+			return err
+		}
+		r.Cmp.Actual(v.(*atm.Cell))
+	}
+	return nil
+}
+
+// Report summarizes the UPC comparison.
+func (r *PolicerRig) Report() string {
+	return fmt.Sprintf("offered=%d ref[conf=%d viol=%d] dut[conf=%d viol=%d tag=%d drop=%d] matched=%d bad=%d outstanding=%d",
+		r.Offered, r.Ref.Conforming, r.Ref.NonConforming,
+		r.DUT.Conforming, r.DUT.NonConforming, r.DUT.Tagged, r.DUT.Discarded,
+		r.Cmp.Matched, len(r.Cmp.Bad), r.Cmp.Outstanding())
+}

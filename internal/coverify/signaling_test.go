@@ -1,0 +1,103 @@
+package coverify
+
+import (
+	"testing"
+
+	"castanet/internal/atm"
+	"castanet/internal/netsim"
+	"castanet/internal/signaling"
+	"castanet/internal/sim"
+)
+
+// TestSignalingDrivenConnections exercises the full stack of the paper's
+// introduction: embedded control software (CAC agent + signaling EFSMs in
+// the process domain) establishes connections at run time in the very
+// switch being co-verified; user cells flow only while their connection
+// is admitted, and the hardware/reference comparison stays clean
+// throughout because both share the connection table the control software
+// maintains.
+func TestSignalingDrivenConnections(t *testing.T) {
+	// Start from an EMPTY connection table: nothing is routable until the
+	// control software admits it.
+	table := atm.NewTranslator()
+	rig := NewSwitchRig(SwitchRigConfig{Seed: 21, Table: table})
+
+	// Control software: CAC installs admitted VCs into the shared table
+	// (visible to the RTL switch and the reference model alike).
+	cac := &signaling.CAC{CapacityBps: 5e6}
+	cac.OnAdmit = func(vc atm.VC, rate float64) {
+		table.Add(vc, atm.Route{Port: 2, Out: atm.VC{VPI: 0x20, VCI: vc.VCI + 0x100}})
+	}
+	cac.OnRelease = func(vc atm.VC) { table.Remove(vc) }
+	cacNode := rig.Net.Node("cac", signaling.NewCACMachine(cac))
+
+	vc := atm.VC{VPI: 1, VCI: 100}
+	caller := &signaling.Caller{
+		VC: vc, RateBps: 2e6,
+		StartDelay: 2 * sim.Millisecond,
+		HoldTime:   6 * sim.Millisecond,
+	}
+	callerNode := rig.Net.Node("caller", caller.Machine())
+	rig.Net.Connect(callerNode, 0, cacNode, 0, netsim.LinkParams{Delay: 50 * sim.Microsecond})
+	rig.Net.Connect(cacNode, 0, callerNode, 0, netsim.LinkParams{Delay: 50 * sim.Microsecond})
+
+	// User plane: cells on the (initially unknown) connection, injected
+	// directly to both the reference and the hardware coupling. Phase 1
+	// (before admission), phase 2 (while active, with margin from the
+	// table edits), phase 3 (after release).
+	iface, _ := rig.Net.Lookup("castanet")
+	refNode, _ := rig.Net.Lookup("refswitch")
+	seq := uint32(0)
+	sendCell := func(at sim.Time) {
+		s := seq
+		seq++
+		rig.Net.Sched.At(at, func() {
+			c := &atm.Cell{Header: atm.Header{VPI: vc.VPI, VCI: vc.VCI}, Seq: s}
+			c.StampSeq()
+			refNode.Inject(rig.Net.NewPacket("cell", c.Clone(), atm.CellBytes*8), 0)
+			iface.Inject(rig.Net.NewPacket("cell", c.Clone(), atm.CellBytes*8), 0)
+		})
+	}
+	// Phase 1: before admission (connection unknown -> both sides drop).
+	for i := 0; i < 5; i++ {
+		sendCell(sim.Time(200+100*i) * sim.Microsecond)
+	}
+	// Phase 2: while active (admitted ~2.1ms, released ~8.1ms; keep 1ms
+	// margins so no cell is in flight across a table edit).
+	for i := 0; i < 10; i++ {
+		sendCell(sim.Time(3500+200*i) * sim.Microsecond)
+	}
+	// Phase 3: after release.
+	for i := 0; i < 5; i++ {
+		sendCell(sim.Time(9500+100*i) * sim.Microsecond)
+	}
+
+	if err := rig.Run(15 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	if caller.State() != "done" {
+		t.Fatalf("caller state = %q", caller.State())
+	}
+	if cac.Admitted != 1 || cac.Released != 1 {
+		t.Fatalf("cac admitted=%d released=%d", cac.Admitted, cac.Released)
+	}
+	// Exactly the phase-2 cells got through, on the CAC-chosen route with
+	// the CAC-chosen translation; phases 1 and 3 were dropped identically
+	// by hardware and reference.
+	if rig.Cmp.Matched != 10 {
+		t.Errorf("matched = %d, want 10 (%s)", rig.Cmp.Matched, rig.Report())
+	}
+	for _, m := range rig.Cmp.Mismatches() {
+		t.Errorf("%v", m)
+	}
+	if len(rig.Cmp.Outstanding()) != 0 {
+		t.Errorf("outstanding: %v", rig.Cmp.Outstanding())
+	}
+	if rig.DUT.UnknownVC != 10 {
+		t.Errorf("hardware unknown-VC drops = %d, want 10 (5 before + 5 after)", rig.DUT.UnknownVC)
+	}
+	if rig.Ref.UnknownVC != 10 {
+		t.Errorf("reference unknown-VC drops = %d, want 10", rig.Ref.UnknownVC)
+	}
+}

@@ -1,0 +1,360 @@
+// Package coverify assembles the complete Fig.-1 co-verification
+// environments: traffic sources in the network simulator feeding both the
+// algorithmic reference model and — through the CASTANET coupling — the
+// register-transfer-level device under test, with the comparison engine
+// checking every hardware response against the reference. It is the
+// top-level API the examples, the command-line tool and the benchmark
+// harnesses build on.
+package coverify
+
+import (
+	"fmt"
+	"io"
+
+	"castanet/internal/atm"
+	"castanet/internal/cosim"
+	"castanet/internal/dut"
+	"castanet/internal/hdl"
+	"castanet/internal/ipc"
+	"castanet/internal/mapping"
+	"castanet/internal/netsim"
+	"castanet/internal/refmodel"
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+// Message kind layout of the switch coupling: one input queue per switch
+// input port, one response kind per output port.
+const (
+	kindCellIn  = ipc.KindUser      // +port, 4 input queues
+	kindCellOut = ipc.KindUser + 16 // +port, 4 response kinds
+)
+
+// KindCellIn returns the message kind of input port p.
+func KindCellIn(p int) ipc.Kind { return kindCellIn + ipc.Kind(p) }
+
+// KindCellOut returns the response kind of output port p.
+func KindCellOut(p int) ipc.Kind { return kindCellOut + ipc.Kind(p) }
+
+// PortTraffic configures the workload offered to one switch input port.
+type PortTraffic struct {
+	Model traffic.Model // inter-arrival process; nil = silent port
+	VCs   []atm.VC      // connections cycled round-robin
+	CLP1  float64       // fraction of cells sent with CLP=1
+	Cells uint64        // number of cells to emit
+}
+
+// SwitchRigConfig parameterizes a switch co-verification run.
+type SwitchRigConfig struct {
+	Seed        uint64
+	ClockPeriod sim.Duration // HDL byte clock; default 50ns (20 MHz)
+	Delta       sim.Duration // δ_j processing window; default 64 clocks
+	Switch      dut.SwitchConfig
+	Table       *atm.Translator
+	Traffic     [dut.SwitchPorts]PortTraffic
+	// Remote couples over an in-process socket pair with an EntityServer
+	// goroutine instead of direct calls.
+	Remote bool
+	// SyncEvery overrides the periodic time-update interval.
+	SyncEvery sim.Duration
+	// Waveforms, when non-nil, receives a VCD dump of the DUT's external
+	// ports — the HDL-side waveform debugging window of Fig. 2.
+	Waveforms io.Writer
+}
+
+// DefaultTable returns a full-mesh connection table: each input port p
+// owns VCs {VPI:p+1, VCI:100+q} routed to output q with translated
+// headers.
+func DefaultTable() *atm.Translator {
+	tb := atm.NewTranslator()
+	for p := 0; p < dut.SwitchPorts; p++ {
+		for q := 0; q < dut.SwitchPorts; q++ {
+			in := atm.VC{VPI: byte(p + 1), VCI: uint16(100 + q)}
+			out := atm.VC{VPI: byte(0x10 + p), VCI: uint16(0x200 + 16*p + q)}
+			tb.Add(in, atm.Route{Port: q, Out: out})
+		}
+	}
+	return tb
+}
+
+// PortVCs returns input port p's connections in the DefaultTable layout.
+func PortVCs(p int) []atm.VC {
+	vcs := make([]atm.VC, dut.SwitchPorts)
+	for q := 0; q < dut.SwitchPorts; q++ {
+		vcs[q] = atm.VC{VPI: byte(p + 1), VCI: uint16(100 + q)}
+	}
+	return vcs
+}
+
+// SwitchRig is an elaborated switch co-verification environment.
+type SwitchRig struct {
+	Cfg SwitchRigConfig
+
+	Net    *netsim.Network
+	HDL    *hdl.Simulator
+	DUT    *dut.Switch
+	Ref    *refmodel.SwitchRef
+	Entity *cosim.Entity
+	Iface  *cosim.InterfaceProcess
+	Cmp    *refmodel.Comparator
+
+	writers  [dut.SwitchPorts]*mapping.CellPortWriter
+	sources  [dut.SwitchPorts]*netsim.Source
+	nextSeq  uint32
+	injected map[uint32]sim.Time // seq -> injection time, for latency probes
+
+	srv       *cosim.EntityServer
+	transport ipc.Transport
+	srvDone   chan error
+	vcd       *hdl.VCD
+
+	// Probes collects run statistics: "hw.latency" is the per-cell
+	// traversal time through the hardware (network injection to hardware
+	// response, seconds) — the network simulator's analysis capabilities
+	// applied to the hardware's behaviour.
+	Probes *netsim.ProbeSet
+
+	// Offered counts cells injected into the environment.
+	Offered uint64
+}
+
+// NewSwitchRig elaborates the complete environment.
+func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
+	if cfg.ClockPeriod == 0 {
+		cfg.ClockPeriod = 50 * sim.Nanosecond
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 64 * cfg.ClockPeriod
+	}
+	if cfg.Table == nil {
+		cfg.Table = DefaultTable()
+	}
+	if cfg.Switch == (dut.SwitchConfig{}) {
+		cfg.Switch = dut.DefaultSwitchConfig()
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 50 * sim.Microsecond
+	}
+	r := &SwitchRig{Cfg: cfg, injected: make(map[uint32]sim.Time)}
+
+	// Hardware side: switch DUT plus the co-simulation entity.
+	r.HDL = hdl.New()
+	clk := r.HDL.Bit("clk", hdl.U)
+	r.HDL.Clock(clk, cfg.ClockPeriod)
+	r.DUT = dut.NewSwitch(r.HDL, clk, cfg.Table, cfg.Switch)
+	r.Entity = cosim.NewEntity(r.HDL)
+	for p := 0; p < dut.SwitchPorts; p++ {
+		p := p
+		w := mapping.NewCellPortWriter(r.HDL, fmt.Sprintf("castanet_tx%d", p), clk,
+			r.DUT.In[p].Data, r.DUT.In[p].Sync)
+		r.writers[p] = w
+		r.Entity.Input(KindCellIn(p), cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
+			v, err := (mapping.CellCodec{}).Decode(msg.Data)
+			if err != nil {
+				return err
+			}
+			w.Enqueue(v.(*atm.Cell))
+			return nil
+		})
+		rd := mapping.NewCellPortReader(r.HDL, fmt.Sprintf("castanet_rx%d", p), clk,
+			r.DUT.Out[p].Data, r.DUT.Out[p].Sync)
+		rd.SkipIdle = true
+		rd.OnCell = func(c *atm.Cell) {
+			data, err := (mapping.CellCodec{}).Encode(c)
+			if err != nil {
+				panic(err)
+			}
+			r.Entity.Emit(KindCellOut(p), data)
+		}
+	}
+
+	if cfg.Waveforms != nil {
+		var watch []*hdl.Signal
+		watch = append(watch, clk)
+		for p := 0; p < dut.SwitchPorts; p++ {
+			watch = append(watch, r.DUT.In[p].Data, r.DUT.In[p].Sync,
+				r.DUT.Out[p].Data, r.DUT.Out[p].Sync)
+		}
+		r.vcd = hdl.NewVCD(cfg.Waveforms, r.HDL, watch...)
+	}
+
+	// Coupling.
+	var coupling cosim.Coupling
+	if cfg.Remote {
+		a, b := ipc.Pipe(64)
+		r.transport = a
+		r.srv = &cosim.EntityServer{Entity: r.Entity, Transport: b}
+		r.srvDone = make(chan error, 1)
+		go func() { r.srvDone <- r.srv.Serve() }()
+		coupling = &cosim.Remote{Transport: a}
+	} else {
+		coupling = &cosim.Direct{Entity: r.Entity}
+	}
+
+	// Network side.
+	r.Net = netsim.New(cfg.Seed)
+	r.Probes = netsim.NewProbeSet()
+	latency := r.Probes.Get("hw.latency")
+	r.Cmp = refmodel.NewComparator()
+	r.Ref = &refmodel.SwitchRef{Table: cfg.Table}
+	r.Ref.OnForward = func(ctx *netsim.Ctx, outPort int, c *atm.Cell) {
+		r.Cmp.Expect(outPort, c)
+	}
+	registry := mapping.NewRegistry()
+	for p := 0; p < dut.SwitchPorts; p++ {
+		registry.Register(KindCellIn(p), mapping.CellCodec{})
+		registry.Register(KindCellOut(p), mapping.CellCodec{})
+	}
+	r.Iface = &cosim.InterfaceProcess{
+		Coupling:  coupling,
+		Registry:  registry,
+		SyncEvery: cfg.SyncEvery,
+		Classify:  func(pkt *netsim.Packet, port int) ipc.Kind { return KindCellIn(port) },
+		OnResponse: func(ctx *netsim.Ctx, resp cosim.Response) {
+			port := int(resp.Kind - kindCellOut)
+			cell, ok := resp.Value.(*atm.Cell)
+			if !ok {
+				panic(fmt.Sprintf("coverify: response kind %d carried %T", resp.Kind, resp.Value))
+			}
+			if t, known := r.injected[cell.Seq]; known {
+				latency.Record(ctx.Now(), (resp.HWTime - t).Seconds())
+			}
+			r.Cmp.Actual(port, cell)
+		},
+	}
+
+	refNode := r.Net.Node("refswitch", r.Ref)
+	ifaceNode := r.Net.Node("castanet", r.Iface)
+	for p := 0; p < dut.SwitchPorts; p++ {
+		tr := cfg.Traffic[p]
+		if tr.Model == nil || tr.Cells == 0 {
+			continue
+		}
+		p := p
+		trc := tr
+		src := &netsim.Source{
+			Gen:   trc.Model,
+			Limit: trc.Cells,
+			Make: func(ctx *netsim.Ctx, i uint64) *netsim.Packet {
+				vc := trc.VCs[int(i)%len(trc.VCs)]
+				c := &atm.Cell{Header: atm.Header{VPI: vc.VPI, VCI: vc.VCI}}
+				if trc.CLP1 > 0 && ctx.RNG().Bool(trc.CLP1) {
+					c.CLP = 1
+				}
+				c.Seq = r.nextSeq
+				r.nextSeq++
+				r.Offered++
+				// Fill a recognizable payload beyond the seq stamp.
+				for b := 4; b < len(c.Payload); b++ {
+					c.Payload[b] = byte(uint32(b) * (c.Seq + 1))
+				}
+				c.StampSeq()
+				r.injected[c.Seq] = ctx.Now()
+				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
+			},
+		}
+		r.sources[p] = src
+		srcNode := r.Net.Node(fmt.Sprintf("src%d", p), src)
+		// Splitter duplicates each cell to the reference model and to the
+		// hardware coupling.
+		split := r.Net.Node(fmt.Sprintf("split%d", p), &netsim.Func{
+			OnArrival: func(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+				cell := pkt.Data.(*atm.Cell)
+				refPkt := ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size)
+				ctx.Send(refPkt, 0)
+				hwPkt := ctx.Net().NewPacket("cell", cell.Clone(), pkt.Size)
+				ctx.Send(hwPkt, 1)
+			},
+		})
+		r.Net.Connect(srcNode, 0, split, 0, netsim.LinkParams{})
+		r.Net.Connect(split, 0, refNode, p, netsim.LinkParams{})
+		r.Net.Connect(split, 1, ifaceNode, p, netsim.LinkParams{})
+	}
+	return r
+}
+
+// Run executes the co-verification for the given horizon, lets the
+// network simulation continue through a drain margin so that responses
+// produced inside late δ-windows (whose hardware stamps may exceed the
+// horizon) are still delivered, then flushes the hardware pipeline.
+func (r *SwitchRig) Run(until sim.Time) error {
+	r.Net.Run(until)
+	margin := r.drainMargin()
+	r.Net.Sched.RunUntil(until + margin)
+	return r.Drain(until + margin)
+}
+
+// drainMargin is a generous bound on how long in-flight cells can linger:
+// every FIFO in the switch emptied at line rate, several times over.
+func (r *SwitchRig) drainMargin() sim.Duration {
+	return sim.Duration(4*(r.Cfg.Switch.InFifoCells+r.Cfg.Switch.OutFifoCells+8)) *
+		53 * r.Cfg.ClockPeriod
+}
+
+// Drain grants the hardware a final window past the network horizon so
+// in-flight cells settle, and collects the last responses.
+func (r *SwitchRig) Drain(until sim.Time) error {
+	r.Entity.FreezeLagStats = true
+	final := ipc.Message{Kind: ipc.KindSync, Time: until + r.drainMargin()}
+	var resps []ipc.Message
+	if r.Cfg.Remote {
+		remote := &cosim.Remote{Transport: r.transport}
+		out, err := remote.Send(final)
+		if err != nil {
+			return err
+		}
+		resps = out
+	} else {
+		if err := r.Entity.Deliver(final); err != nil {
+			return err
+		}
+		resps = r.Entity.TakeOutbox()
+	}
+	for _, m := range resps {
+		v, err := (mapping.CellCodec{}).Decode(m.Data)
+		if err != nil {
+			return err
+		}
+		r.Cmp.Actual(int(m.Kind-kindCellOut), v.(*atm.Cell))
+	}
+	if r.vcd != nil {
+		return r.vcd.Close()
+	}
+	return nil
+}
+
+// Close shuts down a remote coupling.
+func (r *SwitchRig) Close() error {
+	if r.transport != nil {
+		r.transport.Close()
+		if r.srvDone != nil {
+			return <-r.srvDone
+		}
+	}
+	return nil
+}
+
+// DUTDelivered returns the number of cells that emerged from the DUT.
+func (r *SwitchRig) DUTDelivered() uint64 {
+	return r.Cmp.Matched + uint64(len(r.Cmp.Mismatches()))
+}
+
+// ClockCycles returns how many HDL byte-clock cycles were simulated.
+func (r *SwitchRig) ClockCycles() uint64 {
+	return uint64(r.HDL.Now() / r.Cfg.ClockPeriod)
+}
+
+// Report summarizes the run for harness output.
+func (r *SwitchRig) Report() string {
+	return fmt.Sprintf("offered=%d refFwd=%d dut=%d drops=%d unknown=%d | %s | hdlEvents=%d netEvents=%d cycles=%d",
+		r.Offered, r.refForwardTotal(), r.DUTDelivered(), r.DUT.Drops(), r.DUT.UnknownVC,
+		r.Cmp.Summary(), r.HDL.Events(), r.Net.Sched.Executed(), r.ClockCycles())
+}
+
+func (r *SwitchRig) refForwardTotal() uint64 {
+	var t uint64
+	for _, f := range r.Ref.Forwarded {
+		t += f
+	}
+	return t
+}

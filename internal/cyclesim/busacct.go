@@ -1,0 +1,100 @@
+package cyclesim
+
+// BusAccounting is the accounting unit with the microprocessor bus
+// interface of real billing hardware: besides the snooped cell stream it
+// exposes an 8-bit bidirectional data bus through which the control
+// processor reads the usage counters. On the test board the bus maps to a
+// bidirectional byte lane via the three-signal scheme of §3.3 — input,
+// output and a device-driven output-enable control signal.
+//
+// Bus protocol (all synchronous):
+//
+//	host: req=1, rw=1, addr = slot<<2 | byteSel  (one cycle)
+//	dev : next cycle ack=1, bus_oe=1, bus_out = counter byte
+//
+// addr bits [1:0] select the byte of the 32-bit cell counter (0 = least
+// significant); bits [7:2] select the table slot. Writes (rw=0) set the
+// clear-on-next-cell flag — a minimal command path exercising the
+// board-driven direction of the shared lane.
+type BusAccounting struct {
+	*Accounting
+
+	ackNext  bool
+	dataNext byte
+
+	clearPending [64]bool
+
+	// BusReads counts completed read transactions.
+	BusReads uint64
+}
+
+// NewBusAccounting wraps an accounting core of the given capacity
+// (max 64 slots; the address field allows 6 slot bits).
+func NewBusAccounting(capacity int) *BusAccounting {
+	if capacity > 64 {
+		panic("cyclesim: bus accounting supports at most 64 slots")
+	}
+	return &BusAccounting{Accounting: NewAccounting(capacity)}
+}
+
+// Ports implements Device.
+func (b *BusAccounting) Ports() []Port {
+	return []Port{
+		{Name: "rx_data", Width: 8, Dir: In},
+		{Name: "rx_sync", Width: 1, Dir: In},
+		{Name: "bus_in", Width: 8, Dir: In}, // board-driven side of the shared lane
+		{Name: "addr", Width: 8, Dir: In},
+		{Name: "req", Width: 1, Dir: In},
+		{Name: "rw", Width: 1, Dir: In}, // 1 = read, 0 = write/command
+		{Name: "exception", Width: 1, Dir: Out},
+		{Name: "bus_out", Width: 8, Dir: Out},
+		{Name: "bus_oe", Width: 1, Dir: Out}, // control: device drives the lane
+		{Name: "ack", Width: 1, Dir: Out},
+	}
+}
+
+// Reset implements Device.
+func (b *BusAccounting) Reset() {
+	b.Accounting.Reset()
+	b.ackNext = false
+	b.dataNext = 0
+	b.clearPending = [64]bool{}
+	b.BusReads = 0
+}
+
+// Tick implements Device.
+func (b *BusAccounting) Tick(in []uint64) []uint64 {
+	// Cell path reuses the core's reassembly/metering.
+	coreOut := b.Accounting.Tick(in[:2])
+
+	out := make([]uint64, 4)
+	out[0] = coreOut[0] // exception
+
+	if b.ackNext {
+		out[1] = uint64(b.dataNext) // bus_out
+		out[2] = 1                  // bus_oe: device drives the shared lane
+		out[3] = 1                  // ack
+		b.ackNext = false
+		b.BusReads++
+		return out
+	}
+
+	req := in[4]&1 == 1
+	if req {
+		addr := byte(in[3])
+		slot := int(addr >> 2)
+		if in[5]&1 == 1 { // read
+			byteSel := uint(addr&3) * 8
+			b.dataNext = byte(b.Cells[slot] >> byteSel)
+			b.ackNext = true
+		} else if slot < len(b.clearPending) {
+			// Command write: payload on the board-driven lane side.
+			if byte(in[2]) == 0x01 {
+				b.clearPending[slot] = true
+				b.Cells[slot] = 0
+				b.CLP1[slot] = 0
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package cyclesim
+
+import (
+	"testing"
+
+	"castanet/internal/atm"
+)
+
+// cellFeeder drives cell images into a device's (data, sync) input pair
+// one byte per tick.
+type cellFeeder struct {
+	queue [][atm.CellBytes]byte
+	cur   [atm.CellBytes]byte
+	pos   int
+	busy  bool
+}
+
+func (f *cellFeeder) enqueue(c *atm.Cell) {
+	cc := c.Clone()
+	cc.StampSeq()
+	f.queue = append(f.queue, cc.Marshal())
+}
+
+// next returns (data, sync) for this tick.
+func (f *cellFeeder) next() (uint64, uint64) {
+	if !f.busy {
+		if len(f.queue) == 0 {
+			return 0, 0
+		}
+		f.cur = f.queue[0]
+		f.queue = f.queue[1:]
+		f.busy = true
+		f.pos = 0
+	}
+	d := uint64(f.cur[f.pos])
+	var s uint64
+	if f.pos == 0 {
+		s = 1
+	}
+	f.pos++
+	if f.pos == atm.CellBytes {
+		f.busy = false
+	}
+	return d, s
+}
+
+// cellCatcher reassembles cells from a (data, sync) output pair.
+type cellCatcher struct {
+	buf    [atm.CellBytes]byte
+	pos    int
+	inCell bool
+	got    []*atm.Cell
+}
+
+func (c *cellCatcher) feed(data, sync uint64) {
+	if sync&1 == 1 {
+		c.pos = 0
+		c.inCell = true
+	}
+	if !c.inCell {
+		return
+	}
+	c.buf[c.pos] = byte(data)
+	c.pos++
+	if c.pos == atm.CellBytes {
+		c.inCell = false
+		if cell, err := atm.Unmarshal(c.buf); err == nil {
+			c.got = append(c.got, cell)
+		}
+	}
+}
+
+func testTable() *atm.Translator {
+	tb := atm.NewTranslator()
+	for p := 0; p < 4; p++ {
+		for q := 0; q < 4; q++ {
+			tb.Add(atm.VC{VPI: byte(p + 1), VCI: uint16(100 + q)},
+				atm.Route{Port: q, Out: atm.VC{VPI: byte(0x10 + p), VCI: uint16(0x200 + 16*p + q)}})
+		}
+	}
+	return tb
+}
+
+func TestCycleSwitchRoutes(t *testing.T) {
+	sw := NewSwitch(testTable(), 4, 32)
+	var feeders [4]cellFeeder
+	var catchers [4]cellCatcher
+	feeders[0].enqueue(&atm.Cell{Header: atm.Header{VPI: 1, VCI: 102}, Seq: 5}) // -> out 2
+	feeders[3].enqueue(&atm.Cell{Header: atm.Header{VPI: 4, VCI: 101}, Seq: 6}) // -> out 1
+	in := make([]uint64, 8)
+	for cycle := 0; cycle < 300; cycle++ {
+		for p := 0; p < 4; p++ {
+			in[2*p], in[2*p+1] = feeders[p].next()
+		}
+		out := sw.Tick(in)
+		for p := 0; p < 4; p++ {
+			catchers[p].feed(out[2*p], out[2*p+1])
+		}
+	}
+	if len(catchers[2].got) != 1 || catchers[2].got[0].Seq != 5 {
+		t.Fatalf("output 2: %v", catchers[2].got)
+	}
+	if got := catchers[2].got[0]; got.VPI != 0x10 || got.VCI != 0x202 {
+		t.Errorf("translation = %v", got.VC())
+	}
+	if len(catchers[1].got) != 1 || catchers[1].got[0].Seq != 6 {
+		t.Fatalf("output 1: %v", catchers[1].got)
+	}
+	if sw.Drops() != 0 {
+		t.Errorf("drops = %d", sw.Drops())
+	}
+}
+
+func TestCycleSwitchUnknownVC(t *testing.T) {
+	sw := NewSwitch(testTable(), 4, 32)
+	var f cellFeeder
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 9, VCI: 9}})
+	in := make([]uint64, 8)
+	for cycle := 0; cycle < 120; cycle++ {
+		in[0], in[1] = f.next()
+		sw.Tick(in)
+	}
+	if sw.UnknownVC != 1 {
+		t.Errorf("UnknownVC = %d", sw.UnknownVC)
+	}
+}
+
+func TestCycleSwitchReset(t *testing.T) {
+	sw := NewSwitch(testTable(), 4, 32)
+	var f cellFeeder
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 1, VCI: 100}})
+	in := make([]uint64, 8)
+	for cycle := 0; cycle < 30; cycle++ { // abandon mid-cell
+		in[0], in[1] = f.next()
+		sw.Tick(in)
+	}
+	sw.Reset()
+	// After reset the half-received cell must be gone; a fresh cell must
+	// still route correctly.
+	var f2 cellFeeder
+	var c2 cellCatcher
+	f2.enqueue(&atm.Cell{Header: atm.Header{VPI: 1, VCI: 100}, Seq: 1})
+	for cycle := 0; cycle < 300; cycle++ {
+		in[0], in[1] = f2.next()
+		for p := 1; p < 4; p++ {
+			in[2*p], in[2*p+1] = 0, 0
+		}
+		out := sw.Tick(in)
+		c2.feed(out[0], out[1])
+	}
+	if len(c2.got) != 1 || c2.got[0].Seq != 1 {
+		t.Fatalf("post-reset cell: %v", c2.got)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	a := NewAccounting(8)
+	slot, _ := a.Register(atm.VC{VPI: 2, VCI: 22})
+	var f cellFeeder
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 2, VCI: 22}})
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 2, VCI: 22, CLP: 1}})
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 8, VCI: 8}}) // unregistered
+	exceptions := 0
+	for cycle := 0; cycle < 4*atm.CellBytes; cycle++ {
+		d, s := f.next()
+		out := a.Tick([]uint64{d, s})
+		if out[0] == 1 {
+			exceptions++
+		}
+	}
+	if a.Cells[slot] != 2 || a.CLP1[slot] != 1 {
+		t.Errorf("counters = %d/%d", a.Cells[slot], a.CLP1[slot])
+	}
+	if a.Unregistered != 1 || exceptions != 1 {
+		t.Errorf("unregistered=%d exceptions=%d", a.Unregistered, exceptions)
+	}
+}
+
+func TestPortIndex(t *testing.T) {
+	sw := NewSwitch(testTable(), 1, 1)
+	idx, dir, err := PortIndex(sw, "rx2_sync")
+	if err != nil || dir != In || idx != 5 {
+		t.Errorf("rx2_sync = %d,%v,%v", idx, dir, err)
+	}
+	idx, dir, err = PortIndex(sw, "tx3_data")
+	if err != nil || dir != Out || idx != 6 {
+		t.Errorf("tx3_data = %d,%v,%v", idx, dir, err)
+	}
+	if _, _, err := PortIndex(sw, "nope"); err == nil {
+		t.Error("unknown port resolved")
+	}
+}
+
+// BenchmarkSwitchTick measures the cycle-based engine's per-cycle cost
+// with all four lines active.
+func BenchmarkSwitchTick(b *testing.B) {
+	sw := NewSwitch(testTable(), 4, 32)
+	var feeders [4]cellFeeder
+	for p := 0; p < 4; p++ {
+		for k := 0; k < 4; k++ {
+			feeders[p].enqueue(&atm.Cell{Header: atm.Header{VPI: byte(p + 1), VCI: uint16(100 + k)}})
+		}
+	}
+	in := make([]uint64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < 4; p++ {
+			in[2*p], in[2*p+1] = feeders[p].next()
+		}
+		sw.Tick(in)
+	}
+}
+
+func TestDeviceIntrospection(t *testing.T) {
+	sw := NewSwitch(testTable(), 1, 1)
+	if got := len(InputPorts(sw)); got != 8 {
+		t.Errorf("switch input ports = %d, want 8", got)
+	}
+	if got := len(OutputPorts(sw)); got != 8 {
+		t.Errorf("switch output ports = %d, want 8", got)
+	}
+	acct := NewAccounting(4)
+	if got := len(acct.Ports()); got != 3 {
+		t.Errorf("accounting ports = %d", got)
+	}
+	// Run with idle inputs must not panic and must not meter anything.
+	Run(acct, 100)
+	if acct.Observed != 0 {
+		t.Errorf("idle run metered %d cells", acct.Observed)
+	}
+}
+
+func TestAccountingReset(t *testing.T) {
+	a := NewAccounting(4)
+	slot, _ := a.Register(atm.VC{VPI: 1, VCI: 1})
+	var f cellFeeder
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 1, VCI: 1}})
+	for i := 0; i < 2*atm.CellBytes; i++ {
+		d, s := f.next()
+		a.Tick([]uint64{d, s})
+	}
+	if a.Cells[slot] != 1 {
+		t.Fatalf("precondition: metered %d", a.Cells[slot])
+	}
+	a.Reset()
+	if a.Cells[slot] != 0 || a.Observed != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	// Table bindings survive (non-volatile configuration).
+	if _, ok := a.slots[atm.VC{VPI: 1, VCI: 1}]; !ok {
+		t.Error("Reset erased the table binding")
+	}
+}
+
+func TestBusAccountingDirect(t *testing.T) {
+	dev := NewBusAccounting(8)
+	slot, err := dev.Register(atm.VC{VPI: 3, VCI: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dev.Ports()); got != 10 {
+		t.Fatalf("ports = %d, want 10", got)
+	}
+	// Meter two cells through the cell path.
+	var f cellFeeder
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 3, VCI: 3}})
+	f.enqueue(&atm.Cell{Header: atm.Header{VPI: 3, VCI: 3}})
+	in := make([]uint64, 6)
+	for i := 0; i < 3*atm.CellBytes; i++ {
+		in[0], in[1] = f.next()
+		in[4] = 0 // no bus request
+		dev.Tick(in)
+	}
+	if dev.Cells[slot] != 2 {
+		t.Fatalf("metered %d", dev.Cells[slot])
+	}
+	// Read the counter's low byte over the bus: req cycle, then response.
+	in = make([]uint64, 6)
+	in[3] = uint64(slot << 2) // addr
+	in[4] = 1                 // req
+	in[5] = 1                 // rw = read
+	out := dev.Tick(in)
+	if out[3] != 0 {
+		t.Fatal("ack asserted in the request cycle")
+	}
+	in = make([]uint64, 6)
+	out = dev.Tick(in)
+	if out[3] != 1 || out[2] != 1 {
+		t.Fatalf("response cycle: ack=%d oe=%d", out[3], out[2])
+	}
+	if out[1] != 2 {
+		t.Errorf("bus data = %d, want 2", out[1])
+	}
+	if dev.BusReads != 1 {
+		t.Errorf("BusReads = %d", dev.BusReads)
+	}
+	// Command write clears the slot.
+	in = make([]uint64, 6)
+	in[2] = 0x01 // payload on the board-driven lane
+	in[3] = uint64(slot << 2)
+	in[4] = 1 // req
+	in[5] = 0 // rw = write
+	dev.Tick(in)
+	if dev.Cells[slot] != 0 {
+		t.Errorf("clear command ignored: %d", dev.Cells[slot])
+	}
+	// Reset restores power-on state.
+	dev.Reset()
+	if dev.BusReads != 0 {
+		t.Error("Reset did not clear bus state")
+	}
+}
+
+func TestBusAccountingCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-64 capacity accepted")
+		}
+	}()
+	NewBusAccounting(65)
+}
+
+func TestSwitchReset2(t *testing.T) {
+	sw := NewSwitch(testTable(), 4, 32)
+	if got := len(sw.Ports()); got != 16 {
+		t.Errorf("ports = %d, want 16", got)
+	}
+}
+
+func TestSwitchBadDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero FIFO depth accepted")
+		}
+	}()
+	NewSwitch(testTable(), 0, 1)
+}

@@ -1,0 +1,376 @@
+// Package dut contains the ATM hardware devices under test, modeled as
+// processes on the event-driven HDL kernel the way their VHDL originals
+// would be: an ATM switch built from four port modules and one global
+// control unit (the configuration of the paper's §2 performance figures)
+// and the ATM accounting unit of the paper's case study.
+//
+// External interfaces are strictly bit-level — 8-bit cell streams with a
+// cell-synchronization signal, exactly the Fig.-4 port structure — so the
+// devices can be driven either by the co-simulation entity or by the
+// hardware test board model.
+package dut
+
+import (
+	"fmt"
+
+	"castanet/internal/atm"
+	"castanet/internal/hdl"
+	"castanet/internal/mapping"
+)
+
+// SwitchPorts is the port count of the switch: four port modules, one
+// global control unit, matching the paper's evaluation configuration.
+const SwitchPorts = 4
+
+// busWords is the number of 32-bit internal bus beats needed per cell:
+// 53 octets = 13 full words + 1 tail word.
+const busWords = (atm.CellBytes + 3) / 4
+
+// Switch is a 4x4 output-queued ATM switch. Cells arrive on bit-level
+// input ports, are reassembled by the port modules, routed by the global
+// control unit via VPI/VCI table lookup with header translation, carried
+// over a shared 32-bit internal bus, and serialized out of the destination
+// port module.
+type Switch struct {
+	HDL *hdl.Simulator
+	// Table is the connection table maintained by (modeled) control
+	// software: incoming VC -> output port and translated VC.
+	Table *atm.Translator
+
+	// In/Out expose the bit-level cell stream ports, indexed by port.
+	In  [SwitchPorts]CellPort
+	Out [SwitchPorts]CellPort
+
+	ports [SwitchPorts]*portModule
+	gcu   *globalControlUnit
+
+	// Statistics (visible to the verification environment the way a chip's
+	// diagnostic registers would be).
+	RxCells      [SwitchPorts]uint64
+	TxCells      [SwitchPorts]uint64
+	HECErrors    [SwitchPorts]uint64
+	UnknownVC    uint64
+	InFifoDrops  [SwitchPorts]uint64
+	OutFifoDrops [SwitchPorts]uint64
+}
+
+// CellPort is one bit-level cell stream interface: 8 data bits plus a
+// cell-start strobe (Fig. 4).
+type CellPort struct {
+	Data *hdl.Signal // 8-bit
+	Sync *hdl.Signal // 1-bit, high on the first octet of a cell
+}
+
+// SwitchConfig sizes the switch's buffers.
+type SwitchConfig struct {
+	InFifoCells  int // per input port, pending reassembled cells
+	OutFifoCells int // per output port, cells awaiting serialization
+}
+
+// DefaultSwitchConfig mirrors a small ASIC: shallow input FIFOs, deeper
+// output queues (the switch is output-queued).
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{InFifoCells: 4, OutFifoCells: 32}
+}
+
+// NewSwitch elaborates the switch on the given simulator, clocked by clk.
+func NewSwitch(h *hdl.Simulator, clk *hdl.Signal, table *atm.Translator, cfg SwitchConfig) *Switch {
+	sw := &Switch{HDL: h, Table: table}
+	if cfg.InFifoCells <= 0 || cfg.OutFifoCells <= 0 {
+		panic("dut: switch FIFO depths must be positive")
+	}
+
+	// Internal shared bus.
+	busData := h.Signal("ibus_data", 32, hdl.U)
+	busValid := h.Bit("ibus_valid", hdl.U)
+	busDest := h.Signal("ibus_dest", 2, hdl.U)
+
+	sw.gcu = newGCU(h, clk, sw)
+
+	for i := 0; i < SwitchPorts; i++ {
+		name := fmt.Sprintf("port%d", i)
+		sw.In[i] = CellPort{
+			Data: h.Signal(name+"_rx_data", 8, hdl.U),
+			Sync: h.Bit(name+"_rx_sync", hdl.U),
+		}
+		sw.Out[i] = CellPort{
+			Data: h.Signal(name+"_tx_data", 8, hdl.U),
+			Sync: h.Bit(name+"_tx_sync", hdl.U),
+		}
+		sw.ports[i] = newPortModule(h, clk, sw, i, cfg, busData, busValid, busDest)
+	}
+	return sw
+}
+
+// portModule is one line interface: input reassembly + request to the
+// GCU + streaming onto the internal bus, and output collection + cell
+// serialization.
+type portModule struct {
+	sw  *Switch
+	idx int
+
+	// Input side.
+	req    *hdl.Signal // to GCU
+	reqDrv *hdl.Driver
+	hdr    *hdl.Signal // 24-bit VPI(8) | VCI(16) of the pending cell
+	hdrDrv *hdl.Driver
+	inFifo [][atm.CellBytes]byte
+	inCap  int
+
+	// Streaming state.
+	streaming  bool
+	streamPos  int
+	streamCell [atm.CellBytes]byte
+
+	busDataDrv  *hdl.Driver
+	busValidDrv *hdl.Driver
+	busDestDrv  *hdl.Driver
+
+	// Output side.
+	collectPos int
+	collecting bool
+	collectBuf [atm.CellBytes]byte
+	outFifo    [][atm.CellBytes]byte
+	outCap     int
+	writer     *mapping.CellPortWriter
+}
+
+func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg SwitchConfig,
+	busData, busValid, busDest *hdl.Signal) *portModule {
+	name := fmt.Sprintf("port%d", idx)
+	p := &portModule{sw: sw, idx: idx, inCap: cfg.InFifoCells, outCap: cfg.OutFifoCells}
+
+	p.req = h.Bit(name+"_req", hdl.U)
+	p.reqDrv = p.req.Driver(name)
+	p.reqDrv.SetBit(hdl.L0)
+	p.hdr = h.Signal(name+"_hdr", 24, hdl.U)
+	p.hdrDrv = p.hdr.Driver(name)
+	p.hdrDrv.SetUint(0)
+
+	p.busDataDrv = busData.Driver(name)
+	p.busValidDrv = busValid.Driver(name)
+	p.busDestDrv = busDest.Driver(name)
+	p.busDataDrv.Set(hdl.NewLV(32, hdl.Z))
+	p.busValidDrv.SetBit(hdl.Z)
+	p.busDestDrv.Set(hdl.NewLV(2, hdl.Z))
+
+	// Input reassembly straight off the line.
+	rd := mapping.NewCellPortReader(h, name+"_rx", clk, sw.In[idx].Data, sw.In[idx].Sync)
+	rd.OnCell = func(c *atm.Cell) {
+		if c.IsIdle() || c.IsUnassigned() {
+			return
+		}
+		sw.RxCells[idx]++
+		if len(p.inFifo) >= p.inCap {
+			sw.InFifoDrops[idx]++
+			return
+		}
+		p.inFifo = append(p.inFifo, c.Marshal())
+	}
+	rd.OnError = func(img [atm.CellBytes]byte, err error) {
+		sw.HECErrors[idx]++
+	}
+
+	// Request/stream state machine.
+	gcu := sw.gcu
+	h.Process(name+"_ctl", func() {
+		if !clk.Rising() {
+			return
+		}
+		switch {
+		case p.streaming:
+			p.streamBeat()
+		case len(p.inFifo) > 0:
+			// Present the head cell to the GCU.
+			img := p.inFifo[0]
+			hdr, err := atm.UnmarshalHeader([5]byte{img[0], img[1], img[2], img[3], img[4]})
+			if err != nil {
+				// HEC was checked at reassembly; a failure here means the
+				// FIFO was corrupted — drop defensively.
+				p.inFifo = p.inFifo[1:]
+				sw.HECErrors[idx]++
+				return
+			}
+			p.reqDrv.SetBit(hdl.L1)
+			p.hdrDrv.SetUint(uint64(hdr.VPI)<<16 | uint64(hdr.VCI))
+			if gcu.granted == idx {
+				// Grant received this cycle: translate and stream.
+				gcu.granted = -1
+				p.reqDrv.SetBit(hdl.L0)
+				p.inFifo = p.inFifo[1:]
+				p.beginStream(img, gcu.grantHdr, gcu.grantDest)
+			}
+		default:
+			p.reqDrv.SetBit(hdl.L0)
+		}
+	}, clk)
+
+	// Output collection from the internal bus.
+	h.Process(name+"_collect", func() {
+		if !clk.Rising() {
+			return
+		}
+		if !busValid.Bit().IsHigh() {
+			return
+		}
+		dest, ok := busDest.Uint()
+		if !ok || int(dest) != idx {
+			return
+		}
+		word, ok := busData.Uint()
+		if !ok {
+			p.collecting = false
+			return
+		}
+		if !p.collecting {
+			p.collecting = true
+			p.collectPos = 0
+		}
+		for b := 0; b < 4 && p.collectPos < atm.CellBytes; b++ {
+			p.collectBuf[p.collectPos] = byte(word >> (8 * uint(3-b)))
+			p.collectPos++
+		}
+		if p.collectPos == atm.CellBytes {
+			p.collecting = false
+			if len(p.outFifo) >= p.outCap {
+				sw.OutFifoDrops[idx]++
+			} else {
+				p.outFifo = append(p.outFifo, p.collectBuf)
+			}
+		}
+	}, clk)
+
+	// Output serializer.
+	p.writer = mapping.NewCellPortWriter(h, name+"_tx", clk, sw.Out[idx].Data, sw.Out[idx].Sync)
+	h.Process(name+"_txfeed", func() {
+		if !clk.Rising() {
+			return
+		}
+		if len(p.outFifo) > 0 && !p.writer.Busy() && p.writer.Backlog() == 0 {
+			img := p.outFifo[0]
+			p.outFifo = p.outFifo[1:]
+			cell, err := atm.Unmarshal(img)
+			if err != nil {
+				sw.HECErrors[idx]++
+				return
+			}
+			p.writer.Enqueue(cell)
+			sw.TxCells[idx]++
+		}
+	}, clk)
+
+	return p
+}
+
+// beginStream loads the translated cell image and claims the bus.
+func (p *portModule) beginStream(img [atm.CellBytes]byte, newHdr atm.Header, dest int) {
+	// Header translation: rebuild the first five octets with the new
+	// VPI/VCI and a freshly computed HEC (the PTI/CLP travel unchanged).
+	old, _ := atm.UnmarshalHeader([5]byte{img[0], img[1], img[2], img[3], img[4]})
+	h := old
+	h.VPI = newHdr.VPI
+	h.VCI = newHdr.VCI
+	nb := h.MarshalHeader()
+	copy(img[:atm.HeaderBytes], nb[:])
+	p.streamCell = img
+	p.streaming = true
+	p.streamPos = 0
+	p.busDestDrv.Set(hdl.FromUint(uint64(dest), 2))
+	p.streamBeat()
+}
+
+// streamBeat drives one 32-bit word of the cell onto the internal bus.
+func (p *portModule) streamBeat() {
+	if p.streamPos >= busWords {
+		// Release the bus.
+		p.streaming = false
+		p.busDataDrv.Set(hdl.NewLV(32, hdl.Z))
+		p.busValidDrv.SetBit(hdl.Z)
+		p.busDestDrv.Set(hdl.NewLV(2, hdl.Z))
+		p.sw.gcu.busFree()
+		return
+	}
+	var word uint64
+	for b := 0; b < 4; b++ {
+		i := p.streamPos*4 + b
+		var v byte
+		if i < atm.CellBytes {
+			v = p.streamCell[i]
+		}
+		word = word<<8 | uint64(v)
+	}
+	p.busDataDrv.Set(hdl.FromUint(word, 32))
+	p.busValidDrv.SetBit(hdl.L1)
+	p.streamPos++
+}
+
+// globalControlUnit arbitrates the internal bus round-robin and resolves
+// VPI/VCI translations. The connection table itself models the on-chip
+// CAM loaded by control software.
+type globalControlUnit struct {
+	sw *Switch
+
+	busy      bool
+	rrNext    int
+	granted   int // port index granted this cycle, -1 otherwise
+	grantHdr  atm.Header
+	grantDest int
+
+	// Grants counts successful arbitrations (diagnostic).
+	Grants uint64
+}
+
+func newGCU(h *hdl.Simulator, clk *hdl.Signal, sw *Switch) *globalControlUnit {
+	g := &globalControlUnit{sw: sw, granted: -1}
+	h.Process("gcu", func() {
+		if !clk.Rising() {
+			return
+		}
+		if g.busy {
+			return
+		}
+		g.granted = -1
+		for n := 0; n < SwitchPorts; n++ {
+			i := (g.rrNext + n) % SwitchPorts
+			p := sw.ports[i]
+			if !p.req.Bit().IsHigh() {
+				continue
+			}
+			hv, ok := p.hdr.Uint()
+			if !ok {
+				continue
+			}
+			vc := atm.VC{VPI: byte(hv >> 16), VCI: uint16(hv)}
+			route, found := sw.Table.Lookup(vc)
+			if !found {
+				// Unknown connection: instruct the port to discard by
+				// consuming its request without a grant.
+				sw.UnknownVC++
+				p.inFifo = p.inFifo[1:]
+				continue
+			}
+			g.granted = i
+			g.grantHdr = atm.Header{VPI: route.Out.VPI, VCI: route.Out.VCI}
+			g.grantDest = route.Port
+			g.rrNext = (i + 1) % SwitchPorts
+			g.busy = true
+			g.Grants++
+			break
+		}
+	}, clk)
+	return g
+}
+
+// busFree is signalled by the streaming port when its last beat left the
+// bus.
+func (g *globalControlUnit) busFree() { g.busy = false }
+
+// Drops returns the total number of cells lost in the switch for any
+// reason.
+func (s *Switch) Drops() uint64 {
+	total := s.UnknownVC
+	for i := 0; i < SwitchPorts; i++ {
+		total += s.InFifoDrops[i] + s.OutFifoDrops[i] + s.HECErrors[i]
+	}
+	return total
+}

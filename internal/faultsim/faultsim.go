@@ -1,0 +1,159 @@
+// Package faultsim measures the quality of a co-verification test bench
+// the way silicon teams measure test quality: by fault injection. Each
+// campaign plants one defect in the device's connection table (a wrong
+// output port, a flipped identifier bit, a lost entry — the failure modes
+// of a corrupted on-chip CAM), reruns the unchanged network-level test
+// bench against the faulty device, and records whether the comparison
+// engine caught it.
+//
+// Fault coverage quantifies the paper's central promise: test benches
+// reused from the network level detect implementation defects — but only
+// on connections the traffic actually exercises, which is exactly why
+// test-bench construction (and its reuse across abstraction levels)
+// matters.
+package faultsim
+
+import (
+	"fmt"
+
+	"castanet/internal/atm"
+	"castanet/internal/coverify"
+	"castanet/internal/dut"
+	"castanet/internal/sim"
+)
+
+// Fault is one plantable defect.
+type Fault struct {
+	Name string
+	// VC is the connection whose table entry is corrupted.
+	VC atm.VC
+	// Mutate corrupts the table in place.
+	Mutate func(tb *atm.Translator)
+}
+
+// TableFaults enumerates the standard fault set for every entry of a
+// connection table: mis-routed output port, flipped output VCI bit,
+// flipped output VPI bit, and a deleted entry (cell loss).
+func TableFaults(tb *atm.Translator) []Fault {
+	var faults []Fault
+	for _, vc := range tb.VCs() {
+		vc := vc
+		route, _ := tb.Lookup(vc)
+		faults = append(faults,
+			Fault{
+				Name: fmt.Sprintf("%v:wrong-port", vc),
+				VC:   vc,
+				Mutate: func(t *atm.Translator) {
+					r := route
+					r.Port = (r.Port + 1) % dut.SwitchPorts
+					t.Remove(vc)
+					t.Add(vc, r)
+				},
+			},
+			Fault{
+				Name: fmt.Sprintf("%v:vci-bit-flip", vc),
+				VC:   vc,
+				Mutate: func(t *atm.Translator) {
+					r := route
+					r.Out.VCI ^= 0x04
+					t.Remove(vc)
+					t.Add(vc, r)
+				},
+			},
+			Fault{
+				Name: fmt.Sprintf("%v:vpi-bit-flip", vc),
+				VC:   vc,
+				Mutate: func(t *atm.Translator) {
+					r := route
+					r.Out.VPI ^= 0x01
+					t.Remove(vc)
+					t.Add(vc, r)
+				},
+			},
+			Fault{
+				Name: fmt.Sprintf("%v:entry-lost", vc),
+				VC:   vc,
+				Mutate: func(t *atm.Translator) {
+					t.Remove(vc)
+				},
+			},
+		)
+	}
+	return faults
+}
+
+// Result records one campaign run.
+type Result struct {
+	Fault    Fault
+	Detected bool
+}
+
+// Campaign reruns the given test bench against one faulty device per
+// fault (hardware-in-the-loop on the test board, the fast engine) and
+// reports detection. The golden run must be clean or Campaign returns an
+// error — an unhealthy test bench cannot measure anything.
+func Campaign(cfg coverify.SwitchRigConfig, horizon sim.Time, faults []Fault) ([]Result, error) {
+	// Golden run: the unfaulted device must pass.
+	golden, err := coverify.NewBoardRig(cfg, 8192)
+	if err != nil {
+		return nil, err
+	}
+	if err := golden.Run(horizon); err != nil {
+		return nil, err
+	}
+	if !golden.Cmp.Clean() {
+		return nil, fmt.Errorf("faultsim: golden run not clean: %s", golden.Report())
+	}
+
+	results := make([]Result, 0, len(faults))
+	for _, f := range faults {
+		rig, err := coverify.NewBoardRig(cfg, 8192)
+		if err != nil {
+			return nil, err
+		}
+		// The reference keeps the intact table; only the "silicon" gets
+		// the defect.
+		poisoned := clone(rig.Cfg.Table)
+		f.Mutate(poisoned)
+		rig.Dev.Table = poisoned
+		if err := rig.Run(horizon); err != nil {
+			return nil, err
+		}
+		results = append(results, Result{Fault: f, Detected: !rig.Cmp.Clean()})
+	}
+	return results, nil
+}
+
+// clone deep-copies a translator.
+func clone(tb *atm.Translator) *atm.Translator {
+	out := atm.NewTranslator()
+	for _, vc := range tb.VCs() {
+		r, _ := tb.Lookup(vc)
+		out.Add(vc, r)
+	}
+	return out
+}
+
+// Coverage summarizes a result set: detected count and fraction.
+func Coverage(results []Result) (detected int, fraction float64) {
+	for _, r := range results {
+		if r.Detected {
+			detected++
+		}
+	}
+	if len(results) == 0 {
+		return 0, 0
+	}
+	return detected, float64(detected) / float64(len(results))
+}
+
+// Undetected lists the fault names that escaped.
+func Undetected(results []Result) []string {
+	var out []string
+	for _, r := range results {
+		if !r.Detected {
+			out = append(out, r.Fault.Name)
+		}
+	}
+	return out
+}

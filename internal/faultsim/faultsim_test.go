@@ -1,0 +1,106 @@
+package faultsim
+
+import (
+	"strings"
+	"testing"
+
+	"castanet/internal/atm"
+	"castanet/internal/coverify"
+	"castanet/internal/dut"
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+// workload offers CBR traffic on the given ports, covering that port's
+// four connections of the default table.
+func workload(ports ...int) [dut.SwitchPorts]coverify.PortTraffic {
+	var tr [dut.SwitchPorts]coverify.PortTraffic
+	for _, p := range ports {
+		tr[p] = coverify.PortTraffic{
+			Model: traffic.NewCBR(100e3),
+			VCs:   coverify.PortVCs(p),
+			Cells: 24,
+		}
+	}
+	return tr
+}
+
+func TestFaultEnumeration(t *testing.T) {
+	tb := coverify.DefaultTable()
+	faults := TableFaults(tb)
+	// 16 entries x 4 fault classes.
+	if len(faults) != 64 {
+		t.Fatalf("faults = %d, want 64", len(faults))
+	}
+	seen := map[string]bool{}
+	for _, f := range faults {
+		if seen[f.Name] {
+			t.Errorf("duplicate fault %q", f.Name)
+		}
+		seen[f.Name] = true
+		// Every mutation changes the table relative to a fresh copy.
+		fresh := coverify.DefaultTable()
+		f.Mutate(fresh)
+		r0, ok0 := coverify.DefaultTable().Lookup(f.VC)
+		r1, ok1 := fresh.Lookup(f.VC)
+		if ok0 == ok1 && r0 == r1 {
+			t.Errorf("fault %q mutated nothing", f.Name)
+		}
+	}
+}
+
+func TestFullTrafficDetectsAllFaults(t *testing.T) {
+	// Traffic exercising every connection: every planted fault must be
+	// caught by the reused network-level test bench.
+	cfg := coverify.SwitchRigConfig{Seed: 3, Traffic: workload(0, 1, 2, 3)}
+	faults := TableFaults(coverify.DefaultTable())
+	results, err := Campaign(cfg, 2*sim.Millisecond, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, frac := Coverage(results)
+	if frac != 1.0 {
+		t.Fatalf("coverage = %d/%d (%.0f%%); escaped: %v",
+			detected, len(results), 100*frac, Undetected(results))
+	}
+}
+
+func TestPartialTrafficMissesUnexercisedFaults(t *testing.T) {
+	// Traffic on port 0 only: faults planted in other ports' connections
+	// are invisible — test-bench coverage is a property of the traffic.
+	cfg := coverify.SwitchRigConfig{Seed: 4, Traffic: workload(0)}
+	faults := TableFaults(coverify.DefaultTable())
+	results, err := Campaign(cfg, 2*sim.Millisecond, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, frac := Coverage(results)
+	// Exactly the 16 faults on port 0's four connections are detectable.
+	if detected != 16 {
+		t.Fatalf("detected = %d, want 16 (coverage %.0f%%)", detected, 100*frac)
+	}
+	for _, name := range Undetected(results) {
+		if strings.HasPrefix(name, "1.1") { // VPI 1 = port 0's connections
+			t.Errorf("fault %q on exercised connection escaped", name)
+		}
+	}
+}
+
+func TestCampaignRejectsBrokenGolden(t *testing.T) {
+	// A test bench whose golden run already fails cannot measure fault
+	// coverage: overload the tiny FIFOs so cells drop in the golden run.
+	cfg := coverify.SwitchRigConfig{
+		Seed:   5,
+		Switch: dut.SwitchConfig{InFifoCells: 1, OutFifoCells: 1},
+	}
+	for p := 0; p < dut.SwitchPorts; p++ {
+		cfg.Traffic[p] = coverify.PortTraffic{
+			Model: traffic.NewCBR(300e3),
+			VCs:   []atm.VC{{VPI: byte(p + 1), VCI: 100}}, // all to output 0
+			Cells: 60,
+		}
+	}
+	if _, err := Campaign(cfg, sim.Millisecond, nil); err == nil {
+		t.Fatal("broken golden run accepted")
+	}
+}

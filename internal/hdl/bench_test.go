@@ -1,0 +1,70 @@
+package hdl
+
+import (
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+// BenchmarkClockOnly measures the kernel's floor: a bare clock toggling.
+func BenchmarkClockOnly(b *testing.B) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, 10*sim.Nanosecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.RunOne() {
+			b.Fatal("clock stopped")
+		}
+	}
+	b.ReportMetric(float64(s.Events())/float64(b.N), "events/op")
+}
+
+// BenchmarkCounter16 measures a clocked 16-bit counter: one process run
+// plus one vector signal update per cycle.
+func BenchmarkCounter16(b *testing.B) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, 10*sim.Nanosecond)
+	NewCounter(s, "c", 16, clk, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunOne()
+	}
+}
+
+// BenchmarkResolution measures the multi-driver resolution path: four
+// drivers on one bus, one driving, three at Z.
+func BenchmarkResolution(b *testing.B) {
+	s := New()
+	bus := s.Signal("bus", 32, U)
+	drivers := make([]*Driver, 4)
+	for i := range drivers {
+		drivers[i] = bus.Driver("d")
+		drivers[i].Set(NewLV(32, Z))
+	}
+	s.RunOne()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drivers[i%4].SetUint(uint64(i))
+		s.RunOne()
+		drivers[i%4].Set(NewLV(32, Z))
+		s.RunOne()
+	}
+}
+
+// BenchmarkFIFOThroughput measures simultaneous read/write streaming
+// through a FIFO.
+func BenchmarkFIFOThroughput(b *testing.B) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, 10*sim.Nanosecond)
+	f := NewFIFO(s, "f", 8, 16, clk)
+	f.WrEn.Driver("tb").SetBit(L1)
+	f.WrDat.Driver("tb").SetUint(0x5A)
+	f.RdEn.Driver("tb").SetBit(L1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunOne()
+	}
+}

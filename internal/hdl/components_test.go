@@ -1,0 +1,192 @@
+package hdl
+
+import (
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+const tick = 10 * sim.Nanosecond
+
+func TestRegCapturesOnEnable(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	d := s.Signal("d", 8, U)
+	en := s.Bit("en", U)
+	rst := s.Bit("rst", U)
+	dd := d.Driver("tb")
+	de := en.Driver("tb")
+	dr := rst.Driver("tb")
+	reg := NewReg(s, "r0", clk, d, en, rst)
+
+	dr.SetBit(L0)
+	de.SetBit(L0)
+	dd.SetUint(0xAA)
+	s.Schedule(22*sim.Nanosecond, func() { de.SetBit(L1) })
+	s.Schedule(42*sim.Nanosecond, func() { de.SetBit(L0); dd.SetUint(0xBB) })
+	if err := s.Run(100 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	// Enabled during edges at 25 and 35ns: captured 0xAA; 0xBB arrives
+	// with enable low and must not be captured.
+	if got, _ := reg.Q.Uint(); got != 0xAA {
+		t.Errorf("Q = %#x, want 0xAA", got)
+	}
+}
+
+func TestRegSyncReset(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	d := s.Signal("d", 4, U)
+	rst := s.Bit("rst", U)
+	d.Driver("tb").SetUint(0xF)
+	dr := rst.Driver("tb")
+	dr.SetBit(L0)
+	reg := NewReg(s, "r0", clk, d, nil, rst)
+	s.Schedule(32*sim.Nanosecond, func() { dr.SetBit(L1) })
+	if err := s.Run(60 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := reg.Q.Uint(); got != 0 {
+		t.Errorf("Q = %#x after reset, want 0", got)
+	}
+}
+
+func TestCounterCountsAndWraps(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	c := NewCounter(s, "c0", 4, clk, nil, nil)
+	// Rising edges at 5, 15, ..., 195 ns: 20 edges, 20 mod 16 = 4.
+	if err := s.Run(198 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Q.Uint(); got != 4 {
+		t.Errorf("count = %d, want 4 (wrapped)", got)
+	}
+}
+
+func TestShiftReg(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	din := s.Bit("din", U)
+	dd := din.Driver("tb")
+	sr := NewShiftReg(s, "sr", 4, clk, din, nil)
+	// Shift in 1,0,1,1 (LSB-first arrival at MSB, shifting down).
+	bits := []Logic{L1, L0, L1, L1}
+	for i, b := range bits {
+		b := b
+		s.Schedule(sim.Duration(i)*tick+2*sim.Nanosecond, func() { dd.SetBit(b) })
+	}
+	if err := s.Run(4 * tick); err != nil {
+		t.Fatal(err)
+	}
+	// After 4 shifts the first bit has moved to position 0: Q = b3 b2 b1 b0
+	// = 1 1 0 1.
+	if got, _ := sr.Q.Uint(); got != 0b1101 {
+		t.Errorf("Q = %04b, want 1101", got)
+	}
+}
+
+func TestFIFOOrderAndFlags(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	f := NewFIFO(s, "f0", 8, 2, clk)
+	wr := f.WrEn.Driver("tb")
+	wd := f.WrDat.Driver("tb")
+	rd := f.RdEn.Driver("tb")
+	wr.SetBit(L0)
+	rd.SetBit(L0)
+
+	// Write 0x11, 0x22 (filling depth 2), then read both back.
+	s.Schedule(2*sim.Nanosecond, func() { wr.SetBit(L1); wd.SetUint(0x11) })
+	s.Schedule(12*sim.Nanosecond, func() { wd.SetUint(0x22) })
+	s.Schedule(22*sim.Nanosecond, func() { wr.SetBit(L0) })
+	var fullSeen bool
+	s.Schedule(30*sim.Nanosecond, func() { fullSeen = f.Full.Bit().IsHigh() })
+	// One-cycle read strobes: read at the 35ns edge, sample, read at the
+	// 55ns edge, sample again.
+	var got1, got2 uint64
+	s.Schedule(32*sim.Nanosecond, func() { rd.SetBit(L1) })
+	s.Schedule(38*sim.Nanosecond, func() { rd.SetBit(L0) })
+	s.Schedule(42*sim.Nanosecond, func() { got1, _ = f.RdDat.Uint() })
+	s.Schedule(52*sim.Nanosecond, func() { rd.SetBit(L1) })
+	s.Schedule(58*sim.Nanosecond, func() { rd.SetBit(L0) })
+	s.Schedule(62*sim.Nanosecond, func() { got2, _ = f.RdDat.Uint() })
+	if err := s.Run(80 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fullSeen {
+		t.Error("Full not asserted at depth")
+	}
+	if got1 != 0x11 || got2 != 0x22 {
+		t.Errorf("read %#x then %#x, want 0x11 then 0x22", got1, got2)
+	}
+	if !f.Empty.Bit().IsHigh() {
+		t.Error("Empty not asserted after draining")
+	}
+	if f.Overflows != 0 || f.Underflows != 0 {
+		t.Errorf("spurious violations: %d/%d", f.Overflows, f.Underflows)
+	}
+}
+
+func TestFIFOViolationCounters(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	f := NewFIFO(s, "f0", 8, 1, clk)
+	wr := f.WrEn.Driver("tb")
+	wd := f.WrDat.Driver("tb")
+	rd := f.RdEn.Driver("tb")
+	wd.SetUint(0x5A)
+	rd.SetBit(L0)
+	wr.SetBit(L1) // write every cycle into depth-1: overflows after first
+	s.Schedule(35*sim.Nanosecond, func() { wr.SetBit(L0) })
+	if err := s.Run(40 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.Overflows == 0 {
+		t.Error("overflow not counted")
+	}
+	// Drain, then read again: underflow.
+	rd.SetBit(L1)
+	if err := s.Run(s.Now() + 40*sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.Underflows == 0 {
+		t.Error("underflow not counted")
+	}
+}
+
+func TestFIFOSimultaneousReadWrite(t *testing.T) {
+	// Read and write in the same cycle at full: read frees the slot the
+	// write fills (read-before-write ordering).
+	s := New()
+	clk := s.Bit("clk", U)
+	s.Clock(clk, tick)
+	f := NewFIFO(s, "f0", 8, 1, clk)
+	wr := f.WrEn.Driver("tb")
+	wd := f.WrDat.Driver("tb")
+	rd := f.RdEn.Driver("tb")
+	rd.SetBit(L0)
+	wr.SetBit(L1)
+	wd.SetUint(1)
+	s.Schedule(12*sim.Nanosecond, func() { wd.SetUint(2); rd.SetBit(L1) })
+	s.Schedule(22*sim.Nanosecond, func() { wr.SetBit(L0); rd.SetBit(L0) })
+	if err := s.Run(40 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.Overflows != 0 {
+		t.Errorf("simultaneous rd/wr at full overflowed: %d", f.Overflows)
+	}
+	if f.Len() != 1 {
+		t.Errorf("occupancy = %d, want 1", f.Len())
+	}
+	if got, _ := f.RdDat.Uint(); got != 1 {
+		t.Errorf("read data = %d, want 1", got)
+	}
+}

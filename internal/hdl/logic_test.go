@@ -1,0 +1,193 @@
+package hdl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResolutionTableIEEE(t *testing.T) {
+	// Spot-check the canonical entries of the IEEE-1164 resolution table.
+	cases := []struct{ a, b, want Logic }{
+		{L0, L1, X}, // two forcing drivers fight
+		{L0, Z, L0}, // Z loses to forcing
+		{L1, Z, L1},
+		{Z, Z, Z},
+		{WL, WH, W},  // two weak drivers fight weakly
+		{L0, WH, L0}, // forcing beats weak
+		{U, L1, U},   // U is contagious
+		{DC, L0, X},  // don't-care resolves to X
+		{X, Z, X},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.a, c.b); got != c.want {
+			t.Errorf("Resolve(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestResolutionCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		x, y, z := Logic(a%9), Logic(b%9), Logic(c%9)
+		if Resolve(x, y) != Resolve(y, x) {
+			return false
+		}
+		return Resolve(Resolve(x, y), z) == Resolve(x, Resolve(y, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	if L0.And(L1) != L0 || L1.And(L1) != L1 || L1.And(X) != X || L0.And(X) != L0 {
+		t.Error("And table wrong")
+	}
+	if L0.Or(L1) != L1 || L0.Or(L0) != L0 || L0.Or(X) != X || L1.Or(X) != L1 {
+		t.Error("Or table wrong")
+	}
+	if L1.Xor(L1) != L0 || L0.Xor(L1) != L1 || L1.Xor(X) != X {
+		t.Error("Xor table wrong")
+	}
+	if L0.Not() != L1 || L1.Not() != L0 || Z.Not() != X {
+		t.Error("Not table wrong")
+	}
+	// Weak values behave as their strong counterparts in logic ops.
+	if WH.And(L1) != L1 || WL.Or(L0) != L0 {
+		t.Error("weak values not normalized in ops")
+	}
+}
+
+func TestParseLogic(t *testing.T) {
+	for _, c := range []byte{'U', 'X', '0', '1', 'Z', 'W', 'L', 'H', '-'} {
+		l, err := ParseLogic(c)
+		if err != nil {
+			t.Fatalf("ParseLogic(%q): %v", c, err)
+		}
+		if l.String() != string(c) {
+			t.Errorf("round trip %q -> %q", c, l.String())
+		}
+	}
+	if _, err := ParseLogic('q'); err == nil {
+		t.Error("ParseLogic('q') should fail")
+	}
+	if l, err := ParseLogic('z'); err != nil || l != Z {
+		t.Error("lowercase literal not accepted")
+	}
+}
+
+func TestLVUintRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		lv := FromUint(uint64(v), 16)
+		got, ok := lv.Uint()
+		return ok && got == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLVUintUndefined(t *testing.T) {
+	lv := MustParseLV("10X1")
+	if _, ok := lv.Uint(); ok {
+		t.Error("Uint succeeded with X bit")
+	}
+	lv = MustParseLV("10Z1")
+	if _, ok := lv.Uint(); ok {
+		t.Error("Uint succeeded with Z bit")
+	}
+	// Weak levels are defined.
+	lv = MustParseLV("1LH1")
+	u, ok := lv.Uint()
+	if !ok || u != 0b1011 {
+		t.Errorf("Uint(1LH1) = %v,%v want 11,true", u, ok)
+	}
+}
+
+func TestLVStringOrder(t *testing.T) {
+	lv := FromUint(0b1010, 4)
+	if lv.String() != "1010" {
+		t.Errorf("String = %q, want 1010 (MSB first)", lv.String())
+	}
+	parsed := MustParseLV("1010")
+	if !parsed.Equal(lv) {
+		t.Error("ParseLV/String not inverse")
+	}
+	if parsed[0] != L0 || parsed[3] != L1 {
+		t.Error("bit order: index 0 must be LSB")
+	}
+}
+
+func TestLVAdd(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s, c := FromUint(uint64(a), 8).Add(FromUint(uint64(b), 8))
+		got, ok := s.Uint()
+		if !ok {
+			return false
+		}
+		wantSum := uint64(a) + uint64(b)
+		if got != wantSum&0xFF {
+			return false
+		}
+		wantCarry := wantSum > 0xFF
+		return c.IsHigh() == wantCarry
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLVAddUndefined(t *testing.T) {
+	s, c := MustParseLV("1X01").Add(FromUint(1, 4))
+	if s.Defined() || c != X {
+		t.Error("Add with X input must give all-X")
+	}
+}
+
+func TestLVIncrWraps(t *testing.T) {
+	v := FromUint(0xFF, 8).Incr()
+	if u, _ := v.Uint(); u != 0 {
+		t.Errorf("0xFF+1 = %d, want 0 (wrap)", u)
+	}
+}
+
+func TestLVSliceConcat(t *testing.T) {
+	v := FromUint(0xABCD, 16)
+	lo := v.Slice(0, 8)
+	hi := v.Slice(8, 8)
+	if b, _ := lo.Byte(); b != 0xCD {
+		t.Errorf("low byte = %#x", b)
+	}
+	if b, _ := hi.Byte(); b != 0xAB {
+		t.Errorf("high byte = %#x", b)
+	}
+	back := lo.Concat(hi)
+	if u, _ := back.Uint(); u != 0xABCD {
+		t.Errorf("concat = %#x", u)
+	}
+}
+
+func TestLVBitwise(t *testing.T) {
+	a := MustParseLV("1100")
+	b := MustParseLV("1010")
+	if a.And(b).String() != "1000" {
+		t.Errorf("And = %s", a.And(b))
+	}
+	if a.Or(b).String() != "1110" {
+		t.Errorf("Or = %s", a.Or(b))
+	}
+	if a.Xor(b).String() != "0110" {
+		t.Errorf("Xor = %s", a.Xor(b))
+	}
+	if a.Not().String() != "0011" {
+		t.Errorf("Not = %s", a.Not())
+	}
+}
+
+func TestLVWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	MustParseLV("11").And(MustParseLV("111"))
+}

@@ -1,0 +1,213 @@
+package hdl
+
+import (
+	"fmt"
+
+	"castanet/internal/sim"
+)
+
+// Signal is a resolved VHDL signal: a named, possibly multi-driver wire of
+// one or more std_logic bits. Reads always observe the value of the
+// current delta cycle; writes go through a Driver and take effect after a
+// delta (or a user delay), never immediately — the VHDL signal-update
+// semantics the synchronization protocol of the paper relies on.
+type Signal struct {
+	name  string
+	sim   *Simulator
+	width int
+
+	drivers []*Driver
+	value   LV
+	prev    LV
+
+	eventStamp uint64 // stamp of the delta in which the last event occurred
+	watchers   []*Process
+	onChange   []func(now sim.Time, old, new LV) // VCD and probes
+}
+
+// Name returns the signal's hierarchical name.
+func (g *Signal) Name() string { return g.name }
+
+// Width returns the number of bits.
+func (g *Signal) Width() int { return g.width }
+
+// Val returns the current resolved value. The returned vector must not be
+// modified.
+func (g *Signal) Val() LV { return g.value }
+
+// Prev returns the value before the most recent event.
+func (g *Signal) Prev() LV { return g.prev }
+
+// Bit returns the current value of a one-bit signal.
+func (g *Signal) Bit() Logic {
+	if g.width != 1 {
+		panic(fmt.Sprintf("hdl: Bit() on %q of width %d", g.name, g.width))
+	}
+	return g.value[0]
+}
+
+// Uint returns the current value as an unsigned integer.
+func (g *Signal) Uint() (uint64, bool) { return g.value.Uint() }
+
+// Event reports whether the signal changed value in the delta cycle that
+// triggered the currently running process ("sig'event" in VHDL).
+func (g *Signal) Event() bool { return g.eventStamp == g.sim.stamp }
+
+// Rising reports a 0→1 edge in the current delta ("rising_edge(sig)").
+func (g *Signal) Rising() bool {
+	return g.width == 1 && g.Event() && g.prev[0].IsLow() && g.value[0].IsHigh()
+}
+
+// Falling reports a 1→0 edge in the current delta.
+func (g *Signal) Falling() bool {
+	return g.width == 1 && g.Event() && g.prev[0].IsHigh() && g.value[0].IsLow()
+}
+
+// OnChange registers a callback invoked after every value change (used by
+// the VCD dumper and by statistic probes). Callbacks must not write
+// signals.
+func (g *Signal) OnChange(fn func(now sim.Time, old, new LV)) {
+	g.onChange = append(g.onChange, fn)
+}
+
+// Driver allocates a new driver of the signal for the named owner. In
+// VHDL every process driving a signal owns exactly one driver; the
+// signal's value is the resolution of all driver contributions.
+func (g *Signal) Driver(owner string) *Driver {
+	d := &Driver{sig: g, owner: owner, value: NewLV(g.width, U)}
+	g.drivers = append(g.drivers, d)
+	return d
+}
+
+// resolve recomputes the signal value from all drivers and, on change,
+// records the event and wakes sensitive processes.
+func (g *Signal) resolve() {
+	var v LV
+	switch len(g.drivers) {
+	case 0:
+		return
+	case 1:
+		// Driver values are never mutated in place (assignments replace
+		// the slice), so the signal may alias the single driver's value.
+		v = g.drivers[0].value
+	default:
+		v = g.drivers[0].value.Clone()
+		for _, d := range g.drivers[1:] {
+			for i := range v {
+				v[i] = Resolve(v[i], d.value[i])
+			}
+		}
+	}
+	if v.Equal(g.value) {
+		return
+	}
+	old := g.value
+	g.prev = old
+	g.value = v
+	g.eventStamp = g.sim.stamp
+	g.sim.signalEvents++
+	for _, p := range g.watchers {
+		g.sim.trigger(p)
+	}
+	for _, fn := range g.onChange {
+		fn(g.sim.now, old, v)
+	}
+}
+
+// Driver is one process's contribution to a signal, with its projected
+// output waveform (pending transactions).
+type Driver struct {
+	sig     *Signal
+	owner   string
+	value   LV
+	pending []*txn
+}
+
+// Sig returns the driven signal.
+func (d *Driver) Sig() *Signal { return d.sig }
+
+func (d *Driver) checkWidth(v LV) {
+	if len(v) != d.sig.width {
+		panic(fmt.Sprintf("hdl: driver %s: assigning width %d to signal %q of width %d",
+			d.owner, len(v), d.sig.name, d.sig.width))
+	}
+}
+
+// Set schedules an assignment after one delta cycle (VHDL "sig <= v;").
+func (d *Driver) Set(v LV) { d.SetAfter(v, 0) }
+
+// SetBit is Set for one-bit signals.
+func (d *Driver) SetBit(l Logic) {
+	d.checkWidth(bitLV[l])
+	d.preempt(d.sig.sim.now)
+	d.schedule(bitLV[l], d.sig.sim.now)
+}
+
+// bitLV holds shared single-bit vectors; they are immutable by the LV
+// contract (operations always return fresh slices).
+var bitLV = [9]LV{{U}, {X}, {L0}, {L1}, {Z}, {W}, {WL}, {WH}, {DC}}
+
+// SetUint is Set with an unsigned integer value.
+func (d *Driver) SetUint(u uint64) {
+	v := FromUint(u, d.sig.width)
+	d.checkWidth(v)
+	d.preempt(d.sig.sim.now)
+	d.schedule(v, d.sig.sim.now)
+}
+
+// SetAfter schedules an assignment with inertial delay (VHDL
+// "sig <= v after t;"). Per inertial semantics, pending transactions that
+// would occur at or after the new one are preempted; as a simplification
+// pulses shorter than the delay already in the projected waveform are
+// swallowed by cancelling all pending transactions at or after the new
+// time.
+func (d *Driver) SetAfter(v LV, delay sim.Duration) {
+	d.checkWidth(v)
+	due := d.sig.sim.now + delay
+	d.preempt(due)
+	d.schedule(v.Clone(), due)
+}
+
+// preempt cancels pending transactions at or after due (inertial
+// semantics).
+func (d *Driver) preempt(due sim.Time) {
+	for _, t := range d.pending {
+		if !t.dead && t.at >= due {
+			t.dead = true
+		}
+	}
+}
+
+// SetTransport schedules an assignment with transport delay (VHDL
+// "sig <= transport v after t;"): transactions later than the new one are
+// deleted, earlier ones are kept, modeling an ideal delay line.
+func (d *Driver) SetTransport(v LV, delay sim.Duration) {
+	d.checkWidth(v)
+	due := d.sig.sim.now + delay
+	for _, t := range d.pending {
+		if !t.dead && t.at > due {
+			t.dead = true
+		}
+	}
+	d.schedule(v.Clone(), due)
+}
+
+func (d *Driver) schedule(v LV, due sim.Time) {
+	t := &txn{at: due, drv: d, val: v}
+	d.pending = append(d.pending, t)
+	d.sig.sim.push(t)
+}
+
+// apply commits the transaction value to the driver and drops completed
+// transactions from the pending list.
+func (d *Driver) apply(t *txn) {
+	live := d.pending[:0]
+	for _, p := range d.pending {
+		if p != t && !p.dead {
+			live = append(live, p)
+		}
+	}
+	d.pending = live
+	d.value = t.val
+	d.sig.resolve()
+}

@@ -1,0 +1,329 @@
+package hdl
+
+import (
+	"errors"
+	"fmt"
+
+	"castanet/internal/sim"
+)
+
+// MaxDeltas bounds the number of delta cycles at one time point; exceeding
+// it means the model oscillates without advancing time (e.g. two
+// combinational processes driving each other) and Run returns an error
+// instead of hanging.
+const MaxDeltas = 10000
+
+// txn is a pending transaction: either a driver update or a plain timed
+// callback (test-bench stimulus, clock edge).
+type txn struct {
+	at   sim.Time
+	seq  uint64
+	drv  *Driver
+	val  LV
+	fn   func()
+	dead bool
+}
+
+// txnHeap is a min-heap of transactions ordered by (time, insertion seq).
+type txnHeap struct {
+	items []*txn
+	nseq  uint64
+}
+
+func (h *txnHeap) push(t *txn) {
+	t.seq = h.nseq
+	h.nseq++
+	h.items = append(h.items, t)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *txnHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *txnHeap) peek() *txn {
+	for len(h.items) > 0 && h.items[0].dead {
+		h.pop()
+	}
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *txnHeap) pop() *txn {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	t := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return t
+}
+
+func (h *txnHeap) len() int { return len(h.items) }
+
+// Process is a VHDL process: a body re-executed whenever a signal on its
+// sensitivity list has an event.
+type Process struct {
+	name      string
+	fn        func()
+	triggered bool
+	runs      uint64
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Runs returns how many times the process body has executed.
+func (p *Process) Runs() uint64 { return p.runs }
+
+// Simulator is the event-driven HDL simulation kernel. The central loop
+// implements the two-phase VHDL cycle: a signal-update phase applying all
+// transactions due in the current delta, then a process-execution phase
+// running every process made sensitive by those events. Processes schedule
+// new transactions; zero-delay assignments mature in the next delta of the
+// same simulated instant.
+type Simulator struct {
+	now   sim.Time
+	stamp uint64 // increments every delta; signals stamp their events with it
+
+	agenda    txnHeap
+	processes []*Process
+	runnable  []*Process
+	spare     []*Process // recycled runnable buffer
+	signals   []*Signal
+
+	deltasAtNow  int
+	signalEvents uint64
+	procRuns     uint64
+	timePoints   uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator { return &Simulator{stamp: 1} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() sim.Time { return s.now }
+
+// Events returns the total number of signal value changes executed, the
+// HDL-side event count compared against the network simulator in
+// experiment E3.
+func (s *Simulator) Events() uint64 { return s.signalEvents }
+
+// ProcessRuns returns the total number of process body executions.
+func (s *Simulator) ProcessRuns() uint64 { return s.procRuns }
+
+// TimePoints returns how many distinct simulated instants were executed.
+func (s *Simulator) TimePoints() uint64 { return s.timePoints }
+
+// Signal creates a signal of the given width, all bits initialized to
+// init ('U' at elaboration in VHDL).
+func (s *Simulator) Signal(name string, width int, init Logic) *Signal {
+	if width <= 0 {
+		panic(fmt.Sprintf("hdl: signal %q with width %d", name, width))
+	}
+	g := &Signal{name: name, sim: s, width: width, value: NewLV(width, init), prev: NewLV(width, init)}
+	s.signals = append(s.signals, g)
+	return g
+}
+
+// Bit creates a one-bit signal.
+func (s *Simulator) Bit(name string, init Logic) *Signal { return s.Signal(name, 1, init) }
+
+// Signals returns all signals in creation order (for waveform dumping).
+func (s *Simulator) Signals() []*Signal { return s.signals }
+
+// Process registers a process with a sensitivity list. The body runs once
+// at start of simulation (VHDL processes execute until their first wait at
+// elaboration) and then on every event of a listed signal.
+func (s *Simulator) Process(name string, fn func(), sensitivity ...*Signal) *Process {
+	p := &Process{name: name, fn: fn}
+	s.processes = append(s.processes, p)
+	for _, g := range sensitivity {
+		g.watchers = append(g.watchers, p)
+	}
+	s.trigger(p)
+	return p
+}
+
+// Schedule runs fn at the given delay from now, in the signal-update phase
+// of that instant's first delta. Test benches and clock generators use it;
+// device models should use processes.
+func (s *Simulator) Schedule(delay sim.Duration, fn func()) {
+	if delay < 0 {
+		panic("hdl: negative delay")
+	}
+	if fn == nil {
+		panic("hdl: nil callback")
+	}
+	s.agenda.push(&txn{at: s.now + delay, fn: fn})
+}
+
+// Clock drives sig as a free-running clock with the given period and an
+// initial low phase. The first rising edge occurs at period/2.
+func (s *Simulator) Clock(sig *Signal, period sim.Duration) {
+	if period <= 0 {
+		panic("hdl: clock period must be positive")
+	}
+	d := sig.Driver("clkgen:" + sig.name)
+	d.SetBit(L0)
+	var toggle func()
+	val := Logic(L0)
+	toggle = func() {
+		if val == L0 {
+			val = L1
+		} else {
+			val = L0
+		}
+		d.SetBit(val)
+		s.Schedule(period/2, toggle)
+	}
+	s.Schedule(period/2, toggle)
+}
+
+// trigger marks a process runnable in the current (or first) delta.
+func (s *Simulator) trigger(p *Process) {
+	if !p.triggered {
+		p.triggered = true
+		s.runnable = append(s.runnable, p)
+	}
+}
+
+func (s *Simulator) push(t *txn) {
+	s.agenda.push(t)
+}
+
+// NextTime returns the time of the earliest pending transaction, or
+// sim.Never when idle.
+func (s *Simulator) NextTime() sim.Time {
+	if t := s.agenda.peek(); t != nil {
+		return t.at
+	}
+	if len(s.runnable) > 0 {
+		return s.now
+	}
+	return sim.Never
+}
+
+// ErrDeltaOverflow is returned when a single simulated instant exceeds
+// MaxDeltas delta cycles.
+var ErrDeltaOverflow = errors.New("hdl: delta cycle overflow (combinational loop?)")
+
+// Step executes one complete simulated instant: it advances to the next
+// transaction time and runs delta cycles until the instant is quiescent.
+// It reports whether anything was executed.
+func (s *Simulator) Step() (bool, error) {
+	// Initial process executions (elaboration) run at the current time.
+	t := s.agenda.peek()
+	if t == nil && len(s.runnable) == 0 {
+		return false, nil
+	}
+	if t != nil && len(s.runnable) == 0 {
+		if t.at < s.now {
+			panic(fmt.Sprintf("hdl: transaction in the past: now=%v at=%v", s.now, t.at))
+		}
+		s.now = t.at
+	}
+	s.timePoints++
+	s.deltasAtNow = 0
+	for {
+		s.stamp++
+		// Phase 1: signal update — apply every transaction due now.
+		applied := false
+		for {
+			t := s.agenda.peek()
+			if t == nil || t.at > s.now {
+				break
+			}
+			s.agenda.pop()
+			applied = true
+			if t.fn != nil {
+				t.fn()
+			} else {
+				t.drv.apply(t)
+			}
+		}
+		// Phase 2: process execution.
+		run := s.runnable
+		s.runnable = s.spare[:0]
+		if !applied && len(run) == 0 {
+			s.spare = run
+			break
+		}
+		for _, p := range run {
+			p.triggered = false
+			p.runs++
+			s.procRuns++
+			p.fn()
+		}
+		s.spare = run[:0]
+		s.deltasAtNow++
+		if s.deltasAtNow > MaxDeltas {
+			return true, fmt.Errorf("%w at %v", ErrDeltaOverflow, s.now)
+		}
+		if s.agenda.peek() == nil || s.agenda.peek().at > s.now {
+			if len(s.runnable) == 0 {
+				break
+			}
+		}
+	}
+	return true, nil
+}
+
+// Run executes until the agenda is exhausted or the simulated time would
+// exceed until. The clock ends at min(until, last activity).
+func (s *Simulator) Run(until sim.Time) error {
+	for {
+		next := s.NextTime()
+		if next == sim.Never || next > until {
+			if until != sim.Never && s.now < until {
+				s.now = until
+			}
+			return nil
+		}
+		if _, err := s.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+// RunOne is Step for callers that treat errors as fatal (tests).
+func (s *Simulator) RunOne() bool {
+	ok, err := s.Step()
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}

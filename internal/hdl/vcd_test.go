@@ -1,0 +1,79 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+func TestVCDOutput(t *testing.T) {
+	s := New()
+	clk := s.Bit("clk", U)
+	data := s.Signal("data", 4, U)
+	s.Clock(clk, 10*sim.Nanosecond)
+	d := data.Driver("tb")
+	s.Schedule(7*sim.Nanosecond, func() { d.SetUint(0xA) })
+
+	var out strings.Builder
+	v := NewVCD(&out, s)
+	if err := s.Run(30 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 4 \" data $end",
+		"$enddefinitions $end",
+		"#5000", // first clock edge at 5ns = 5000ps
+		"b1010 \"",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("VCD missing %q in:\n%s", want, text)
+		}
+	}
+	// Initial dump must show U as x.
+	if !strings.Contains(text, "x!") && !strings.Contains(text, "bxxxx") {
+		t.Errorf("VCD missing initial unknown values:\n%s", text)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 300; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("id %q contains non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestVCDCoalescesDeltas(t *testing.T) {
+	// Several delta-cycle changes at one instant must dump one final value.
+	s := New()
+	a := s.Bit("a", L0)
+	b := s.Bit("b", L0)
+	da := a.Driver("tb")
+	db := b.Driver("chain")
+	s.Process("chain", func() { db.SetBit(a.Bit()) }, a)
+	var out strings.Builder
+	v := NewVCD(&out, s)
+	s.Schedule(10*sim.Nanosecond, func() { da.SetBit(L1) })
+	if err := s.Run(sim.Never); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	if n := strings.Count(out.String(), "#10000"); n != 1 {
+		t.Errorf("timestamp #10000 appears %d times, want 1", n)
+	}
+}

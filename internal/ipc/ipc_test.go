@@ -1,0 +1,185 @@
+package ipc
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"castanet/internal/sim"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(kind uint16, tm int64, data []byte) bool {
+		if tm < 0 {
+			tm = -tm
+		}
+		m := Message{Kind: Kind(kind), Time: sim.Time(tm), Data: data}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Kind == m.Kind && got.Time == m.Time && bytes.Equal(got.Data, m.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 100; i++ {
+		err := Encode(&buf, Message{Kind: Kind(i), Time: sim.Time(i) * sim.Microsecond, Data: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind != Kind(i) || m.Data[0] != byte(i) {
+			t.Fatalf("message %d corrupted: %v", i, m)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	// Absurd length field.
+	var buf bytes.Buffer
+	Encode(&buf, Message{})
+	b := buf.Bytes()
+	b[12], b[13], b[14], b[15] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Error("oversized length accepted")
+	}
+}
+
+func TestPipeTransport(t *testing.T) {
+	a, b := Pipe(4)
+	want := Message{Kind: KindUser, Time: sim.Microsecond, Data: []byte("cell")}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || string(got.Data) != "cell" {
+		t.Fatalf("got %v", got)
+	}
+	// Reverse direction.
+	if err := b.Send(Message{Kind: KindSync, Time: 2 * sim.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := a.Recv(); err != nil || m.Kind != KindSync {
+		t.Fatalf("reverse recv = %v, %v", m, err)
+	}
+	a.Close()
+	if err := a.Send(want); err == nil {
+		t.Error("send after close succeeded")
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Error("recv after close succeeded with empty queue")
+	}
+}
+
+func TestPipeDrainsAfterClose(t *testing.T) {
+	a, b := Pipe(4)
+	a.Send(Message{Kind: 5})
+	a.Close()
+	if m, err := b.Recv(); err != nil || m.Kind != 5 {
+		t.Fatalf("queued message lost on close: %v %v", m, err)
+	}
+}
+
+func TestSocketTransport(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan Message, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tr := NewConn(c)
+		m, err := tr.Recv()
+		if err != nil {
+			return
+		}
+		// Echo back with bumped time.
+		m.Time += sim.Microsecond
+		tr.Send(m)
+		done <- m
+	}()
+	tr, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	want := Message{Kind: KindUser + 1, Time: 5 * sim.Microsecond, Data: bytes.Repeat([]byte{0xAA}, 53)}
+	if err := tr.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time+sim.Microsecond || len(got.Data) != 53 {
+		t.Fatalf("echo = %v", got)
+	}
+	<-done
+}
+
+func TestUnixSocketTransport(t *testing.T) {
+	dir := t.TempDir()
+	sock := dir + "/coupling.sock"
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Skipf("unix sockets unavailable: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tr := NewConn(c)
+		for {
+			m, err := tr.Recv()
+			if err != nil {
+				return
+			}
+			tr.Send(m) // echo
+		}
+	}()
+	tr, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 10; i++ {
+		want := Message{Kind: Kind(i), Time: sim.Time(i) * sim.Microsecond, Data: []byte{byte(i)}}
+		if err := tr.Send(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.Time != want.Time {
+			t.Fatalf("echo %d corrupted: %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package ipc carries the time-stamped messages exchanged between the
+// network simulator and the HDL simulator / hardware test board. The
+// paper's CASTANET library uses standard UNIX inter-process communication;
+// here the same message format travels either through an in-process pipe
+// (both engines in one Go process) or over a real stream socket, proving
+// the coupling is genuinely process-separable.
+//
+// Every message carries the current simulation time of its originator —
+// the basis of the conservative synchronization protocol in package cosim.
+package ipc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"castanet/internal/sim"
+)
+
+// Kind identifies a message type. Each kind maps to one input queue I_j of
+// the co-simulation entity with its own processing delay δ_j.
+type Kind uint16
+
+// Reserved kinds. User data kinds start at KindUser.
+const (
+	// KindSync is a pure time-update (null) message: it advances the
+	// receiver's view of the sender's clock without carrying data, letting
+	// the conservative protocol make progress through idle phases.
+	KindSync Kind = 0
+	// KindInit carries the initialization blob sent before time zero
+	// (Fig. 2: "initialization of VHDL simulator and Hardware Test Board").
+	KindInit Kind = 1
+	// KindUser is the first application message kind.
+	KindUser Kind = 8
+)
+
+// Message is one time-stamped unit of simulator coupling traffic.
+type Message struct {
+	Kind Kind
+	Time sim.Time // originator's simulation time
+	Data []byte
+}
+
+// String formats the message for logs.
+func (m Message) String() string {
+	return fmt.Sprintf("msg{kind=%d t=%v len=%d}", m.Kind, m.Time, len(m.Data))
+}
+
+// Wire format: magic(2) kind(2) time(8) len(4) data(len), big endian.
+const (
+	magic       = 0xCA57 // "CAST"
+	headerBytes = 2 + 2 + 8 + 4
+	// MaxData bounds message payloads; a full ATM cell is 53 bytes, an
+	// initialization blob a few KiB. The limit guards the decoder against
+	// corrupt length fields.
+	MaxData = 1 << 20
+)
+
+// ErrBadFrame reports a corrupted or foreign byte stream.
+var ErrBadFrame = errors.New("ipc: bad frame")
+
+// Encode writes the message to w in wire format.
+func Encode(w io.Writer, m Message) error {
+	if len(m.Data) > MaxData {
+		return fmt.Errorf("ipc: payload %d exceeds limit", len(m.Data))
+	}
+	var hdr [headerBytes]byte
+	binary.BigEndian.PutUint16(hdr[0:], magic)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(m.Kind))
+	binary.BigEndian.PutUint64(hdr[4:], uint64(m.Time))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(m.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Data) > 0 {
+		if _, err := w.Write(m.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads one message from r.
+func Decode(r io.Reader) (Message, error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != magic {
+		return Message{}, ErrBadFrame
+	}
+	m := Message{
+		Kind: Kind(binary.BigEndian.Uint16(hdr[2:])),
+		Time: sim.Time(binary.BigEndian.Uint64(hdr[4:])),
+	}
+	n := binary.BigEndian.Uint32(hdr[12:])
+	if n > MaxData {
+		return Message{}, fmt.Errorf("%w: length %d", ErrBadFrame, n)
+	}
+	if n > 0 {
+		m.Data = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Data); err != nil {
+			return Message{}, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,120 @@
+package ipc
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// Transport moves messages between the coupled simulators. Send must not
+// block indefinitely when the peer is draining; Recv blocks until a
+// message arrives or the transport closes.
+type Transport interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// pipeEnd is one side of an in-process transport built on buffered
+// channels — the default coupling when both engines live in one process.
+type pipeEnd struct {
+	out  chan<- Message
+	in   <-chan Message
+	done chan struct{}
+	once *sync.Once
+}
+
+// Pipe returns two connected in-process transports.
+func Pipe(buffer int) (a, b Transport) {
+	ab := make(chan Message, buffer)
+	ba := make(chan Message, buffer)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	return &pipeEnd{out: ab, in: ba, done: done, once: once},
+		&pipeEnd{out: ba, in: ab, done: done, once: once}
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = net.ErrClosed
+
+// Send implements Transport. The closed check takes priority: without it,
+// a Go select between the closed done channel and free buffer space picks
+// randomly, letting sends sneak through after Close.
+func (p *pipeEnd) Send(m Message) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-p.done:
+		return ErrClosed
+	case p.out <- m:
+		return nil
+	}
+}
+
+// Recv implements Transport.
+func (p *pipeEnd) Recv() (Message, error) {
+	select {
+	case m := <-p.in:
+		return m, nil
+	case <-p.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+// Close implements Transport; closing either end closes both.
+func (p *pipeEnd) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}
+
+// connTransport frames messages over a net.Conn (TCP or Unix domain
+// socket) — the real-IPC deployment of the coupling.
+type connTransport struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	wmu  sync.Mutex
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) Transport {
+	return &connTransport{conn: c, bw: bufio.NewWriter(c), br: bufio.NewReader(c)}
+}
+
+// Dial connects to a listening coupling endpoint. network is "tcp" or
+// "unix".
+func Dial(network, addr string) (Transport, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Send implements Transport with per-message flushing so the peer's
+// blocking Recv always makes progress.
+func (t *connTransport) Send(m Message) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if err := Encode(t.bw, m); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+// Recv implements Transport.
+func (t *connTransport) Recv() (Message, error) {
+	return Decode(t.br)
+}
+
+// Close implements Transport.
+func (t *connTransport) Close() error { return t.conn.Close() }

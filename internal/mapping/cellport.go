@@ -1,0 +1,191 @@
+package mapping
+
+import (
+	"castanet/internal/atm"
+	"castanet/internal/hdl"
+)
+
+// CellPortWriter serializes ATM cells onto the Fig.-4 port structure:
+//
+//	atmdata  : STD_LOGIC_VECTOR(7 downto 0)  — one octet per clock
+//	cellsync : STD_LOGIC                     — high during the first octet
+//
+// One cell occupies exactly 53 rising clock edges. When the transmit
+// queue is empty the writer inserts idle cells (when InsertIdle is set) or
+// drives zero with cellsync low, modeling the idle periods of a real ATM
+// line versus a gated test stream.
+type CellPortWriter struct {
+	InsertIdle bool
+
+	data *hdl.Driver
+	sync *hdl.Driver
+
+	queue   [][atm.CellBytes]byte
+	current [atm.CellBytes]byte
+	pos     int
+	active  bool
+
+	// SentCells counts completed cell transmissions (including idles).
+	SentCells uint64
+	IdleCells uint64
+}
+
+// NewCellPortWriter attaches a writer to the simulator: data must be an
+// 8-bit signal, cellSync a 1-bit signal, clk the byte clock. The writer
+// registers a process sensitive to the rising clock edge.
+func NewCellPortWriter(s *hdl.Simulator, name string, clk, data, cellSync *hdl.Signal) *CellPortWriter {
+	if data.Width() != 8 {
+		panic("mapping: cell data port must be 8 bits wide")
+	}
+	if cellSync.Width() != 1 {
+		panic("mapping: cellsync must be 1 bit wide")
+	}
+	w := &CellPortWriter{
+		data: data.Driver(name + ":data"),
+		sync: cellSync.Driver(name + ":sync"),
+	}
+	w.data.SetUint(0)
+	w.sync.SetBit(hdl.L0)
+	s.Process(name, func() {
+		if clk.Rising() {
+			w.tick()
+		}
+	}, clk)
+	return w
+}
+
+// Enqueue schedules a cell for transmission. The payload is transmitted
+// exactly as given; callers that match cells by sequence number stamp it
+// into the payload first (Cell.StampSeq).
+func (w *CellPortWriter) Enqueue(c *atm.Cell) {
+	w.queue = append(w.queue, c.Marshal())
+}
+
+// EnqueueRaw schedules a raw 53-octet image for transmission, including
+// deliberately invalid images (bad HEC) — the path conformance test
+// vectors take to the device.
+func (w *CellPortWriter) EnqueueRaw(img [atm.CellBytes]byte) {
+	w.queue = append(w.queue, img)
+}
+
+// Backlog returns the number of cells waiting (excluding the one in
+// flight).
+func (w *CellPortWriter) Backlog() int { return len(w.queue) }
+
+// Busy reports whether a cell is currently being transmitted.
+func (w *CellPortWriter) Busy() bool { return w.active }
+
+func (w *CellPortWriter) tick() {
+	if !w.active {
+		if len(w.queue) > 0 {
+			w.current = w.queue[0]
+			w.queue = w.queue[1:]
+			w.active = true
+			w.pos = 0
+		} else if w.InsertIdle {
+			w.current = atm.IdleCell().Marshal()
+			w.IdleCells++
+			w.active = true
+			w.pos = 0
+		} else {
+			w.data.SetUint(0)
+			w.sync.SetBit(hdl.L0)
+			return
+		}
+	}
+	w.data.SetUint(uint64(w.current[w.pos]))
+	if w.pos == 0 {
+		w.sync.SetBit(hdl.L1)
+	} else {
+		w.sync.SetBit(hdl.L0)
+	}
+	w.pos++
+	if w.pos == atm.CellBytes {
+		w.active = false
+		w.SentCells++
+	}
+}
+
+// CellPortReader reassembles cells from the same port structure: it
+// samples the data port on each rising clock edge, starts a new cell when
+// cellsync is high, and invokes OnCell for every completed 53-octet image.
+// HEC failures are surfaced through OnError; the cell is still delivered
+// to OnError callers for diagnosis.
+type CellPortReader struct {
+	// OnCell receives each correctly delineated, HEC-clean cell.
+	OnCell func(c *atm.Cell)
+	// OnError receives the raw image of a cell that failed HEC, together
+	// with the error.
+	OnError func(img [atm.CellBytes]byte, err error)
+	// SkipIdle suppresses OnCell for idle cells (they are part of the
+	// line's framing, not of the traffic under test).
+	SkipIdle bool
+
+	buf      [atm.CellBytes]byte
+	pos      int
+	inCell   bool
+	Received uint64
+	Errors   uint64
+	Idles    uint64
+}
+
+// NewCellPortReader attaches a reader to the simulator, sampling data and
+// cellSync on rising edges of clk.
+func NewCellPortReader(s *hdl.Simulator, name string, clk, data, cellSync *hdl.Signal) *CellPortReader {
+	if data.Width() != 8 {
+		panic("mapping: cell data port must be 8 bits wide")
+	}
+	r := &CellPortReader{}
+	s.Process(name, func() {
+		if clk.Rising() {
+			r.sample(data, cellSync)
+		}
+	}, clk)
+	return r
+}
+
+func (r *CellPortReader) sample(data, cellSync *hdl.Signal) {
+	if cellSync.Bit().IsHigh() {
+		// Cell start: discard any partial cell (loss of delineation).
+		r.pos = 0
+		r.inCell = true
+	}
+	if !r.inCell {
+		return
+	}
+	b, ok := data.Val().Byte()
+	if !ok {
+		// Undefined data mid-cell: abandon the cell.
+		r.inCell = false
+		r.Errors++
+		if r.OnError != nil {
+			r.OnError(r.buf, atm.ErrHEC)
+		}
+		return
+	}
+	r.buf[r.pos] = b
+	r.pos++
+	if r.pos < atm.CellBytes {
+		return
+	}
+	r.inCell = false
+	img := r.buf
+	cell, err := atm.Unmarshal(img)
+	if err != nil {
+		r.Errors++
+		if r.OnError != nil {
+			r.OnError(img, err)
+		}
+		return
+	}
+	r.Received++
+	if cell.IsIdle() {
+		r.Idles++
+		if r.SkipIdle {
+			return
+		}
+	}
+	if r.OnCell != nil {
+		r.OnCell(cell)
+	}
+}

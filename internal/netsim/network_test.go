@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+// fixedGen emits at a constant interval.
+type fixedGen struct{ d sim.Duration }
+
+func (g fixedGen) Next(*sim.RNG) sim.Duration { return g.d }
+
+func simplePacket(size int) PacketFactory {
+	return func(ctx *Ctx, i uint64) *Packet {
+		return ctx.Net().NewPacket("test", i, size)
+	}
+}
+
+func TestSourceToSink(t *testing.T) {
+	n := New(1)
+	src := &Source{Gen: fixedGen{sim.Millisecond}, Make: simplePacket(424), Limit: 10}
+	sink := &Sink{}
+	a := n.Node("src", src)
+	b := n.Node("sink", sink)
+	n.Connect(a, 0, b, 0, LinkParams{Delay: 5 * sim.Microsecond})
+	n.Run(sim.Second)
+	if sink.Received != 10 {
+		t.Fatalf("received = %d, want 10", sink.Received)
+	}
+	// End-to-end delay = propagation only (infinite rate).
+	if d := sink.Delay.Mean(); math.Abs(d-5e-6) > 1e-12 {
+		t.Errorf("mean delay = %v, want 5us", d)
+	}
+	if src.Emitted != 10 {
+		t.Errorf("emitted = %d", src.Emitted)
+	}
+}
+
+func TestLinkTransmissionDelay(t *testing.T) {
+	// 424-bit cell at 155.52 Mb/s takes ~2.726us to transmit.
+	n := New(1)
+	src := &Source{Gen: fixedGen{sim.Second}, Make: simplePacket(424), Limit: 1}
+	sink := &Sink{}
+	a := n.Node("src", src)
+	b := n.Node("sink", sink)
+	n.Connect(a, 0, b, 0, LinkParams{RateBps: 155.52e6})
+	n.Run(10 * sim.Second)
+	want := 424.0 / 155.52e6
+	if d := sink.Delay.Mean(); math.Abs(d-want) > 1e-9 {
+		t.Errorf("delay = %v, want %v", d, want)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two packets sent back-to-back on a slow link: the second waits for
+	// the first to finish transmitting.
+	n := New(1)
+	sink := &Sink{}
+	var deliveries []sim.Time
+	sink.OnPacket = func(ctx *Ctx, pkt *Packet, port int) {
+		deliveries = append(deliveries, ctx.Now())
+	}
+	send2 := &Func{OnInit: func(ctx *Ctx) {
+		ctx.SetTimer(0, nil)
+	}, OnTimer: func(ctx *Ctx, tag interface{}) {
+		ctx.Send(ctx.Net().NewPacket("p", 1, 1000), 0)
+		ctx.Send(ctx.Net().NewPacket("p", 2, 1000), 0)
+	}}
+	a := n.Node("a", send2)
+	b := n.Node("b", sink)
+	n.Connect(a, 0, b, 0, LinkParams{RateBps: 1e6}) // 1ms per 1000-bit pkt
+	n.Run(sim.Second)
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %d", len(deliveries))
+	}
+	gap := deliveries[1] - deliveries[0]
+	if gap != sim.Millisecond {
+		t.Errorf("inter-delivery gap = %v, want 1ms (serialized)", gap)
+	}
+}
+
+func TestQueueServiceAndDrop(t *testing.T) {
+	n := New(1)
+	// Source emits every 1ms; queue serves one per 10ms with capacity 3:
+	// most packets drop.
+	src := &Source{Gen: fixedGen{sim.Millisecond}, Make: simplePacket(0), Limit: 20}
+	q := &Queue{Capacity: 3, ServiceTime: 10 * sim.Millisecond}
+	sink := &Sink{}
+	a := n.Node("src", src)
+	b := n.Node("q", q)
+	c := n.Node("sink", sink)
+	n.Connect(a, 0, b, 0, LinkParams{})
+	n.Connect(b, 0, c, 0, LinkParams{})
+	n.Run(sim.Second)
+	if q.Served+q.Dropped != 20 {
+		t.Fatalf("served %d + dropped %d != 20", q.Served, q.Dropped)
+	}
+	if q.Dropped == 0 {
+		t.Error("overloaded finite queue dropped nothing")
+	}
+	if sink.Received != q.Served {
+		t.Errorf("sink %d != served %d", sink.Received, q.Served)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	n := New(1)
+	src := &Source{Gen: fixedGen{sim.Microsecond}, Make: simplePacket(0), Limit: 50}
+	q := &Queue{ServiceTime: 10 * sim.Microsecond}
+	sink := &Sink{}
+	var order []uint64
+	sink.OnPacket = func(ctx *Ctx, pkt *Packet, port int) {
+		order = append(order, pkt.Data.(uint64))
+	}
+	a := n.Node("src", src)
+	b := n.Node("q", q)
+	c := n.Node("sink", sink)
+	n.Connect(a, 0, b, 0, LinkParams{})
+	n.Connect(b, 0, c, 0, LinkParams{})
+	n.Run(sim.Second)
+	if len(order) != 50 {
+		t.Fatalf("received %d", len(order))
+	}
+	for i, v := range order {
+		if v != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	n := New(1)
+	n.Node("x", &Sink{})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node name did not panic")
+		}
+	}()
+	n.Node("x", &Sink{})
+}
+
+func TestSendUnconnectedPanics(t *testing.T) {
+	n := New(1)
+	bad := &Func{OnInit: func(ctx *Ctx) { ctx.SetTimer(0, nil) },
+		OnTimer: func(ctx *Ctx, tag interface{}) {
+			ctx.Send(ctx.Net().NewPacket("p", nil, 0), 3)
+		}}
+	n.Node("bad", bad)
+	defer func() {
+		if recover() == nil {
+			t.Error("send on unconnected port did not panic")
+		}
+	}()
+	n.Run(sim.Second)
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, float64) {
+		n := New(99)
+		src := &Source{Gen: expGen{}, Make: simplePacket(424), Limit: 500}
+		q := &Queue{RateBps: 2e6}
+		sink := &Sink{}
+		a := n.Node("src", src)
+		b := n.Node("q", q)
+		c := n.Node("sink", sink)
+		n.Connect(a, 0, b, 0, LinkParams{})
+		n.Connect(b, 0, c, 0, LinkParams{})
+		n.Run(sim.Never)
+		return sink.Received, sink.Delay.Mean()
+	}
+	r1, d1 := run()
+	r2, d2 := run()
+	if r1 != r2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%d,%v) vs (%d,%v)", r1, d1, r2, d2)
+	}
+}
+
+type expGen struct{}
+
+func (expGen) Next(r *sim.RNG) sim.Duration { return sim.FromSeconds(r.Exp(1e-3)) }

@@ -1,0 +1,62 @@
+// Package scsi models the SCSI bus that connects the workstation running
+// the simulators to the hardware test board (Fig. 2). The co-verification
+// flow only observes the bus through transfer latencies — command
+// overhead plus data phase — so the model is a timing model with transfer
+// accounting, parameterized like a mid-90s SCSI-2 fast bus.
+package scsi
+
+import (
+	"fmt"
+
+	"castanet/internal/sim"
+)
+
+// Bus is one SCSI bus with a single initiator (the workstation) and a
+// single target (the test board).
+type Bus struct {
+	// Overhead is the per-transfer cost: arbitration, selection, command
+	// and status phases.
+	Overhead sim.Duration
+	// RateBps is the data-phase throughput in bytes per second.
+	RateBps float64
+
+	// Transfers and Bytes account all traffic.
+	Transfers uint64
+	Bytes     uint64
+	// BusyTime accumulates total bus occupancy.
+	BusyTime sim.Duration
+}
+
+// Default returns a SCSI-2 fast bus: 10 MB/s data phase, 500 µs
+// per-transfer overhead (arbitration + selection + 10-byte command +
+// status round trip through a mid-90s host adapter driver).
+func Default() *Bus {
+	return &Bus{Overhead: 500 * sim.Microsecond, RateBps: 10e6}
+}
+
+// TransferTime returns the bus occupancy for moving n bytes in one
+// transfer, without recording it.
+func (b *Bus) TransferTime(n int) sim.Duration {
+	if n < 0 {
+		panic("scsi: negative transfer size")
+	}
+	t := b.Overhead
+	if b.RateBps > 0 {
+		t += sim.FromSeconds(float64(n) / b.RateBps)
+	}
+	return t
+}
+
+// Transfer records a transfer of n bytes and returns its duration.
+func (b *Bus) Transfer(n int) sim.Duration {
+	d := b.TransferTime(n)
+	b.Transfers++
+	b.Bytes += uint64(n)
+	b.BusyTime += d
+	return d
+}
+
+// String summarizes bus usage.
+func (b *Bus) String() string {
+	return fmt.Sprintf("scsi{%d transfers, %d bytes, busy %v}", b.Transfers, b.Bytes, b.BusyTime)
+}

@@ -1,0 +1,42 @@
+package scsi
+
+import (
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	b := Default()
+	// 10 MB over a 10 MB/s bus = 1s data phase + overhead.
+	d := b.TransferTime(10_000_000)
+	want := sim.Second + b.Overhead
+	if d != want {
+		t.Errorf("TransferTime = %v, want %v", d, want)
+	}
+	// Zero-byte transfer still pays the overhead.
+	if d := b.TransferTime(0); d != b.Overhead {
+		t.Errorf("empty transfer = %v, want %v", d, b.Overhead)
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	b := Default()
+	b.Transfer(1000)
+	b.Transfer(2000)
+	if b.Transfers != 2 || b.Bytes != 3000 {
+		t.Errorf("accounting = %d transfers, %d bytes", b.Transfers, b.Bytes)
+	}
+	if b.BusyTime != b.TransferTime(1000)+b.TransferTime(2000) {
+		t.Errorf("busy time = %v", b.BusyTime)
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size accepted")
+		}
+	}()
+	Default().TransferTime(-1)
+}

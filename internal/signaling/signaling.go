@@ -1,0 +1,228 @@
+// Package signaling models the higher-layer embedded control software of
+// the paper's introduction — "call admission control agents and signaling
+// protocols" — as communicating extended finite state machines in the
+// network simulator's process domain. A call admission control (CAC)
+// agent grants or refuses connection requests against a link capacity
+// budget; caller processes request connections, hold them, and release
+// them. Admission and release drive the hardware's connection table at
+// run time, so cells on un-admitted connections are discarded by the very
+// switch under verification.
+package signaling
+
+import (
+	"fmt"
+
+	"castanet/internal/atm"
+	"castanet/internal/netsim"
+	"castanet/internal/sim"
+)
+
+// MsgType discriminates signaling messages (a minimal UNI-like subset).
+type MsgType int
+
+// Signaling message types.
+const (
+	Setup MsgType = iota
+	Connect
+	Release
+	ReleaseAck
+	Reject
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case Setup:
+		return "SETUP"
+	case Connect:
+		return "CONNECT"
+	case Release:
+		return "RELEASE"
+	case ReleaseAck:
+		return "RELEASE-ACK"
+	case Reject:
+		return "REJECT"
+	default:
+		return "?"
+	}
+}
+
+// Message is one signaling PDU.
+type Message struct {
+	Type    MsgType
+	VC      atm.VC
+	RateBps float64 // requested/held bandwidth
+	Cause   string  // for Reject
+}
+
+// signaling messages travel as ~40-octet packets (a SETUP IE set fits a
+// cell's payload in this simplified protocol).
+const msgBits = 40 * 8
+
+// CAC is the call admission control agent: a process that owns a link
+// bandwidth budget and a view of the hardware connection table.
+type CAC struct {
+	// CapacityBps is the admissible bandwidth budget.
+	CapacityBps float64
+	// OnAdmit installs an admitted connection into the hardware (e.g. the
+	// switch's translation table); OnRelease removes it.
+	OnAdmit   func(vc atm.VC, rateBps float64)
+	OnRelease func(vc atm.VC)
+
+	// Admitted/Rejected/Released count decisions.
+	Admitted uint64
+	Rejected uint64
+	Released uint64
+
+	usedBps float64
+	held    map[atm.VC]float64
+}
+
+// NewCACMachine builds the CAC agent as an EFSM. It answers SETUP with
+// CONNECT or REJECT and RELEASE with RELEASE-ACK, on the port the request
+// arrived from (point-to-point signaling channels: port n connects caller
+// n; the reply goes out the same port number).
+func NewCACMachine(c *CAC) *netsim.EFSM {
+	if c.held == nil {
+		c.held = make(map[atm.VC]float64)
+	}
+	m := netsim.NewEFSM("cac")
+	m.State("listening", nil)
+	m.Transition("listening", "listening",
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) bool {
+			return intr.Kind == netsim.IntrArrival
+		},
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			msg, ok := intr.Pkt.Data.(Message)
+			if !ok {
+				panic(fmt.Sprintf("signaling: CAC got %T", intr.Pkt.Data))
+			}
+			switch msg.Type {
+			case Setup:
+				if _, dup := c.held[msg.VC]; dup {
+					c.Rejected++
+					ctx.Send(ctx.Net().NewPacket("sig", Message{Type: Reject, VC: msg.VC, Cause: "vc in use"}, msgBits), intr.Port)
+					return
+				}
+				if c.usedBps+msg.RateBps > c.CapacityBps {
+					c.Rejected++
+					ctx.Send(ctx.Net().NewPacket("sig", Message{Type: Reject, VC: msg.VC, Cause: "capacity"}, msgBits), intr.Port)
+					return
+				}
+				c.usedBps += msg.RateBps
+				c.held[msg.VC] = msg.RateBps
+				c.Admitted++
+				if c.OnAdmit != nil {
+					c.OnAdmit(msg.VC, msg.RateBps)
+				}
+				ctx.Send(ctx.Net().NewPacket("sig", Message{Type: Connect, VC: msg.VC, RateBps: msg.RateBps}, msgBits), intr.Port)
+			case Release:
+				if rate, held := c.held[msg.VC]; held {
+					c.usedBps -= rate
+					delete(c.held, msg.VC)
+					c.Released++
+					if c.OnRelease != nil {
+						c.OnRelease(msg.VC)
+					}
+				}
+				ctx.Send(ctx.Net().NewPacket("sig", Message{Type: ReleaseAck, VC: msg.VC}, msgBits), intr.Port)
+			}
+		})
+	return m
+}
+
+// UsedBps returns the currently admitted bandwidth.
+func (c *CAC) UsedBps() float64 { return c.usedBps }
+
+// Caller is one connection user: it requests a connection after
+// StartDelay, holds it for HoldTime while reporting activity through
+// OnActive, then releases it.
+type Caller struct {
+	VC         atm.VC
+	RateBps    float64
+	StartDelay sim.Duration
+	HoldTime   sim.Duration
+
+	// OnActive fires when the connection is admitted; OnBlocked when the
+	// CAC refuses it; OnDone after release completes.
+	OnActive  func(ctx *netsim.Ctx)
+	OnBlocked func(ctx *netsim.Ctx, cause string)
+	OnDone    func(ctx *netsim.Ctx)
+
+	// Outcome is the terminal state name after the run: "active",
+	// "blocked" or "done".
+	machine *netsim.EFSM
+}
+
+// Machine builds the caller EFSM. Signaling messages travel on port 0.
+func (cl *Caller) Machine() *netsim.EFSM {
+	m := netsim.NewEFSM("caller:" + cl.VC.String())
+	cl.machine = m
+
+	m.State("idle", nil)
+	m.State("requesting", nil)
+	m.State("active", nil)
+	m.State("releasing", nil)
+	m.State("blocked", nil)
+	m.State("done", nil)
+
+	isArr := func(t MsgType) func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) bool {
+		return func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) bool {
+			if intr.Kind != netsim.IntrArrival {
+				return false
+			}
+			msg, ok := intr.Pkt.Data.(Message)
+			return ok && msg.Type == t && msg.VC == cl.VC
+		}
+	}
+
+	m.Transition("idle", "requesting",
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) bool {
+			return intr.Kind == netsim.IntrBegin
+		},
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			ctx.SetTimer(cl.StartDelay, "setup")
+		})
+	m.Transition("requesting", "requesting",
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) bool {
+			return intr.Kind == netsim.IntrTimer && intr.Tag == "setup"
+		},
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			ctx.Send(ctx.Net().NewPacket("sig", Message{Type: Setup, VC: cl.VC, RateBps: cl.RateBps}, msgBits), 0)
+		})
+	m.Transition("requesting", "active", isArr(Connect),
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			ctx.SetTimer(cl.HoldTime, "hangup")
+			if cl.OnActive != nil {
+				cl.OnActive(ctx)
+			}
+		})
+	m.Transition("requesting", "blocked", isArr(Reject),
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			if cl.OnBlocked != nil {
+				cl.OnBlocked(ctx, intr.Pkt.Data.(Message).Cause)
+			}
+		})
+	m.Transition("active", "releasing",
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) bool {
+			return intr.Kind == netsim.IntrTimer && intr.Tag == "hangup"
+		},
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			ctx.Send(ctx.Net().NewPacket("sig", Message{Type: Release, VC: cl.VC}, msgBits), 0)
+		})
+	m.Transition("releasing", "done", isArr(ReleaseAck),
+		func(ctx *netsim.Ctx, m *netsim.EFSM, intr netsim.Interrupt) {
+			if cl.OnDone != nil {
+				cl.OnDone(ctx)
+			}
+		})
+	return m
+}
+
+// State returns the caller's current EFSM state name.
+func (cl *Caller) State() string {
+	if cl.machine == nil {
+		return "idle"
+	}
+	return cl.machine.Current()
+}

@@ -1,0 +1,106 @@
+package signaling
+
+import (
+	"fmt"
+	"testing"
+
+	"castanet/internal/atm"
+	"castanet/internal/netsim"
+	"castanet/internal/sim"
+)
+
+// buildNet wires n callers to one CAC over point-to-point signaling
+// channels with the given propagation delay.
+func buildNet(t *testing.T, cac *CAC, callers []*Caller, delay sim.Duration) *netsim.Network {
+	t.Helper()
+	n := netsim.New(1)
+	cacNode := n.Node("cac", NewCACMachine(cac))
+	for i, cl := range callers {
+		node := n.Node(fmt.Sprintf("caller%d", i), cl.Machine())
+		n.Connect(node, 0, cacNode, i, netsim.LinkParams{Delay: delay})
+		n.Connect(cacNode, i, node, 0, netsim.LinkParams{Delay: delay})
+	}
+	return n
+}
+
+func TestCallAdmissionAndRelease(t *testing.T) {
+	cac := &CAC{CapacityBps: 10e6}
+	var admitted, released []atm.VC
+	cac.OnAdmit = func(vc atm.VC, rate float64) { admitted = append(admitted, vc) }
+	cac.OnRelease = func(vc atm.VC) { released = append(released, vc) }
+	cl := &Caller{
+		VC: atm.VC{VPI: 1, VCI: 1}, RateBps: 2e6,
+		StartDelay: sim.Millisecond, HoldTime: 10 * sim.Millisecond,
+	}
+	n := buildNet(t, cac, []*Caller{cl}, 100*sim.Microsecond)
+	n.Run(50 * sim.Millisecond)
+	if cl.State() != "done" {
+		t.Fatalf("caller state = %q, want done", cl.State())
+	}
+	if len(admitted) != 1 || len(released) != 1 {
+		t.Fatalf("admitted=%v released=%v", admitted, released)
+	}
+	if cac.UsedBps() != 0 {
+		t.Errorf("capacity leaked: %v bps still held", cac.UsedBps())
+	}
+}
+
+func TestCACBlocksOverCapacity(t *testing.T) {
+	// Capacity for exactly two 2 Mb/s calls; three simultaneous callers:
+	// one must be blocked, and after the first release the blocked VC's
+	// bandwidth is available again.
+	cac := &CAC{CapacityBps: 4e6}
+	callers := []*Caller{
+		{VC: atm.VC{VPI: 1, VCI: 1}, RateBps: 2e6, StartDelay: 1 * sim.Millisecond, HoldTime: 20 * sim.Millisecond},
+		{VC: atm.VC{VPI: 1, VCI: 2}, RateBps: 2e6, StartDelay: 2 * sim.Millisecond, HoldTime: 20 * sim.Millisecond},
+		{VC: atm.VC{VPI: 1, VCI: 3}, RateBps: 2e6, StartDelay: 3 * sim.Millisecond, HoldTime: 20 * sim.Millisecond},
+	}
+	var blockedCause string
+	callers[2].OnBlocked = func(ctx *netsim.Ctx, cause string) { blockedCause = cause }
+	n := buildNet(t, cac, callers, 100*sim.Microsecond)
+	n.Run(100 * sim.Millisecond)
+	if cac.Admitted != 2 || cac.Rejected != 1 {
+		t.Fatalf("admitted=%d rejected=%d", cac.Admitted, cac.Rejected)
+	}
+	if callers[2].State() != "blocked" {
+		t.Errorf("third caller state = %q", callers[2].State())
+	}
+	if blockedCause != "capacity" {
+		t.Errorf("cause = %q", blockedCause)
+	}
+	if callers[0].State() != "done" || callers[1].State() != "done" {
+		t.Errorf("admitted callers did not finish: %q %q", callers[0].State(), callers[1].State())
+	}
+}
+
+func TestCACReusesReleasedCapacity(t *testing.T) {
+	cac := &CAC{CapacityBps: 2e6}
+	early := &Caller{VC: atm.VC{VPI: 1, VCI: 1}, RateBps: 2e6,
+		StartDelay: sim.Millisecond, HoldTime: 5 * sim.Millisecond}
+	late := &Caller{VC: atm.VC{VPI: 1, VCI: 2}, RateBps: 2e6,
+		StartDelay: 20 * sim.Millisecond, HoldTime: 5 * sim.Millisecond}
+	n := buildNet(t, cac, []*Caller{early, late}, 100*sim.Microsecond)
+	n.Run(100 * sim.Millisecond)
+	if cac.Admitted != 2 || cac.Rejected != 0 {
+		t.Fatalf("admitted=%d rejected=%d (released capacity not reused)", cac.Admitted, cac.Rejected)
+	}
+	if late.State() != "done" {
+		t.Errorf("late caller = %q", late.State())
+	}
+}
+
+func TestCACRejectsDuplicateVC(t *testing.T) {
+	cac := &CAC{CapacityBps: 100e6}
+	a := &Caller{VC: atm.VC{VPI: 1, VCI: 7}, RateBps: 1e6,
+		StartDelay: sim.Millisecond, HoldTime: 50 * sim.Millisecond}
+	b := &Caller{VC: atm.VC{VPI: 1, VCI: 7}, RateBps: 1e6,
+		StartDelay: 2 * sim.Millisecond, HoldTime: 50 * sim.Millisecond}
+	n := buildNet(t, cac, []*Caller{a, b}, 100*sim.Microsecond)
+	n.Run(10 * sim.Millisecond)
+	if cac.Admitted != 1 || cac.Rejected != 1 {
+		t.Fatalf("admitted=%d rejected=%d", cac.Admitted, cac.Rejected)
+	}
+	if b.State() != "blocked" {
+		t.Errorf("duplicate VC caller = %q", b.State())
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedsDecorrelated(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.Exp(3.0))
+	}
+	if m := acc.Mean(); math.Abs(m-3.0) > 0.05 {
+		t.Errorf("Exp mean = %v, want ~3.0", m)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(9)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(float64(r.Geometric(5.0)))
+	}
+	if m := acc.Mean(); math.Abs(m-5.0) > 0.1 {
+		t.Errorf("Geometric mean = %v, want ~5.0", m)
+	}
+	if acc.Min() < 1 {
+		t.Errorf("Geometric produced %v < 1", acc.Min())
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	r := NewRNG(13)
+	var acc Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Norm(10, 2))
+	}
+	if math.Abs(acc.Mean()-10) > 0.05 {
+		t.Errorf("Norm mean = %v", acc.Mean())
+	}
+	if math.Abs(acc.Stddev()-2) > 0.05 {
+		t.Errorf("Norm stddev = %v", acc.Stddev())
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(5)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children correlated")
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "fmt"
+
+// Scheduler is a sequential discrete-event scheduler: an event list plus a
+// simulation clock. Events execute in monotone non-decreasing time-stamp
+// order; scheduling into the past is a programming error and panics, which
+// mirrors the causality rule in Fig. 3 of the paper — an event list may
+// receive events for the current or a future time, never for a past time.
+type Scheduler struct {
+	queue    eventQueue
+	now      Time
+	running  bool
+	stopped  bool
+	executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed returns how many events have been executed so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events in the queue, including events that
+// were cancelled but not yet discarded.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// At schedules fn at absolute time t. It returns the event handle, which
+// may be used to cancel the event.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", s.now, t))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil function")
+	}
+	e := &Event{At: t, Fn: fn}
+	s.queue.push(e)
+	return e
+}
+
+// After schedules fn after the given delay from the current time.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// NextTime returns the time stamp of the earliest pending event, or Never
+// when the queue is empty.
+func (s *Scheduler) NextTime() Time {
+	e := s.queue.peek()
+	if e == nil {
+		return Never
+	}
+	return e.At
+}
+
+// Step executes the single earliest event. It reports whether an event was
+// executed (false when the queue is empty or the scheduler was stopped).
+func (s *Scheduler) Step() bool {
+	if s.stopped {
+		return false
+	}
+	e := s.queue.pop()
+	if e == nil {
+		return false
+	}
+	s.now = e.At
+	s.executed++
+	e.Fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final simulated time.
+func (s *Scheduler) Run() Time {
+	return s.RunUntil(Never)
+}
+
+// RunUntil executes events whose time stamp is <= limit, then advances the
+// clock to limit if any later events remain pending (so a subsequent
+// RunUntil continues from there). It returns the current time.
+func (s *Scheduler) RunUntil(limit Time) Time {
+	if s.running {
+		panic("sim: re-entrant Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped {
+		e := s.queue.peek()
+		if e == nil || e.At > limit {
+			break
+		}
+		s.Step()
+	}
+	if limit != Never && s.now < limit {
+		s.now = limit
+	}
+	return s.now
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event
+// completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Advance moves the clock forward to t without executing anything. It is
+// used by the co-simulation entity when the synchronization protocol grants
+// a timing window that ends beyond the last local event. Advancing past
+// pending events or backwards panics.
+func (s *Scheduler) Advance(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: Advance backwards: now=%v target=%v", s.now, t))
+	}
+	if next := s.NextTime(); next < t {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip pending event at %v", t, next))
+	}
+	s.now = t
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects streaming summary statistics (Welford's algorithm,
+// numerically stable) for scalar observations: cell delays, queue
+// occupancies, message sizes.
+type Accumulator struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() uint64 { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (a *Accumulator) Stddev() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// String summarizes the accumulator for reports.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		a.n, a.Mean(), a.Stddev(), a.Min(), a.Max())
+}
+
+// TimeWeighted tracks the time-average of a piecewise-constant quantity
+// such as a queue length: each Set records the value holding from the given
+// time onward.
+type TimeWeighted struct {
+	first   Time
+	last    Time
+	value   float64
+	area    float64
+	started bool
+	max     float64
+}
+
+// Set records that the quantity changed to v at time t.
+func (w *TimeWeighted) Set(t Time, v float64) {
+	if w.started {
+		w.area += w.value * float64(t-w.last)
+	} else {
+		w.first = t
+	}
+	w.started = true
+	w.last = t
+	w.value = v
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Average returns the time average over [first Set, t]. Before the first
+// Set it returns 0; at or before the first observation it returns the
+// current value.
+func (w *TimeWeighted) Average(t Time) float64 {
+	if !w.started {
+		return 0
+	}
+	elapsed := float64(t - w.first)
+	if elapsed <= 0 {
+		return w.value
+	}
+	area := w.area
+	if t > w.last {
+		area += w.value * float64(t-w.last)
+	}
+	return area / elapsed
+}
+
+// Max returns the maximum value ever set.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// Histogram is a fixed-bucket histogram for latency/occupancy profiles in
+// experiment reports.
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds; last bucket is overflow
+	counts []uint64
+	n      uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds. Values above the last bound land in an overflow bucket.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("sim: histogram bounds must ascend")
+	}
+	return &Histogram{Bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	h.counts[i]++
+	h.n++
+}
+
+// Count returns the count in bucket i (len(Bounds) is the overflow bucket).
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// N returns the total number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Quantile returns an approximate q-quantile (bucket upper bound
+// containing the quantile; +Inf for the overflow bucket).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			if i == len(h.Bounds) {
+				return math.Inf(1)
+			}
+			return h.Bounds[i]
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if m := a.Mean(); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Sample variance of that classic set is 32/7.
+	if v := a.Var(); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", v, 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestAccumulatorMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			a.Add(x)
+		}
+		if a.N() > 0 {
+			ok = a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Set(10*Nanosecond, 4) // value 0 for 10ns
+	w.Set(30*Nanosecond, 2) // value 4 for 20ns
+	// value 2 for 10ns -> horizon 40ns
+	got := w.Average(40 * Nanosecond)
+	want := (0*10 + 4*20 + 2*10) / 40.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Average = %v, want %v", got, want)
+	}
+	if w.Max() != 4 {
+		t.Errorf("Max = %v, want 4", w.Max())
+	}
+}
+
+func TestTimeWeightedEdgeCases(t *testing.T) {
+	var w TimeWeighted
+	if w.Average(100) != 0 {
+		t.Error("average before any Set should be 0")
+	}
+	w.Set(50*Nanosecond, 3)
+	if w.Average(50*Nanosecond) != 3 {
+		t.Error("average at first instant should be the value")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 9, 100} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Count(0) != 1 || h.Count(1) != 2 || h.Count(2) != 1 || h.Count(3) != 0 || h.Count(4) != 2 {
+		t.Errorf("bucket counts wrong: %d %d %d %d %d",
+			h.Count(0), h.Count(1), h.Count(2), h.Count(3), h.Count(4))
+	}
+	// Median of {0.5, 1.5, 1.7, 3, 9, 100} is 2.35, which falls in the
+	// (2, 4] bucket, so the reported quantile is that bucket's bound.
+	if q := h.Quantile(0.5); q != 4 {
+		t.Errorf("median bucket = %v, want 4", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("p99 = %v, want +Inf (overflow bucket)", q)
+	}
+}
+
+func TestHistogramUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(3, 1, 2)
+}
