@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+# Tier-1 verification: everything CI runs.
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The coupling layer is the concurrency hot spot: reader goroutines,
+# watchdog timers, and transport teardown all race by design.
+race:
+	$(GO) test -race ./internal/ipc/... ./internal/cosim/...
+
+bench:
+	$(GO) test -bench=Transport -benchtime=100x -run=^$$ ./internal/ipc/

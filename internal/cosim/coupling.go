@@ -1,7 +1,10 @@
 package cosim
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"castanet/internal/ipc"
 )
@@ -11,6 +14,11 @@ import (
 // response the hardware produced while processing it — the strict
 // request/response alternation keeps both deployments (in-process and
 // socket) deterministic.
+//
+// Error contract: on a non-nil error the returned slice is nil. Responses
+// received before a mid-stream failure are discarded — a half-delivered
+// batch is indistinguishable from a corrupted one, and callers must never
+// fold it into the verification result.
 type Coupling interface {
 	Send(msg ipc.Message) ([]ipc.Message, error)
 	Close() error
@@ -25,7 +33,7 @@ type Direct struct {
 // Send implements Coupling.
 func (d *Direct) Send(msg ipc.Message) ([]ipc.Message, error) {
 	if err := d.Entity.Deliver(msg); err != nil {
-		return nil, err
+		return nil, &CouplingError{Class: ClassProtocol, Op: "entity", Err: err}
 	}
 	return d.Entity.TakeOutbox(), nil
 }
@@ -42,28 +50,61 @@ type Remote struct {
 	Transport ipc.Transport
 	// PeerTime is the hardware clock reported by the last acknowledgement.
 	PeerTime int64
+	// Deadline is the per-operation watchdog: a Send whose round trip
+	// exceeds it tears the link down and reports a timeout-classed
+	// CouplingError instead of hanging on a dead peer. Zero disables it.
+	Deadline time.Duration
+
+	timedOut atomic.Bool
 }
 
-// Send implements Coupling.
+// Send implements Coupling. Errors are typed (*CouplingError); the
+// response slice is nil whenever the error is non-nil.
 func (r *Remote) Send(msg ipc.Message) ([]ipc.Message, error) {
+	if r.Deadline > 0 {
+		wd := time.AfterFunc(r.Deadline, func() {
+			// Closing the transport is the only way to unhook a blocked
+			// Recv on an arbitrary Transport; the link is gone anyway.
+			r.timedOut.Store(true)
+			r.Transport.Close()
+		})
+		defer wd.Stop()
+	}
 	if err := r.Transport.Send(msg); err != nil {
-		return nil, err
+		return nil, r.wrap("send", err)
 	}
 	var out []ipc.Message
 	for {
 		m, err := r.Transport.Recv()
 		if err != nil {
-			return out, err
+			return nil, r.wrap("recv", err)
 		}
-		if m.Kind == ipc.KindSync {
+		switch m.Kind {
+		case ipc.KindSync:
 			r.PeerTime = int64(m.Time)
 			return out, nil
-		}
-		if m.Kind == kindError {
-			return out, fmt.Errorf("cosim: remote entity: %s", m.Data)
+		case kindError:
+			return nil, &CouplingError{
+				Class: ClassProtocol,
+				Op:    "entity",
+				Err:   fmt.Errorf("remote entity: %s", m.Data),
+			}
 		}
 		out = append(out, m)
 	}
+}
+
+// wrap types a transport error; a failure caused by the deadline watchdog
+// reports as timeout, not as the closed link the watchdog left behind.
+func (r *Remote) wrap(op string, err error) error {
+	if r.timedOut.Load() {
+		return &CouplingError{
+			Class: ClassTimeout,
+			Op:    op,
+			Err:   fmt.Errorf("%w: no response within %v", ipc.ErrTimeout, r.Deadline),
+		}
+	}
+	return coupErr(op, err)
 }
 
 // Close implements Coupling.
@@ -77,29 +118,60 @@ const kindError ipc.Kind = 2
 type EntityServer struct {
 	Entity    *Entity
 	Transport ipc.Transport
+	// Watchdog bounds the wall-clock silence between client requests: a
+	// client that goes quiet longer than this is declared gone and Serve
+	// returns a timeout-classed CouplingError instead of blocking
+	// forever. Zero disables it.
+	Watchdog time.Duration
+
+	watchdogFired atomic.Bool
 }
 
 // Serve runs the request loop. It returns nil when the client closes the
-// connection.
+// connection cleanly, and a *CouplingError when the link dies any other
+// way. The transport is closed on return, so a client blocked on a
+// response learns of the server's death instead of waiting forever.
 func (s *EntityServer) Serve() error {
+	defer s.Transport.Close()
+	var wd *time.Timer
+	if s.Watchdog > 0 {
+		wd = time.AfterFunc(s.Watchdog, func() {
+			s.watchdogFired.Store(true)
+			s.Transport.Close()
+		})
+		defer wd.Stop()
+	}
 	for {
 		msg, err := s.Transport.Recv()
 		if err != nil {
-			return nil // client went away; a clean end of co-simulation
+			if s.watchdogFired.Load() {
+				return &CouplingError{
+					Class: ClassTimeout,
+					Op:    "serve",
+					Err:   fmt.Errorf("%w: client silent beyond %v", ipc.ErrTimeout, s.Watchdog),
+				}
+			}
+			if errors.Is(err, ipc.ErrClosed) || Classify(err) == ClassClosed {
+				return nil // client went away; a clean end of co-simulation
+			}
+			return coupErr("serve", err)
+		}
+		if wd != nil {
+			wd.Reset(s.Watchdog)
 		}
 		if derr := s.Entity.Deliver(msg); derr != nil {
 			if serr := s.Transport.Send(ipc.Message{Kind: kindError, Time: s.Entity.HDL.Now(), Data: []byte(derr.Error())}); serr != nil {
-				return serr
+				return coupErr("send", serr)
 			}
 			continue
 		}
 		for _, resp := range s.Entity.TakeOutbox() {
 			if err := s.Transport.Send(resp); err != nil {
-				return err
+				return coupErr("send", err)
 			}
 		}
 		if err := s.Transport.Send(ipc.Message{Kind: ipc.KindSync, Time: s.Entity.HDL.Now()}); err != nil {
-			return err
+			return coupErr("send", err)
 		}
 	}
 }

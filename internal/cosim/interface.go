@@ -41,8 +41,11 @@ type InterfaceProcess struct {
 	// responses with a registered codec are re-injected as packets on
 	// output port 0 (if connected).
 	OnResponse func(ctx *netsim.Ctx, r Response)
-	// OnError receives coupling failures; default panics, because a broken
-	// coupling invalidates the whole verification run.
+	// OnError receives coupling failures. When nil, the default records
+	// the first failure (see Err), halts the network scheduler, and stops
+	// pushing messages — a broken coupling terminates the run gracefully
+	// and surfaces through the rig's Run return value instead of
+	// panicking.
 	OnError func(err error)
 	// SyncEvery is the period of time-update messages that keep the
 	// hardware clock advancing through traffic pauses. Zero disables
@@ -53,7 +56,15 @@ type InterfaceProcess struct {
 	Sent uint64
 	// Responses counts decoded responses.
 	Responses uint64
+
+	// err is the first coupling failure recorded by the default error
+	// handling; once set, the process stops driving the coupling.
+	err error
 }
+
+// Err returns the coupling failure that terminated the run, or nil. Rigs
+// surface it through their Run return value.
+func (p *InterfaceProcess) Err() error { return p.err }
 
 // KindData is the default message kind used when no Classify function is
 // configured.
@@ -79,13 +90,16 @@ type respTag struct{ r Response }
 
 // Arrival implements netsim.Processor: encode and forward one packet.
 func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int) {
+	if p.err != nil {
+		return
+	}
 	kind := KindData
 	if p.Classify != nil {
 		kind = p.Classify(pkt, port)
 	}
 	data, err := p.Registry.Encode(kind, pkt.Data)
 	if err != nil {
-		p.fail(fmt.Errorf("cosim: encoding packet for kind %d: %w", kind, err))
+		p.fail(ctx, fmt.Errorf("cosim: encoding packet for kind %d: %w", kind, err))
 		return
 	}
 	p.Sent++
@@ -95,6 +109,9 @@ func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int
 // Timer implements netsim.Processor: periodic time updates and deferred
 // response deliveries.
 func (p *InterfaceProcess) Timer(ctx *netsim.Ctx, tag interface{}) {
+	if p.err != nil {
+		return
+	}
 	switch tg := tag.(type) {
 	case syncTag:
 		p.push(ctx, ipc.Message{Kind: ipc.KindSync, Time: ctx.Now()})
@@ -104,17 +121,21 @@ func (p *InterfaceProcess) Timer(ctx *netsim.Ctx, tag interface{}) {
 	}
 }
 
-// push sends one message and dispatches the responses it provoked.
+// push sends one message and dispatches the responses it provoked. A
+// process whose coupling already failed is inert: the run is terminating.
 func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
+	if p.err != nil {
+		return
+	}
 	resps, err := p.Coupling.Send(msg)
 	if err != nil {
-		p.fail(err)
+		p.fail(ctx, err)
 		return
 	}
 	for _, rm := range resps {
 		value, err := p.decode(rm)
 		if err != nil {
-			p.fail(err)
+			p.fail(ctx, err)
 			continue
 		}
 		p.Responses++
@@ -147,10 +168,18 @@ func (p *InterfaceProcess) decode(m ipc.Message) (interface{}, error) {
 	return m.Data, nil
 }
 
-func (p *InterfaceProcess) fail(err error) {
+// fail handles a coupling failure: user hook if configured, otherwise
+// record the first error and stop the scheduler so the run terminates at
+// the current simulation time with the error available via Err.
+func (p *InterfaceProcess) fail(ctx *netsim.Ctx, err error) {
 	if p.OnError != nil {
 		p.OnError(err)
 		return
 	}
-	panic(err)
+	if p.err == nil {
+		p.err = err
+	}
+	if ctx != nil {
+		ctx.Net().Sched.Stop()
+	}
 }

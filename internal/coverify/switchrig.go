@@ -10,6 +10,7 @@ package coverify
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"castanet/internal/atm"
 	"castanet/internal/cosim"
@@ -55,6 +56,19 @@ type SwitchRigConfig struct {
 	// Remote couples over an in-process socket pair with an EntityServer
 	// goroutine instead of direct calls.
 	Remote bool
+	// Fault, when non-nil, injects deterministic link faults on the client
+	// side of a Remote coupling (drops, duplication, corruption,
+	// partitions). Requires Remote.
+	Fault *ipc.FaultConfig
+	// Reliable, when non-nil, layers the reliability envelope over both
+	// ends of a Remote coupling so injected faults are recovered
+	// transparently. Requires Remote.
+	Reliable *ipc.ReliableConfig
+	// Deadline arms the coupling watchdogs: the client Remote tears the
+	// link down when one request/response round trip exceeds it, and the
+	// EntityServer declares the client gone after the same silence. Zero
+	// disables both.
+	Deadline time.Duration
 	// SyncEvery overrides the periodic time-update interval.
 	SyncEvery sim.Duration
 	// Waveforms, when non-nil, receives a VCD dump of the DUT's external
@@ -105,8 +119,18 @@ type SwitchRig struct {
 
 	srv       *cosim.EntityServer
 	transport ipc.Transport
+	remote    *cosim.Remote
 	srvDone   chan error
+	closeErr  error
 	vcd       *hdl.VCD
+
+	// FaultLink is the fault injector on the client side of a Remote
+	// coupling (nil unless Cfg.Fault is set) — Partition/Heal/Stats live
+	// here.
+	FaultLink *ipc.FaultTransport
+	// RelClient is the client-side reliability envelope (nil unless
+	// Cfg.Reliable is set); its Stats expose retransmit counts.
+	RelClient *ipc.ReliableTransport
 
 	// Probes collects run statistics: "hw.latency" is the per-cell
 	// traversal time through the hardware (network injection to hardware
@@ -178,15 +202,27 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		r.vcd = hdl.NewVCD(cfg.Waveforms, r.HDL, watch...)
 	}
 
-	// Coupling.
+	// Coupling. The client stack is Reliable(Fault(pipe)): faults are
+	// injected under the envelope, so the envelope must recover them.
 	var coupling cosim.Coupling
 	if cfg.Remote {
 		a, b := ipc.Pipe(64)
-		r.transport = a
-		r.srv = &cosim.EntityServer{Entity: r.Entity, Transport: b}
+		var ct, st ipc.Transport = a, b
+		if cfg.Fault != nil {
+			r.FaultLink = ipc.NewFault(a, *cfg.Fault)
+			ct = r.FaultLink
+		}
+		if cfg.Reliable != nil {
+			r.RelClient = ipc.NewReliable(ct, *cfg.Reliable)
+			ct = r.RelClient
+			st = ipc.NewReliable(b, *cfg.Reliable)
+		}
+		r.transport = ct
+		r.remote = &cosim.Remote{Transport: ct, Deadline: cfg.Deadline}
+		r.srv = &cosim.EntityServer{Entity: r.Entity, Transport: st, Watchdog: cfg.Deadline}
 		r.srvDone = make(chan error, 1)
 		go func() { r.srvDone <- r.srv.Serve() }()
-		coupling = &cosim.Remote{Transport: a}
+		coupling = r.remote
 	} else {
 		coupling = &cosim.Direct{Entity: r.Entity}
 	}
@@ -279,8 +315,14 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 // horizon) are still delivered, then flushes the hardware pipeline.
 func (r *SwitchRig) Run(until sim.Time) error {
 	r.Net.Run(until)
+	if err := r.Iface.Err(); err != nil {
+		return err
+	}
 	margin := r.drainMargin()
 	r.Net.Sched.RunUntil(until + margin)
+	if err := r.Iface.Err(); err != nil {
+		return err
+	}
 	return r.Drain(until + margin)
 }
 
@@ -298,8 +340,7 @@ func (r *SwitchRig) Drain(until sim.Time) error {
 	final := ipc.Message{Kind: ipc.KindSync, Time: until + r.drainMargin()}
 	var resps []ipc.Message
 	if r.Cfg.Remote {
-		remote := &cosim.Remote{Transport: r.transport}
-		out, err := remote.Send(final)
+		out, err := r.remote.Send(final)
 		if err != nil {
 			return err
 		}
@@ -323,15 +364,18 @@ func (r *SwitchRig) Drain(until sim.Time) error {
 	return nil
 }
 
-// Close shuts down a remote coupling.
+// Close shuts down a remote coupling. It is idempotent: repeated calls
+// return the server's first exit status instead of blocking on the
+// already-drained completion channel.
 func (r *SwitchRig) Close() error {
 	if r.transport != nil {
 		r.transport.Close()
 		if r.srvDone != nil {
-			return <-r.srvDone
+			r.closeErr = <-r.srvDone
+			r.srvDone = nil
 		}
 	}
-	return nil
+	return r.closeErr
 }
 
 // DUTDelivered returns the number of cells that emerged from the DUT.

@@ -2,6 +2,7 @@ package coverify
 
 import (
 	"testing"
+	"time"
 
 	"castanet/internal/atm"
 	"castanet/internal/dut"
@@ -58,7 +59,19 @@ func TestSwitchCoVerificationRemoteEqualsDirect(t *testing.T) {
 		if err := rig.Run(5 * sim.Millisecond); err != nil {
 			t.Fatal(err)
 		}
-		rig.Close()
+		// Close is idempotent; a second call must return the same status
+		// instead of blocking on the drained server-completion channel.
+		first := rig.Close()
+		closed := make(chan error, 1)
+		go func() { closed <- rig.Close() }()
+		select {
+		case again := <-closed:
+			if again != first {
+				t.Errorf("second Close = %v, first = %v", again, first)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("second Close blocked")
+		}
 		return rig.Cmp.Matched, rig.Report()
 	}
 	mDirect, repDirect := run(false)

@@ -1,0 +1,120 @@
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+
+	"castanet/internal/cosim"
+	"castanet/internal/coverify"
+	"castanet/internal/ipc"
+	"castanet/internal/sim"
+)
+
+// ChannelFault is one link-fault scenario for the coupling channel — the
+// complement of the table faults above: instead of planting defects in
+// the device, it degrades the wire between the two simulators and asks
+// whether the reliability envelope keeps the co-verification result
+// trustworthy.
+type ChannelFault struct {
+	Name  string
+	Fault ipc.FaultConfig
+}
+
+// ChannelResult records one sweep point.
+type ChannelResult struct {
+	ChannelFault
+	// Identical: the run completed, the comparison engine stayed clean,
+	// and the rig report is bit-identical to the clean-link golden run —
+	// the degraded channel was fully masked.
+	Identical bool
+	// Aborted: the run terminated early with a typed coupling error
+	// instead of delivering a (possibly silently wrong) result. This is
+	// the correct outcome for unrecoverable faults such as a permanent
+	// partition.
+	Aborted bool
+	// Err is the coupling error of an aborted run.
+	Err error
+	// Report is the completed run's rig report.
+	Report string
+}
+
+// DefaultChannelFaults is the standard sweep: recoverable loss, noise,
+// duplication and reordering (all of which the envelope must mask
+// bit-exactly), plus a permanent partition (which it must turn into a
+// clean abort).
+func DefaultChannelFaults() []ChannelFault {
+	return []ChannelFault{
+		{Name: "drop5-corrupt1", Fault: ipc.FaultConfig{
+			Seed: 1001,
+			Send: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01},
+			Recv: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01},
+		}},
+		{Name: "dup10", Fault: ipc.FaultConfig{
+			Seed: 1002,
+			Send: ipc.DirFaults{Dup: 0.1},
+			Recv: ipc.DirFaults{Dup: 0.1},
+		}},
+		{Name: "delay-reorder", Fault: ipc.FaultConfig{
+			Seed: 1003,
+			Send: ipc.DirFaults{Delay: 0.2, DelaySlots: 3},
+			Recv: ipc.DirFaults{Delay: 0.2, DelaySlots: 3},
+		}},
+		{Name: "partition", Fault: ipc.FaultConfig{
+			Seed: 1004,
+			Send: ipc.DirFaults{PartitionAfter: 40},
+		}},
+	}
+}
+
+// ChannelCampaign sweeps link-fault scenarios against the switch rig
+// coupled over the reliability envelope. It first records a clean-link
+// golden run (which must be clean or the campaign errors out), then
+// reruns the identical workload per scenario. Every scenario must end in
+// one of two acceptable states: a report bit-identical to the golden run,
+// or a clean abort with a typed *cosim.CouplingError. An untyped failure
+// or a completed-but-divergent result is reported in the ChannelResult
+// for the caller to flag — divergence under a masked channel means the
+// coupling leaked a fault into the verification verdict.
+//
+// cfg.Remote is forced on; a default reliability envelope is supplied
+// when cfg.Reliable is nil.
+func ChannelCampaign(cfg coverify.SwitchRigConfig, horizon sim.Time, faults []ChannelFault) ([]ChannelResult, string, error) {
+	cfg.Remote = true
+	if cfg.Reliable == nil {
+		cfg.Reliable = &ipc.ReliableConfig{}
+	}
+
+	golden := coverify.NewSwitchRig(cfg)
+	gerr := golden.Run(horizon)
+	golden.Close()
+	if gerr != nil {
+		return nil, "", fmt.Errorf("faultsim: golden run failed: %w", gerr)
+	}
+	if !golden.Cmp.Clean() {
+		return nil, "", fmt.Errorf("faultsim: golden run not clean: %s", golden.Report())
+	}
+	want := golden.Report()
+
+	results := make([]ChannelResult, 0, len(faults))
+	for _, f := range faults {
+		fcfg := cfg
+		fc := f.Fault
+		fcfg.Fault = &fc
+		rig := coverify.NewSwitchRig(fcfg)
+		err := rig.Run(horizon)
+		rig.Close()
+		res := ChannelResult{ChannelFault: f, Err: err}
+		if err != nil {
+			var ce *cosim.CouplingError
+			if !errors.As(err, &ce) {
+				return nil, want, fmt.Errorf("faultsim: scenario %q died with untyped error: %w", f.Name, err)
+			}
+			res.Aborted = true
+		} else {
+			res.Report = rig.Report()
+			res.Identical = rig.Cmp.Clean() && res.Report == want
+		}
+		results = append(results, res)
+	}
+	return results, want, nil
+}

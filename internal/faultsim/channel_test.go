@@ -1,0 +1,128 @@
+package faultsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"castanet/internal/cosim"
+	"castanet/internal/coverify"
+	"castanet/internal/ipc"
+	"castanet/internal/sim"
+)
+
+// fastEnvelope keeps retransmission timers tight so lossy-link sweeps
+// finish in test time.
+func fastEnvelope() *ipc.ReliableConfig {
+	return &ipc.ReliableConfig{
+		MaxRetries: 20,
+		RetryBase:  time.Millisecond,
+		RetryCap:   8 * time.Millisecond,
+		OpDeadline: 10 * time.Second,
+	}
+}
+
+func TestChannelLossAndCorruptionMasked(t *testing.T) {
+	// Acceptance: 5% drop plus 1% corruption on both directions must
+	// produce a comparison result bit-identical to the clean-link run.
+	cfg := coverify.SwitchRigConfig{
+		Seed:     7,
+		Traffic:  workload(0, 1),
+		Reliable: fastEnvelope(),
+	}
+	faults := []ChannelFault{{Name: "drop5-corrupt1", Fault: ipc.FaultConfig{
+		Seed: 99,
+		Send: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01},
+		Recv: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01},
+	}}}
+	results, want, err := ChannelCampaign(cfg, 2*sim.Millisecond, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Aborted {
+		t.Fatalf("recoverable loss aborted the run: %v", r.Err)
+	}
+	if !r.Identical {
+		t.Fatalf("degraded channel leaked into the verdict:\n got %s\nwant %s", r.Report, want)
+	}
+}
+
+func TestChannelPartitionAbortsTyped(t *testing.T) {
+	// Acceptance: a permanent partition must surface as a typed,
+	// timeout-classed CouplingError from the rig's Run — no panic, no
+	// hang — within the configured retry budget.
+	cfg := coverify.SwitchRigConfig{
+		Seed:     7,
+		Traffic:  workload(0),
+		Deadline: 2 * time.Second,
+		Reliable: &ipc.ReliableConfig{
+			MaxRetries: 5,
+			RetryBase:  time.Millisecond,
+			RetryCap:   8 * time.Millisecond,
+		},
+	}
+	faults := []ChannelFault{{Name: "partition", Fault: ipc.FaultConfig{
+		Seed: 99,
+		Send: ipc.DirFaults{PartitionAfter: 10},
+	}}}
+
+	type outcome struct {
+		results []ChannelResult
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		results, _, err := ChannelCampaign(cfg, 2*sim.Millisecond, faults)
+		done <- outcome{results, err}
+	}()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("partitioned run hung: watchdog/retry budget never fired")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	r := out.results[0]
+	if !r.Aborted {
+		t.Fatalf("partitioned run completed: %s", r.Report)
+	}
+	var ce *cosim.CouplingError
+	if !errors.As(r.Err, &ce) {
+		t.Fatalf("abort error %v is not a CouplingError", r.Err)
+	}
+	if ce.Class != cosim.ClassTimeout && ce.Class != cosim.ClassClosed {
+		t.Errorf("abort class %v, want timeout or closed", ce.Class)
+	}
+}
+
+func TestDefaultChannelFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	cfg := coverify.SwitchRigConfig{
+		Seed:     7,
+		Traffic:  workload(0, 1),
+		Reliable: fastEnvelope(),
+	}
+	results, want, err := ChannelCampaign(cfg, 2*sim.Millisecond, DefaultChannelFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		switch r.Name {
+		case "partition":
+			if !r.Aborted {
+				t.Errorf("%s: completed, want clean abort (report %s)", r.Name, r.Report)
+			}
+		default:
+			if r.Aborted {
+				t.Errorf("%s: aborted (%v), want masked", r.Name, r.Err)
+			} else if !r.Identical {
+				t.Errorf("%s: diverged:\n got %s\nwant %s", r.Name, r.Report, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package ipc
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"castanet/internal/sim"
+)
+
+// benchEcho starts a TCP echo peer and returns the dialed client conn.
+// wrap adapts each side's transport (identity for the raw baseline).
+func benchEcho(b *testing.B, wrap func(Transport) Transport) Transport {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tr := wrap(NewConn(c))
+		defer tr.Close()
+		for {
+			m, err := tr.Recv()
+			if err != nil {
+				return
+			}
+			if tr.Send(m) != nil {
+				return
+			}
+		}
+	}()
+	raw, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	return raw
+}
+
+func benchRoundTrips(b *testing.B, tr Transport) {
+	m := Message{Kind: KindUser, Time: sim.Microsecond, Data: make([]byte, 53)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Time += sim.Microsecond
+		if err := tr.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tr.Close()
+}
+
+// BenchmarkTransport measures one cell-sized round trip per iteration:
+// the raw socket framing as the baseline, then the reliability envelope
+// on a clean link (pure envelope overhead: seq/crc/ack) and over 5%
+// injected loss each way (the retransmission cost the envelope pays to
+// keep the verification result intact). Tracked in BENCH_*.json.
+func BenchmarkTransport(b *testing.B) {
+	rel := ReliableConfig{
+		MaxRetries: 12,
+		RetryBase:  time.Millisecond,
+		RetryCap:   16 * time.Millisecond,
+	}
+	b.Run("raw-conn", func(b *testing.B) {
+		tr := benchEcho(b, func(t Transport) Transport { return t })
+		benchRoundTrips(b, tr)
+	})
+	b.Run("reliable-loss0", func(b *testing.B) {
+		tr := benchEcho(b, func(t Transport) Transport { return NewReliable(t, rel) })
+		benchRoundTrips(b, NewReliable(tr, rel))
+	})
+	b.Run("reliable-loss5", func(b *testing.B) {
+		tr := benchEcho(b, func(t Transport) Transport { return NewReliable(t, rel) })
+		lossy := NewFault(tr, FaultConfig{
+			Seed: 1,
+			Send: DirFaults{Drop: 0.05},
+			Recv: DirFaults{Drop: 0.05},
+		})
+		benchRoundTrips(b, NewReliable(lossy, rel))
+	})
+}

@@ -1,0 +1,294 @@
+package ipc
+
+import (
+	"sync"
+
+	"castanet/internal/sim"
+)
+
+// DirFaults configures the fault processes of one link direction. Rates
+// are probabilities per message, drawn from the transport's seeded RNG, so
+// a given (seed, traffic) pair always produces the same fault pattern —
+// channel-fault campaigns are reproducible the same way device-fault
+// campaigns are.
+type DirFaults struct {
+	// Drop is the probability a message is silently discarded.
+	Drop float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Corrupt is the probability one payload bit is flipped. The corrupted
+	// copy is a clone; the sender's buffer (and hence any retransmission)
+	// is never touched.
+	Corrupt float64
+	// Delay is the probability a message is held back and released after
+	// 1..DelaySlots later operations on the same direction — deterministic
+	// reordering measured in operations, not wall-clock.
+	Delay float64
+	// DelaySlots bounds the hold-back (default 4 when Delay > 0).
+	DelaySlots int
+	// PartitionAfter opens a partition window once that many operations
+	// have occurred on this direction; 0 means never. During the window
+	// every message is swallowed.
+	PartitionAfter uint64
+	// PartitionFor is the window length in operations; 0 with
+	// PartitionAfter > 0 means the partition never heals.
+	PartitionFor uint64
+}
+
+// FaultConfig configures a FaultTransport. Send and Recv directions are
+// independent: an asymmetric link (requests pass, responses vanish) is a
+// distinct, and nastier, failure mode than a symmetric one.
+type FaultConfig struct {
+	Seed uint64
+	Send DirFaults
+	Recv DirFaults
+}
+
+// FaultStats counts injected faults, for campaign reporting.
+type FaultStats struct {
+	Dropped     uint64
+	Duplicated  uint64
+	Corrupted   uint64
+	Delayed     uint64
+	Partitioned uint64
+}
+
+// held is a delayed message waiting for its release operation.
+type held struct {
+	m   Message
+	due uint64
+}
+
+// dirState is the per-direction fault machinery.
+type dirState struct {
+	cfg  DirFaults
+	rng  *sim.RNG
+	ops  uint64
+	held []held
+}
+
+// FaultTransport wraps a Transport and injects link faults — message
+// drop, duplication, payload corruption, bounded delay/reorder, and
+// partition — deterministically from a seeded RNG. It extends the fault
+// philosophy of package faultsim from device defects to channel defects:
+// the coupling link itself becomes a first-class failure domain.
+type FaultTransport struct {
+	inner Transport
+
+	sendMu sync.Mutex
+	send   dirState
+	recvMu sync.Mutex
+	recv   dirState
+
+	statMu sync.Mutex
+	stats  FaultStats
+
+	partMu      sync.Mutex
+	partitioned bool
+}
+
+// NewFault wraps inner with the given fault configuration. Distinct RNG
+// streams drive the two directions so enabling a fault on one side does
+// not perturb the pattern on the other.
+func NewFault(inner Transport, cfg FaultConfig) *FaultTransport {
+	root := sim.NewRNG(cfg.Seed)
+	norm := func(d DirFaults) DirFaults {
+		if d.Delay > 0 && d.DelaySlots <= 0 {
+			d.DelaySlots = 4
+		}
+		return d
+	}
+	return &FaultTransport{
+		inner: inner,
+		send:  dirState{cfg: norm(cfg.Send), rng: root.Split()},
+		recv:  dirState{cfg: norm(cfg.Recv), rng: root.Split()},
+	}
+}
+
+// Partition severs both directions until Heal — the manual override used
+// by watchdog tests; automatic windows are configured per direction.
+func (f *FaultTransport) Partition() {
+	f.partMu.Lock()
+	f.partitioned = true
+	f.partMu.Unlock()
+}
+
+// Heal reverses a manual Partition.
+func (f *FaultTransport) Heal() {
+	f.partMu.Lock()
+	f.partitioned = false
+	f.partMu.Unlock()
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultTransport) Stats() FaultStats {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return f.stats
+}
+
+func (f *FaultTransport) bump(fn func(*FaultStats)) {
+	f.statMu.Lock()
+	fn(&f.stats)
+	f.statMu.Unlock()
+}
+
+// cut reports whether the direction is inside a partition window (manual
+// or automatic) at its current operation count.
+func (f *FaultTransport) cut(s *dirState) bool {
+	f.partMu.Lock()
+	manual := f.partitioned
+	f.partMu.Unlock()
+	if manual {
+		return true
+	}
+	c := s.cfg
+	if c.PartitionAfter == 0 || s.ops <= c.PartitionAfter {
+		return false
+	}
+	return c.PartitionFor == 0 || s.ops <= c.PartitionAfter+c.PartitionFor
+}
+
+// corrupt returns a copy of m with one payload bit flipped (or, for
+// payload-less frames, the low bit of the time stamp — a silently wrong
+// clock on an unprotected link).
+func corrupt(m Message, rng *sim.RNG) Message {
+	if len(m.Data) == 0 {
+		m.Time ^= 1
+		return m
+	}
+	data := append([]byte(nil), m.Data...)
+	data[rng.Intn(len(data))] ^= 1 << uint(rng.Intn(8))
+	m.Data = data
+	return m
+}
+
+// takeDue pops the first held message whose release operation has come.
+func (s *dirState) takeDue() (Message, bool) {
+	for i, h := range s.held {
+		if h.due <= s.ops {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return h.m, true
+		}
+	}
+	return Message{}, false
+}
+
+// takeAny pops any held message — the final drain when the link closes.
+func (s *dirState) takeAny() (Message, bool) {
+	if len(s.held) == 0 {
+		return Message{}, false
+	}
+	m := s.held[0].m
+	s.held = s.held[1:]
+	return m, true
+}
+
+// Send implements Transport, running the outbound fault processes.
+func (f *FaultTransport) Send(m Message) error {
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	s := &f.send
+	s.ops++
+	// Release delayed messages whose slot has come before the new one, so
+	// a held frame overtaken by later traffic appears reordered.
+	for {
+		h, ok := s.takeDue()
+		if !ok {
+			break
+		}
+		if err := f.inner.Send(h); err != nil {
+			return err
+		}
+	}
+	if f.cut(s) {
+		f.bump(func(st *FaultStats) { st.Partitioned++ })
+		return nil
+	}
+	c := s.cfg
+	if c.Drop > 0 && s.rng.Bool(c.Drop) {
+		f.bump(func(st *FaultStats) { st.Dropped++ })
+		return nil
+	}
+	if c.Corrupt > 0 && s.rng.Bool(c.Corrupt) {
+		m = corrupt(m, s.rng)
+		f.bump(func(st *FaultStats) { st.Corrupted++ })
+	}
+	if c.Delay > 0 && s.rng.Bool(c.Delay) {
+		s.held = append(s.held, held{m: m, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
+		f.bump(func(st *FaultStats) { st.Delayed++ })
+		return nil
+	}
+	if err := f.inner.Send(m); err != nil {
+		return err
+	}
+	if c.Dup > 0 && s.rng.Bool(c.Dup) {
+		f.bump(func(st *FaultStats) { st.Duplicated++ })
+		return f.inner.Send(m)
+	}
+	return nil
+}
+
+// Recv implements Transport, running the inbound fault processes. A
+// dropped inbound message makes Recv read the next one — from the
+// caller's view the message simply never arrived.
+func (f *FaultTransport) Recv() (Message, error) {
+	f.recvMu.Lock()
+	defer f.recvMu.Unlock()
+	s := &f.recv
+	for {
+		s.ops++
+		if m, ok := s.takeDue(); ok {
+			return m, nil
+		}
+		m, err := f.inner.Recv()
+		if err != nil {
+			// Drain delayed messages before reporting closure, matching
+			// Pipe semantics.
+			if h, ok := s.takeAny(); ok {
+				return h, nil
+			}
+			return Message{}, err
+		}
+		if f.cut(s) {
+			f.bump(func(st *FaultStats) { st.Partitioned++ })
+			continue
+		}
+		c := s.cfg
+		if c.Drop > 0 && s.rng.Bool(c.Drop) {
+			f.bump(func(st *FaultStats) { st.Dropped++ })
+			continue
+		}
+		if c.Corrupt > 0 && s.rng.Bool(c.Corrupt) {
+			m = corrupt(m, s.rng)
+			f.bump(func(st *FaultStats) { st.Corrupted++ })
+		}
+		if c.Delay > 0 && s.rng.Bool(c.Delay) {
+			s.held = append(s.held, held{m: m, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
+			f.bump(func(st *FaultStats) { st.Delayed++ })
+			continue
+		}
+		if c.Dup > 0 && s.rng.Bool(c.Dup) {
+			s.held = append(s.held, held{m: m, due: s.ops + 1})
+			f.bump(func(st *FaultStats) { st.Duplicated++ })
+		}
+		return m, nil
+	}
+}
+
+// Close implements Transport. Outbound messages still sitting in the
+// delay line are flushed first: delay is reordering, not loss.
+func (f *FaultTransport) Close() error {
+	f.sendMu.Lock()
+	for {
+		h, ok := f.send.takeAny()
+		if !ok {
+			break
+		}
+		if f.inner.Send(h) != nil {
+			break
+		}
+	}
+	f.sendMu.Unlock()
+	return f.inner.Close()
+}

@@ -2,7 +2,9 @@ package ipc
 
 import (
 	"bytes"
+	"errors"
 	"net"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -181,5 +183,132 @@ func TestUnixSocketTransport(t *testing.T) {
 		if got.Kind != want.Kind || got.Time != want.Time {
 			t.Fatalf("echo %d corrupted: %v", i, got)
 		}
+	}
+}
+
+// TestPipeCloseSemantics pins the close/drain contract of the in-process
+// transport: queued messages survive Close, Close is idempotent from
+// either end, and post-drain operations report ErrClosed.
+func TestPipeCloseSemantics(t *testing.T) {
+	tests := []struct {
+		name string
+		run  func(t *testing.T, a, b Transport)
+	}{
+		{"post-close drain yields queued then ErrClosed", func(t *testing.T, a, b Transport) {
+			a.Send(Message{Kind: 1})
+			a.Send(Message{Kind: 2})
+			a.Close()
+			for want := Kind(1); want <= 2; want++ {
+				m, err := b.Recv()
+				if err != nil || m.Kind != want {
+					t.Fatalf("drain %d = %v, %v", want, m, err)
+				}
+			}
+			if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("post-drain recv err = %v", err)
+			}
+		}},
+		{"double close both ends", func(t *testing.T, a, b Transport) {
+			for i := 0; i < 2; i++ {
+				if err := a.Close(); err != nil {
+					t.Fatalf("a.Close #%d: %v", i, err)
+				}
+				if err := b.Close(); err != nil {
+					t.Fatalf("b.Close #%d: %v", i, err)
+				}
+			}
+		}},
+		{"send after peer close", func(t *testing.T, a, b Transport) {
+			b.Close()
+			if err := a.Send(Message{Kind: 1}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("send err = %v", err)
+			}
+		}},
+		{"recv after close with empty queue", func(t *testing.T, a, b Transport) {
+			a.Close()
+			if _, err := a.Recv(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("recv err = %v", err)
+			}
+		}},
+		{"concurrent send and close", func(t *testing.T, a, b Transport) {
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						if err := a.Send(Message{Kind: 1}); err != nil {
+							if !errors.Is(err, ErrClosed) {
+								t.Errorf("send err = %v", err)
+							}
+							return
+						}
+					}
+				}()
+			}
+			a.Close()
+			wg.Wait()
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := Pipe(256)
+			defer a.Close()
+			defer b.Close()
+			tc.run(t, a, b)
+		})
+	}
+}
+
+// TestConnCloseIdempotentUnderConcurrentSend pins the socket-transport
+// contract: Close is idempotent, and a Send racing Close reports
+// ErrClosed rather than an unwrapped net error.
+func TestConnCloseIdempotentUnderConcurrentSend(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tr := NewConn(c)
+		for {
+			if _, err := tr.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	tr, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10000; i++ {
+			if err := tr.Send(Message{Kind: KindUser, Data: []byte{1, 2, 3}}); err != nil {
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("racing send returned %v, want ErrClosed", err)
+				}
+				return
+			}
+		}
+	}()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	wg.Wait()
+	if err := tr.Send(Message{Kind: KindUser}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+	if _, err := tr.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close = %v, want ErrClosed", err)
 	}
 }

@@ -1,0 +1,459 @@
+package ipc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+)
+
+// Reserved message kinds of the reliability envelope. They live below
+// KindUser with the other protocol kinds, so the envelope travels inside
+// ordinary frames and the wire format stays unchanged: a stream without
+// these kinds is exactly the pre-envelope protocol.
+const (
+	// KindRelData wraps one application message: seq(4) crc32(4) followed
+	// by the inner message in standard wire format.
+	KindRelData Kind = 3
+	// KindRelAck acknowledges a data sequence number: seq(4) crc32(4).
+	// The CRC keeps a corrupted ack from masquerading as a different
+	// (possibly future) acknowledgement.
+	KindRelAck Kind = 4
+	// KindRelHeartbeat is a keep-alive; any inbound frame refreshes the
+	// peer watchdog, heartbeats cover idle phases.
+	KindRelHeartbeat Kind = 5
+)
+
+// ErrTimeout reports that a reliable operation exhausted its retries or
+// deadline without an acknowledgement.
+var ErrTimeout = errors.New("ipc: operation timed out")
+
+// ErrPeerLost reports that the heartbeat watchdog declared the peer dead.
+// It wraps ErrTimeout so timeout-classed handling catches both.
+var ErrPeerLost = fmt.Errorf("%w: peer heartbeat lost", ErrTimeout)
+
+// ReliableConfig tunes the reliability envelope.
+type ReliableConfig struct {
+	// Auto defers the envelope decision to the first inbound frame: an
+	// envelope frame switches the transport to reliable mode, anything
+	// else to transparent pass-through. Servers use it so a plain client's
+	// KindInit negotiates a plain session and a reliable client's
+	// enveloped KindInit negotiates a reliable one.
+	Auto bool
+	// MaxRetries bounds retransmissions per data frame (default 8).
+	MaxRetries int
+	// RetryBase is the first acknowledgement wait (default 2ms); it
+	// doubles per retry up to RetryCap (default 100ms).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// OpDeadline caps one Send including all retries (default 10s; < 0
+	// disables).
+	OpDeadline time.Duration
+	// Heartbeat is the keep-alive period; 0 disables heartbeats and the
+	// peer watchdog.
+	Heartbeat time.Duration
+	// PeerTimeout is the silence interval after which the peer is declared
+	// lost (default 4 × Heartbeat).
+	PeerTimeout time.Duration
+	// RecvBuffer is the delivered-message queue depth (default 256).
+	RecvBuffer int
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = 100 * time.Millisecond
+	}
+	if c.OpDeadline == 0 {
+		c.OpDeadline = 10 * time.Second
+	}
+	if c.PeerTimeout == 0 {
+		c.PeerTimeout = 4 * c.Heartbeat
+	}
+	if c.RecvBuffer == 0 {
+		c.RecvBuffer = 256
+	}
+	return c
+}
+
+// ReliableStats counts envelope activity.
+type ReliableStats struct {
+	Sent           uint64 // data frames sent first time
+	Retransmits    uint64
+	Delivered      uint64 // in-order data frames handed to Recv
+	AcksSent       uint64
+	CorruptDropped uint64 // frames failing the CRC or envelope parse
+	DupDropped     uint64 // retransmit duplicates suppressed
+	Heartbeats     uint64
+}
+
+const (
+	modeUndecided = iota
+	modeEnvelope
+	modeRaw
+)
+
+// ReliableTransport layers exactly-once, in-order delivery over a lossy
+// Transport: every application message travels in a CRC-protected
+// envelope with a sequence number, is acknowledged by the peer, and is
+// retransmitted with capped exponential backoff until acknowledged or the
+// retry budget runs out. Duplicates created by retransmission (or by the
+// link itself) are suppressed by sequence number. The sender is
+// stop-and-wait — one data frame in flight — which the strictly
+// alternating co-simulation protocol never notices.
+type ReliableTransport struct {
+	inner Transport
+	cfg   ReliableConfig
+
+	sendMu sync.Mutex // one in-flight data frame
+	wmu    sync.Mutex // serializes inner.Send (acks/heartbeats interleave)
+	seq    uint32
+
+	recvq chan Message
+	acks  chan uint32
+
+	done     chan struct{}
+	doneOnce sync.Once
+
+	mu           sync.Mutex
+	mode         int
+	lastHeard    time.Time
+	lastAccepted uint32
+	failErr      error
+	stats        ReliableStats
+}
+
+// NewReliable wraps inner in the reliability envelope and starts its
+// reader (and, with Heartbeat set, watchdog) goroutines. Close releases
+// them.
+func NewReliable(inner Transport, cfg ReliableConfig) *ReliableTransport {
+	cfg = cfg.withDefaults()
+	t := &ReliableTransport{
+		inner:     inner,
+		cfg:       cfg,
+		recvq:     make(chan Message, cfg.RecvBuffer),
+		acks:      make(chan uint32, 16),
+		done:      make(chan struct{}),
+		mode:      modeEnvelope,
+		lastHeard: time.Now(),
+	}
+	if cfg.Auto {
+		t.mode = modeUndecided
+	}
+	go t.readLoop()
+	if cfg.Heartbeat > 0 {
+		go t.heartbeatLoop()
+	}
+	return t
+}
+
+// Stats returns a snapshot of the envelope counters.
+func (t *ReliableTransport) Stats() ReliableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *ReliableTransport) bump(fn func(*ReliableStats)) {
+	t.mu.Lock()
+	fn(&t.stats)
+	t.mu.Unlock()
+}
+
+func (t *ReliableTransport) modeNow() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mode
+}
+
+// decide pins the negotiated mode on the first inbound frame.
+func (t *ReliableTransport) decide(mode int) {
+	t.mu.Lock()
+	if t.mode == modeUndecided {
+		t.mode = mode
+	}
+	t.mu.Unlock()
+}
+
+func (t *ReliableTransport) touch() {
+	t.mu.Lock()
+	t.lastHeard = time.Now()
+	t.mu.Unlock()
+}
+
+func (t *ReliableTransport) heard() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastHeard
+}
+
+// fail records the terminal error, wakes every waiter and tears the link
+// down. First error wins.
+func (t *ReliableTransport) fail(err error) {
+	t.mu.Lock()
+	if t.failErr == nil {
+		t.failErr = err
+	}
+	t.mu.Unlock()
+	t.doneOnce.Do(func() { close(t.done) })
+	t.inner.Close()
+}
+
+// termErr is the error Send/Recv report once the transport is down.
+func (t *ReliableTransport) termErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failErr != nil && !errors.Is(t.failErr, ErrClosed) {
+		return t.failErr
+	}
+	return ErrClosed
+}
+
+func (t *ReliableTransport) write(m Message) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.inner.Send(m)
+}
+
+// envelope wraps m in a KindRelData frame.
+func envelope(seq uint32, m Message) (Message, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 8))
+	if err := Encode(&buf, m); err != nil {
+		return Message{}, err
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[0:], seq)
+	binary.BigEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:]))
+	return Message{Kind: KindRelData, Time: m.Time, Data: b}, nil
+}
+
+// openEnvelope verifies and unwraps a KindRelData frame.
+func openEnvelope(data []byte) (uint32, Message, error) {
+	if len(data) < 8 {
+		return 0, Message{}, fmt.Errorf("%w: short envelope", ErrBadFrame)
+	}
+	seq := binary.BigEndian.Uint32(data[0:])
+	sum := binary.BigEndian.Uint32(data[4:])
+	if crc32.ChecksumIEEE(data[8:]) != sum {
+		return 0, Message{}, fmt.Errorf("%w: envelope crc mismatch", ErrBadFrame)
+	}
+	m, err := Decode(bytes.NewReader(data[8:]))
+	return seq, m, err
+}
+
+// Send implements Transport. In envelope mode it blocks until the frame
+// is acknowledged, retransmitting with capped exponential backoff, and
+// returns a timeout error once the retry budget or the per-op deadline is
+// spent. In raw mode (negotiated with a plain peer) it passes through.
+func (t *ReliableTransport) Send(m Message) error {
+	if t.modeNow() != modeEnvelope {
+		return t.inner.Send(m)
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	select {
+	case <-t.done:
+		return t.termErr()
+	default:
+	}
+	t.seq++
+	seq := t.seq
+	frame, err := envelope(seq, m)
+	if err != nil {
+		return err
+	}
+	var deadline <-chan time.Time
+	if t.cfg.OpDeadline > 0 {
+		dt := time.NewTimer(t.cfg.OpDeadline)
+		defer dt.Stop()
+		deadline = dt.C
+	}
+	wait := t.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		if err := t.write(frame); err != nil {
+			return err
+		}
+		if attempt == 0 {
+			t.bump(func(s *ReliableStats) { s.Sent++ })
+		} else {
+			t.bump(func(s *ReliableStats) { s.Retransmits++ })
+		}
+		timer := time.NewTimer(wait)
+		acked := false
+	waiting:
+		for {
+			select {
+			case a := <-t.acks:
+				if a >= seq { // stale acks from older frames are skipped
+					acked = true
+					break waiting
+				}
+			case <-timer.C:
+				break waiting
+			case <-deadline:
+				timer.Stop()
+				err := fmt.Errorf("%w: seq %d unacknowledged at deadline", ErrTimeout, seq)
+				t.fail(err)
+				return err
+			case <-t.done:
+				timer.Stop()
+				return t.termErr()
+			}
+		}
+		timer.Stop()
+		if acked {
+			return nil
+		}
+		if attempt >= t.cfg.MaxRetries {
+			// A stop-and-wait envelope that abandons a frame can no longer
+			// keep its exactly-once promise: the link is dead. Failing the
+			// transport also unblocks the peer's Recv instead of leaving it
+			// waiting on a half-alive pipe.
+			err := fmt.Errorf("%w: seq %d unacknowledged after %d attempts", ErrTimeout, seq, attempt+1)
+			t.fail(err)
+			return err
+		}
+		wait *= 2
+		if wait > t.cfg.RetryCap {
+			wait = t.cfg.RetryCap
+		}
+	}
+}
+
+// Recv implements Transport: it delivers the next in-order application
+// message. After Close or peer loss it drains already-delivered messages
+// first, then reports the terminal error.
+func (t *ReliableTransport) Recv() (Message, error) {
+	select {
+	case m := <-t.recvq:
+		return m, nil
+	case <-t.done:
+		select {
+		case m := <-t.recvq:
+			return m, nil
+		default:
+			return Message{}, t.termErr()
+		}
+	}
+}
+
+// Close implements Transport; it is idempotent and safe to call
+// concurrently with Send and Recv.
+func (t *ReliableTransport) Close() error {
+	t.doneOnce.Do(func() { close(t.done) })
+	return t.inner.Close()
+}
+
+func (t *ReliableTransport) sendAck(seq uint32) {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:4], seq)
+	binary.BigEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[:4]))
+	if err := t.write(Message{Kind: KindRelAck, Data: b[:]}); err == nil {
+		t.bump(func(s *ReliableStats) { s.AcksSent++ })
+	}
+}
+
+// readLoop owns inner.Recv: it verifies, deduplicates and acknowledges
+// data frames, routes acks to the sender, and refreshes the watchdog.
+func (t *ReliableTransport) readLoop() {
+	for {
+		m, err := t.inner.Recv()
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.touch()
+		switch m.Kind {
+		case KindRelData:
+			t.decide(modeEnvelope)
+			seq, inner, err := openEnvelope(m.Data)
+			if err != nil {
+				// Corrupt frames are not acknowledged: the sender
+				// retransmits, which is the recovery.
+				t.bump(func(s *ReliableStats) { s.CorruptDropped++ })
+				continue
+			}
+			t.mu.Lock()
+			dup := seq <= t.lastAccepted
+			inOrder := seq == t.lastAccepted+1
+			if inOrder {
+				t.lastAccepted = seq
+			}
+			t.mu.Unlock()
+			if dup {
+				// Already delivered; the peer missed our ack — repeat it.
+				t.bump(func(s *ReliableStats) { s.DupDropped++ })
+				t.sendAck(seq)
+				continue
+			}
+			if !inOrder {
+				// A gap is impossible under stop-and-wait; drop without
+				// ack so the sender recovers it.
+				continue
+			}
+			t.sendAck(seq)
+			select {
+			case t.recvq <- inner:
+				t.bump(func(s *ReliableStats) { s.Delivered++ })
+			case <-t.done:
+				return
+			}
+		case KindRelAck:
+			t.decide(modeEnvelope)
+			if len(m.Data) < 8 ||
+				crc32.ChecksumIEEE(m.Data[:4]) != binary.BigEndian.Uint32(m.Data[4:]) {
+				t.bump(func(s *ReliableStats) { s.CorruptDropped++ })
+				continue
+			}
+			select {
+			case t.acks <- binary.BigEndian.Uint32(m.Data):
+			default: // stale ack with no waiter
+			}
+		case KindRelHeartbeat:
+			t.decide(modeEnvelope)
+		default:
+			// A raw frame: a plain peer (negotiates pass-through mode on
+			// the first frame) or a mixed stream — deliver as-is.
+			t.decide(modeRaw)
+			select {
+			case t.recvq <- m:
+			case <-t.done:
+				return
+			}
+		}
+	}
+}
+
+// heartbeatLoop sends keep-alives and declares the peer lost after
+// PeerTimeout of silence. It only acts in envelope mode: plain peers
+// neither send heartbeats nor expect them.
+func (t *ReliableTransport) heartbeatLoop() {
+	ticker := time.NewTicker(t.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-ticker.C:
+			if t.modeNow() != modeEnvelope {
+				continue
+			}
+			if t.write(Message{Kind: KindRelHeartbeat}) == nil {
+				t.bump(func(s *ReliableStats) { s.Heartbeats++ })
+			}
+			if pt := t.cfg.PeerTimeout; pt > 0 && time.Since(t.heard()) > pt {
+				t.fail(ErrPeerLost)
+				return
+			}
+		}
+	}
+}

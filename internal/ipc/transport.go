@@ -2,8 +2,10 @@ package ipc
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Transport moves messages between the coupled simulators. Send must not
@@ -79,10 +81,13 @@ func (p *pipeEnd) Close() error {
 // connTransport frames messages over a net.Conn (TCP or Unix domain
 // socket) — the real-IPC deployment of the coupling.
 type connTransport struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	br   *bufio.Reader
-	wmu  sync.Mutex
+	conn      net.Conn
+	bw        *bufio.Writer
+	br        *bufio.Reader
+	wmu       sync.Mutex
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewConn wraps an established connection.
@@ -101,20 +106,46 @@ func Dial(network, addr string) (Transport, error) {
 }
 
 // Send implements Transport with per-message flushing so the peer's
-// blocking Recv always makes progress.
+// blocking Recv always makes progress. A Send racing Close reports
+// ErrClosed, never a bare net error.
 func (t *connTransport) Send(m Message) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	if err := Encode(t.bw, m); err != nil {
-		return err
+	if t.closed.Load() {
+		return ErrClosed
 	}
-	return t.bw.Flush()
+	if err := Encode(t.bw, m); err != nil {
+		return t.mapErr(err)
+	}
+	return t.mapErr(t.bw.Flush())
+}
+
+// mapErr folds errors caused by a concurrent local Close into ErrClosed.
+func (t *connTransport) mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
 }
 
 // Recv implements Transport.
 func (t *connTransport) Recv() (Message, error) {
-	return Decode(t.br)
+	m, err := Decode(t.br)
+	if err != nil {
+		return Message{}, t.mapErr(err)
+	}
+	return m, nil
 }
 
-// Close implements Transport.
-func (t *connTransport) Close() error { return t.conn.Close() }
+// Close implements Transport. It is idempotent and safe to call
+// concurrently with Send/Recv; repeated calls return the first result.
+func (t *connTransport) Close() error {
+	t.closeOnce.Do(func() {
+		t.closed.Store(true)
+		t.closeErr = t.conn.Close()
+	})
+	return t.closeErr
+}
