@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build vet test race bench obs-bench
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -17,7 +17,13 @@ test:
 # The coupling layer is the concurrency hot spot: reader goroutines,
 # watchdog timers, and transport teardown all race by design.
 race:
-	$(GO) test -race ./internal/ipc/... ./internal/cosim/...
+	$(GO) test -race ./internal/ipc/... ./internal/cosim/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=Transport -benchtime=100x -run=^$$ ./internal/ipc/
+
+# Observability overhead: ns/op on the hdl and ipc hot paths with the
+# metrics/trace layer disabled (nil registry) vs enabled, written to
+# BENCH_obs.json.
+obs-bench:
+	OBS_BENCH_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestWriteObsBench -count=1 -v ./internal/obs/

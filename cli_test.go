@@ -1,6 +1,7 @@
 package castanet_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -38,6 +39,93 @@ func TestCommandLineTools(t *testing.T) {
 		out, err := exec.Command(filepath.Join(bin, "castanet"), "-experiment", "nope").CombinedOutput()
 		if err == nil {
 			t.Fatalf("unknown experiment accepted:\n%s", out)
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Errorf("exit status = %v, want 2", err)
+		}
+		if !strings.Contains(string(out), "e1") || !strings.Contains(string(out), "e8") {
+			t.Errorf("usage should list valid experiment names:\n%s", out)
+		}
+	})
+
+	t.Run("castanet-observability", func(t *testing.T) {
+		traceFile := filepath.Join(bin, "e1.json")
+		metricsFile := filepath.Join(bin, "e1.metrics")
+		out, err := exec.Command(filepath.Join(bin, "castanet"),
+			"-experiment", "e1", "-cells", "200",
+			"-trace", traceFile, "-metrics", metricsFile).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "run report") {
+			t.Errorf("stdout missing end-of-run summary table:\n%s", out)
+		}
+
+		metrics, err := os.ReadFile(metricsFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			"net.sched.executed counter ",
+			"cosim.queue.k8.depth gauge ",
+			"cosim.entity.lag_ps gauge ",
+			"ipc.reliable.retransmits counter ",
+			"hdl.sim.delta_cycles counter ",
+		} {
+			if !strings.Contains(string(metrics), want) {
+				t.Errorf("metrics exposition missing %q:\n%s", want, metrics)
+			}
+		}
+
+		// The trace must be well-formed Chrome trace-event JSON with the
+		// expected tracks and balanced spans.
+		raw, err := os.ReadFile(traceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr struct {
+			TraceEvents []struct {
+				Name  string                 `json:"name"`
+				Phase string                 `json:"ph"`
+				Tid   int                    `json:"tid"`
+				TS    float64                `json:"ts"`
+				Args  map[string]interface{} `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("trace is not valid JSON: %v", err)
+		}
+		tracks := map[string]bool{}
+		begins, ends := 0, 0
+		lastTS := map[int]float64{}
+		backwards := 0
+		for _, e := range tr.TraceEvents {
+			switch e.Phase {
+			case "M":
+				if e.Name == "thread_name" {
+					tracks[e.Args["name"].(string)] = true
+				}
+				continue
+			case "B":
+				begins++
+			case "E":
+				ends++
+			}
+			if prev, ok := lastTS[e.Tid]; ok && e.TS < prev {
+				backwards++
+			}
+			lastTS[e.Tid] = e.TS
+		}
+		if backwards > 0 {
+			t.Errorf("%d events run backwards within their track", backwards)
+		}
+		if begins == 0 || begins != ends {
+			t.Errorf("spans unbalanced: %d begins, %d ends", begins, ends)
+		}
+		for _, want := range []string{"netsim", "hdl-dut", "coupling", "rig"} {
+			if !tracks[want] {
+				t.Errorf("trace missing track %q (have %v)", want, tracks)
+			}
 		}
 	})
 

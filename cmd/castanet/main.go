@@ -6,66 +6,146 @@
 //
 //	castanet -experiment e1 -cells 10000
 //	castanet -experiment all
+//	castanet -experiment e1 -trace /tmp/e1.json -metrics /tmp/e1.metrics
+//
+// With -metrics the run's counters and gauges are written to the given
+// file in plain-text exposition format and a summary table is printed;
+// with -trace the run's events are exported as Chrome trace-event JSON
+// (open in Perfetto or chrome://tracing); -pprof serves net/http/pprof
+// on the given address for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"castanet/internal/experiments"
+	"castanet/internal/obs"
 )
 
+// experiment is one runnable harness: the name accepted by -experiment
+// and the function producing its report.
+type experiment struct {
+	name string
+	run  func(cells, seed uint64) fmt.Stringer
+}
+
+// table lists the experiments in execution order for -experiment all.
+var table = []experiment{
+	{"e1", func(c, s uint64) fmt.Stringer { return experiments.E1(c, s) }},
+	{"e2", func(c, s uint64) fmt.Stringer { return experiments.E2(min64(c, 800), s) }},
+	{"e3", func(c, s uint64) fmt.Stringer { return experiments.E3(min64(c, 1000), s) }},
+	{"e4", func(c, s uint64) fmt.Stringer { return experiments.E4(min64(c, 800), s) }},
+	{"e5", func(c, s uint64) fmt.Stringer { return experiments.E5(s) }},
+	{"e6", func(c, s uint64) fmt.Stringer { return experiments.E6(min64(c, 2000), s) }},
+	{"e7", func(c, s uint64) fmt.Stringer { return experiments.E7(min64(c, 500), s) }},
+	{"e8", func(c, s uint64) fmt.Stringer { return experiments.E8(s) }},
+}
+
+// names returns the valid -experiment values for usage messages.
+func names() string {
+	var ns []string
+	for _, e := range table {
+		ns = append(ns, e.name)
+	}
+	return strings.Join(ns, ", ")
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp   = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
-		cells = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
-		seed  = flag.Uint64("seed", 1, "master random seed")
+		exp     = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
+		cells   = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		metrics = flag.String("metrics", "", "write run metrics (plain-text exposition) to this file")
+		trace   = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	run := func(name string) bool {
-		want := strings.ToLower(*exp)
-		return want == "all" || want == name
+	// Validate the experiment selection before any work starts.
+	want := strings.ToLower(*exp)
+	var selected []experiment
+	for _, e := range table {
+		if want == "all" || want == e.name {
+			selected = append(selected, e)
+		}
 	}
-	ran := false
-	if run("e1") {
-		fmt.Println(experiments.E1(*cells, *seed))
-		ran = true
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "castanet: unknown experiment %q (valid: %s, all)\n", *exp, names())
+		return 2
 	}
-	if run("e2") {
-		fmt.Println(experiments.E2(min64(*cells, 800), *seed))
-		ran = true
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "castanet: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "castanet: pprof at http://%s/debug/pprof/\n", *pprof)
 	}
-	if run("e3") {
-		fmt.Println(experiments.E3(min64(*cells, 1000), *seed))
-		ran = true
+
+	// Observability is run-scoped: one registry and one trace ring shared
+	// by every selected experiment.
+	var run *obs.Run
+	if *metrics != "" || *trace != "" {
+		run = obs.NewRun(obs.DefaultTraceCap)
+		experiments.Observe(run)
 	}
-	if run("e4") {
-		fmt.Println(experiments.E4(min64(*cells, 800), *seed))
-		ran = true
+
+	for _, e := range selected {
+		fmt.Println(e.run(*cells, *seed))
 	}
-	if run("e5") {
-		fmt.Println(experiments.E5(*seed))
-		ran = true
+
+	if run != nil {
+		if err := writeRunArtifacts(run, *metrics, *trace); err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+			return 1
+		}
+		run.Reg().WriteReport(os.Stdout)
 	}
-	if run("e6") {
-		fmt.Println(experiments.E6(min64(*cells, 2000), *seed))
-		ran = true
+	return 0
+}
+
+// writeRunArtifacts saves the metrics exposition and the Chrome trace.
+func writeRunArtifacts(run *obs.Run, metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := run.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	if run("e7") {
-		fmt.Println(experiments.E7(min64(*cells, 500), *seed))
-		ran = true
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := run.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if d := run.Trace().Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "castanet: trace ring dropped %d oldest events\n", d)
+		}
 	}
-	if run("e8") {
-		fmt.Println(experiments.E8(*seed))
-		ran = true
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "castanet: unknown experiment %q (want e1..e8 or all)\n", *exp)
-		os.Exit(2)
-	}
+	return nil
 }
 
 func min64(a, b uint64) uint64 {

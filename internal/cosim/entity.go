@@ -25,6 +25,7 @@ import (
 
 	"castanet/internal/hdl"
 	"castanet/internal/ipc"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 )
 
@@ -39,7 +40,8 @@ type inQueue struct {
 	delta sim.Duration // δ_j: processing window granted per message
 	apply ApplyFunc
 	msgs  []ipc.Message
-	last  sim.Time // newest stamp seen for this queue
+	last  sim.Time   // newest stamp seen for this queue
+	depth *obs.Gauge // queue occupancy (nil until Instrument)
 }
 
 // Entity is the co-simulation entity instantiated inside the HDL
@@ -71,6 +73,49 @@ type Entity struct {
 	// it so the artificial final fast-forward does not dominate the
 	// steady-state figure.
 	FreezeLagStats bool
+
+	// Observability handles (nil when uninstrumented; all nil-safe). The
+	// entity runs single-threaded inside the simulation loop, so plain
+	// field access is fine.
+	obsReceived  *obs.Counter
+	obsApplied   *obs.Counter
+	obsWindows   *obs.Counter
+	obsCausality *obs.Counter
+	obsLag       *obs.Gauge
+	obsLagHist   *obs.Histogram
+	obsReg       *obs.Registry // for per-kind queue gauges declared after Instrument
+	tracer       *obs.Tracer
+}
+
+// lagHistBoundsPS are the lag-histogram bucket bounds in picoseconds:
+// 1 ns … 1 ms in decades, spanning sub-cycle jitter up to a stalled link.
+var lagHistBoundsPS = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// Instrument routes the entity's synchronization statistics into the
+// registry and δ-window spans into the tracer. Metrics:
+//
+//	cosim.entity.{received,applied,windows,causality_errors}  counters
+//	cosim.entity.lag_ps            gauge, last observed stamp-vs-HDL lag
+//	cosim.entity.lag_hist_ps       histogram of the same lag
+//	cosim.queue.k<kind>.depth      gauge per declared input queue
+//
+// Either argument may be nil. Call before or after Input declarations;
+// queues declared later pick up their depth gauge automatically.
+func (e *Entity) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	e.tracer = tr
+	if reg == nil {
+		return
+	}
+	e.obsReg = reg
+	e.obsReceived = reg.Counter("cosim.entity.received")
+	e.obsApplied = reg.Counter("cosim.entity.applied")
+	e.obsWindows = reg.Counter("cosim.entity.windows")
+	e.obsCausality = reg.Counter("cosim.entity.causality_errors")
+	e.obsLag = reg.Gauge("cosim.entity.lag_ps")
+	e.obsLagHist = reg.Histogram("cosim.entity.lag_hist_ps", lagHistBoundsPS...)
+	for _, q := range e.queues {
+		q.depth = reg.Gauge(fmt.Sprintf("cosim.queue.k%d.depth", q.kind))
+	}
 }
 
 // NewEntity wraps an HDL simulator. Input queues are declared with Input
@@ -91,6 +136,9 @@ func (e *Entity) Input(kind ipc.Kind, delta sim.Duration, apply ApplyFunc) {
 		panic("cosim: negative processing delay")
 	}
 	q := &inQueue{kind: kind, delta: delta, apply: apply}
+	if e.obsReg != nil {
+		q.depth = e.obsReg.Gauge(fmt.Sprintf("cosim.queue.k%d.depth", kind))
+	}
 	e.byKind[kind] = q
 	e.queues = append(e.queues, q)
 	sort.Slice(e.queues, func(i, j int) bool { return e.queues[i].kind < e.queues[j].kind })
@@ -145,15 +193,22 @@ var ErrCausality = fmt.Errorf("cosim: causality violation")
 //     simulator runs through a window of min_j δ_j to process it.
 func (e *Entity) Deliver(msg ipc.Message) error {
 	e.Received++
+	e.obsReceived.Inc()
 	if msg.Time < e.gmin {
 		e.CausalityErrors++
+		e.obsCausality.Inc()
 		return fmt.Errorf("%w: stamp %v before horizon %v", ErrCausality, msg.Time, e.gmin)
 	}
 	// Record how far the hardware clock trails the incoming network time
 	// stamp before the new window is granted — the lag the conservative
 	// protocol maintains (bounded by the message/sync interval).
-	if lag := msg.Time - e.HDL.Now(); lag > e.MaxLag && !e.FreezeLagStats {
+	lag := msg.Time - e.HDL.Now()
+	if lag > e.MaxLag && !e.FreezeLagStats {
 		e.MaxLag = lag
+	}
+	if e.obsLag != nil && !e.FreezeLagStats {
+		e.obsLag.Set(float64(lag))
+		e.obsLagHist.Observe(float64(lag))
 	}
 	if msg.Time > e.tcur {
 		if err := e.runBefore(msg.Time); err != nil {
@@ -177,6 +232,7 @@ func (e *Entity) Deliver(msg ipc.Message) error {
 	}
 	q.msgs = append(q.msgs, msg)
 	q.last = msg.Time
+	q.depth.Set(float64(len(q.msgs)))
 	return e.drainReady()
 }
 
@@ -226,20 +282,36 @@ func (e *Entity) drainReady() error {
 		// Apply every head message with stamp t, in kind order, FIFO
 		// within a queue.
 		for _, q := range e.queues {
+			popped := false
 			for len(q.msgs) > 0 && q.msgs[0].Time == t {
 				m := q.msgs[0]
 				q.msgs = q.msgs[1:]
+				popped = true
 				if q.apply != nil {
 					if err := q.apply(e, m); err != nil {
 						return err
 					}
 				}
 				e.Applied++
+				e.obsApplied.Inc()
+			}
+			if popped {
+				q.depth.Set(float64(len(q.msgs)))
 			}
 		}
 		// Grant the processing window.
 		e.Windows++
-		if err := e.runThrough(t + e.minDelta()); err != nil {
+		e.obsWindows.Inc()
+		end := t + e.minDelta()
+		// The span covers hardware time actually executed: when stimuli
+		// arrive closer together than δ the nominal windows overlap, but
+		// the kernel never regresses, so clamp to HDL.Now() on both ends
+		// to keep the track's spans monotone.
+		begin := max(t, e.HDL.Now())
+		e.tracer.Begin(obs.TrackHDL, "delta-window", int64(begin))
+		err := e.runThrough(end)
+		e.tracer.End(obs.TrackHDL, "delta-window", int64(max(begin, e.HDL.Now())))
+		if err != nil {
 			return err
 		}
 	}

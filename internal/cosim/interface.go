@@ -6,6 +6,7 @@ import (
 	"castanet/internal/ipc"
 	"castanet/internal/mapping"
 	"castanet/internal/netsim"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 )
 
@@ -60,6 +61,31 @@ type InterfaceProcess struct {
 	// err is the first coupling failure recorded by the default error
 	// handling; once set, the process stops driving the coupling.
 	err error
+
+	// Observability handles (nil when uninstrumented; all nil-safe). The
+	// process runs inside the sequential network scheduler, so plain field
+	// access is fine.
+	obsSent      *obs.Counter
+	obsResponses *obs.Counter
+	obsSyncs     *obs.Counter
+	obsPending   *obs.Gauge
+	tracer       *obs.Tracer
+}
+
+// Instrument routes the interface-model statistics into the registry
+// (cosim.iface.{sent,responses,syncs} counters) and records coupling
+// round-trips as spans on the coupling track, sync messages as instants
+// on the netsim track, and the network event-queue depth as counter
+// samples. Either argument may be nil.
+func (p *InterfaceProcess) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	p.tracer = tr
+	if reg == nil {
+		return
+	}
+	p.obsSent = reg.Counter("cosim.iface.sent")
+	p.obsResponses = reg.Counter("cosim.iface.responses")
+	p.obsSyncs = reg.Counter("cosim.iface.syncs")
+	p.obsPending = reg.Gauge("cosim.iface.net_pending")
 }
 
 // Err returns the coupling failure that terminated the run, or nil. Rigs
@@ -103,6 +129,7 @@ func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int
 		return
 	}
 	p.Sent++
+	p.obsSent.Inc()
 	p.push(ctx, ipc.Message{Kind: kind, Time: ctx.Now(), Data: data})
 }
 
@@ -114,6 +141,14 @@ func (p *InterfaceProcess) Timer(ctx *netsim.Ctx, tag interface{}) {
 	}
 	switch tg := tag.(type) {
 	case syncTag:
+		p.obsSyncs.Inc()
+		if p.tracer.Enabled() {
+			p.tracer.Emit(obs.TrackNetsim, "sync", int64(ctx.Now()))
+			p.tracer.Sample(obs.TrackNetsim, "net.sched.pending", int64(ctx.Now()), float64(ctx.Net().Sched.Pending()))
+		}
+		if p.obsPending != nil {
+			p.obsPending.Set(float64(ctx.Net().Sched.Pending()))
+		}
 		p.push(ctx, ipc.Message{Kind: ipc.KindSync, Time: ctx.Now()})
 		ctx.SetTimer(p.SyncEvery, syncTag{})
 	case respTag:
@@ -127,7 +162,14 @@ func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
 	if p.err != nil {
 		return
 	}
+	span := p.tracer.Enabled()
+	if span {
+		p.tracer.Begin(obs.TrackCoupling, kindSpanName(msg.Kind), int64(msg.Time))
+	}
 	resps, err := p.Coupling.Send(msg)
+	if span {
+		p.tracer.End(obs.TrackCoupling, kindSpanName(msg.Kind), int64(msg.Time))
+	}
 	if err != nil {
 		p.fail(ctx, err)
 		return
@@ -139,6 +181,7 @@ func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
 			continue
 		}
 		p.Responses++
+		p.obsResponses.Inc()
 		r := Response{Kind: rm.Kind, Value: value, HWTime: rm.Time}
 		if rm.Time > ctx.Now() {
 			// The DUT produced this inside its δ-window, ahead of the
@@ -158,6 +201,18 @@ func (p *InterfaceProcess) deliver(ctx *netsim.Ctx, r Response) {
 	} else if ctx.Connected(0) {
 		ctx.Send(ctx.Net().NewPacket("hw-response", r.Value, 0), 0)
 	}
+}
+
+// kindSpanName names the coupling span for one message kind. The small
+// kinds used by the protocol get stable names; user kinds are formatted.
+func kindSpanName(k ipc.Kind) string {
+	switch k {
+	case ipc.KindInit:
+		return "msg init"
+	case ipc.KindSync:
+		return "msg sync"
+	}
+	return fmt.Sprintf("msg k%d", k)
 }
 
 func (p *InterfaceProcess) decode(m ipc.Message) (interface{}, error) {

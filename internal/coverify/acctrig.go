@@ -10,6 +10,7 @@ import (
 	"castanet/internal/ipc"
 	"castanet/internal/mapping"
 	"castanet/internal/netsim"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 	"castanet/internal/traffic"
 )
@@ -34,6 +35,9 @@ type AcctRigConfig struct {
 	Sources []AcctSource
 	// SyncEvery is the time-update period.
 	SyncEvery sim.Duration
+	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // AcctSource is one traffic stream of the case study.
@@ -81,6 +85,7 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 	r := &AcctRig{Cfg: cfg}
 
 	r.HDL = hdl.New()
+	r.HDL.Instrument(cfg.Metrics, "hdl.sim")
 	clk := r.HDL.Bit("clk", hdl.U)
 	r.HDL.Clock(clk, cfg.ClockPeriod)
 	r.DUT = dut.NewAccountingUnit(r.HDL, clk, 256)
@@ -98,6 +103,7 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 	}
 
 	r.Entity = cosim.NewEntity(r.HDL)
+	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
 	r.writer = mapping.NewCellPortWriter(r.HDL, "castanet_tx", clk, r.DUT.In.Data, r.DUT.In.Sync)
 	r.Entity.Input(cosim.KindData, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
 		v, err := (mapping.CellCodec{}).Decode(msg.Data)
@@ -131,8 +137,10 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 			return cosim.KindData
 		},
 	}
+	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
 
 	r.Net = netsim.New(cfg.Seed)
+	r.Net.Sched.Instrument(cfg.Metrics, "net.sched")
 	ifaceNode := r.Net.Node("castanet", r.Iface)
 	refNode := r.Net.Node("refacct", &acctRefProc{rig: r})
 	for i, s := range cfg.Sources {
@@ -217,9 +225,16 @@ func (r *AcctRig) InjectVector(at sim.Time, img [atm.CellBytes]byte) {
 
 // Run executes the case study and drains the hardware.
 func (r *AcctRig) Run(until sim.Time) error {
+	tr := r.Cfg.Trace
+	tr.Begin(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
 	r.Net.Run(until)
+	tr.End(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
 	if err := r.Entity.Deliver(ipc.Message{Kind: ipc.KindSync, Time: until + 100*53*r.Cfg.ClockPeriod}); err != nil {
 		return err
+	}
+	if reg := r.Cfg.Metrics; reg != nil {
+		reg.Gauge("coverify.offered").Set(float64(r.Offered))
+		reg.Gauge("coverify.exceptions").Set(float64(r.Exceptions))
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"castanet/internal/ipc"
 	"castanet/internal/mapping"
 	"castanet/internal/netsim"
+	"castanet/internal/obs"
 	"castanet/internal/refmodel"
 	"castanet/internal/sim"
 )
@@ -85,6 +86,7 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 	}
 
 	r.Net = netsim.New(cfg.Seed)
+	r.Net.Sched.Instrument(cfg.Metrics, "net.sched")
 	r.Cmp = refmodel.NewComparator()
 	r.Ref = &refmodel.SwitchRef{Table: cfg.Table}
 	r.Ref.OnForward = func(ctx *netsim.Ctx, outPort int, c *atm.Cell) {
@@ -105,6 +107,7 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 			r.Cmp.Actual(port, resp.Value.(*atm.Cell))
 		},
 	}
+	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
 
 	refNode := r.Net.Node("refswitch", r.Ref)
 	ifaceNode := r.Net.Node("castanet", r.Iface)
@@ -149,7 +152,10 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 // Run executes the verification, then flushes remaining hardware output
 // through one final sync-triggered test cycle batch.
 func (r *BoardRig) Run(until sim.Time) error {
+	tr := r.Cfg.Trace
+	tr.Begin(obs.TrackBoard, "run", int64(r.Net.Sched.Now()))
 	r.Net.Run(until)
+	tr.End(obs.TrackBoard, "run", int64(r.Net.Sched.Now()))
 	coupling := r.Iface.Coupling
 	resps, err := coupling.Send(ipc.Message{Kind: ipc.KindSync, Time: until})
 	if err != nil {
@@ -164,7 +170,25 @@ func (r *BoardRig) Run(until sim.Time) error {
 		}
 		r.Cmp.Actual(int(m.Kind-KindCellOut(0)), cell)
 	}
+	r.publishObs()
 	return nil
+}
+
+// publishObs writes the end-of-run board figures into the registry: the
+// test-cycle count and the split between hardware activity and SCSI
+// software activity that govern the real-time fraction of §3.3.
+func (r *BoardRig) publishObs() {
+	reg := r.Cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Gauge("coverify.offered").Set(float64(r.Offered))
+	reg.Gauge("coverify.cmp.matched").Set(float64(r.Cmp.Matched))
+	reg.Gauge("coverify.cmp.mismatches").Set(float64(len(r.Cmp.Mismatches())))
+	reg.Gauge("board.test_cycles").Set(float64(r.Board.TestCycles))
+	reg.Gauge("board.hw_time_ps").Set(float64(r.Board.HWTime))
+	reg.Gauge("board.sw_time_ps").Set(float64(r.Board.SWTime))
+	reg.Gauge("board.rt_fraction").Set(r.Board.RealTimeFraction())
 }
 
 // Report summarizes the hardware-in-the-loop run including board timing.

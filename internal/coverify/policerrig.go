@@ -10,6 +10,7 @@ import (
 	"castanet/internal/ipc"
 	"castanet/internal/mapping"
 	"castanet/internal/netsim"
+	"castanet/internal/obs"
 	"castanet/internal/refmodel"
 	"castanet/internal/sim"
 	"castanet/internal/traffic"
@@ -54,6 +55,9 @@ type PolicerRigConfig struct {
 	Contracts   []PolicerContract
 	Sources     []PolicerSource
 	SyncEvery   sim.Duration
+	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // PolicerSource is one offered stream.
@@ -159,6 +163,7 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 	r := &PolicerRig{Cfg: cfg}
 
 	r.HDL = hdl.New()
+	r.HDL.Instrument(cfg.Metrics, "hdl.sim")
 	clk := r.HDL.Bit("clk", hdl.U)
 	r.HDL.Clock(clk, cfg.ClockPeriod)
 	r.DUT = dut.NewPolicer(r.HDL, clk, 64)
@@ -179,6 +184,7 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 	}
 
 	r.Entity = cosim.NewEntity(r.HDL)
+	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
 	r.writer = mapping.NewCellPortWriter(r.HDL, "castanet_tx", clk, r.DUT.In.Data, r.DUT.In.Sync)
 	r.Entity.Input(cosim.KindData, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
 		v, err := (mapping.CellCodec{}).Decode(msg.Data)
@@ -209,8 +215,10 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 			r.Cmp.Actual(resp.Value.(*atm.Cell))
 		},
 	}
+	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
 
 	r.Net = netsim.New(cfg.Seed)
+	r.Net.Sched.Instrument(cfg.Metrics, "net.sched")
 	ifaceNode := r.Net.Node("castanet", r.Iface)
 	refNode := r.Net.Node("refupc", ref)
 	// The reference policer must observe the cell stream at the same

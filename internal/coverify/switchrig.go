@@ -19,6 +19,7 @@ import (
 	"castanet/internal/ipc"
 	"castanet/internal/mapping"
 	"castanet/internal/netsim"
+	"castanet/internal/obs"
 	"castanet/internal/refmodel"
 	"castanet/internal/sim"
 	"castanet/internal/traffic"
@@ -74,6 +75,14 @@ type SwitchRigConfig struct {
 	// Waveforms, when non-nil, receives a VCD dump of the DUT's external
 	// ports — the HDL-side waveform debugging window of Fig. 2.
 	Waveforms io.Writer
+	// Metrics, when non-nil, receives the run's counters and gauges: the
+	// network scheduler, HDL kernel, co-simulation entity/interface,
+	// transport envelopes and the comparison engine all register under it
+	// (naming scheme in DESIGN.md §10).
+	Metrics *obs.Registry
+	// Trace, when non-nil, records run-scoped events (δ-windows, coupling
+	// messages, rig phases) for Chrome trace-event export.
+	Trace *obs.Tracer
 }
 
 // DefaultTable returns a full-mesh connection table: each input port p
@@ -163,10 +172,12 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 
 	// Hardware side: switch DUT plus the co-simulation entity.
 	r.HDL = hdl.New()
+	r.HDL.Instrument(cfg.Metrics, "hdl.sim")
 	clk := r.HDL.Bit("clk", hdl.U)
 	r.HDL.Clock(clk, cfg.ClockPeriod)
 	r.DUT = dut.NewSwitch(r.HDL, clk, cfg.Table, cfg.Switch)
 	r.Entity = cosim.NewEntity(r.HDL)
+	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
 	for p := 0; p < dut.SwitchPorts; p++ {
 		p := p
 		w := mapping.NewCellPortWriter(r.HDL, fmt.Sprintf("castanet_tx%d", p), clk,
@@ -210,10 +221,12 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		var ct, st ipc.Transport = a, b
 		if cfg.Fault != nil {
 			r.FaultLink = ipc.NewFault(a, *cfg.Fault)
+			r.FaultLink.Instrument(cfg.Metrics, "ipc.fault")
 			ct = r.FaultLink
 		}
 		if cfg.Reliable != nil {
 			r.RelClient = ipc.NewReliable(ct, *cfg.Reliable)
+			r.RelClient.Instrument(cfg.Metrics, "ipc.reliable")
 			ct = r.RelClient
 			st = ipc.NewReliable(b, *cfg.Reliable)
 		}
@@ -229,6 +242,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 
 	// Network side.
 	r.Net = netsim.New(cfg.Seed)
+	r.Net.Sched.Instrument(cfg.Metrics, "net.sched")
 	r.Probes = netsim.NewProbeSet()
 	latency := r.Probes.Get("hw.latency")
 	r.Cmp = refmodel.NewComparator()
@@ -258,6 +272,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 			r.Cmp.Actual(port, cell)
 		},
 	}
+	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
 
 	refNode := r.Net.Node("refswitch", r.Ref)
 	ifaceNode := r.Net.Node("castanet", r.Iface)
@@ -314,16 +329,39 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 // produced inside late δ-windows (whose hardware stamps may exceed the
 // horizon) are still delivered, then flushes the hardware pipeline.
 func (r *SwitchRig) Run(until sim.Time) error {
+	tr := r.Cfg.Trace
+	tr.Begin(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
 	r.Net.Run(until)
 	if err := r.Iface.Err(); err != nil {
 		return err
 	}
+	tr.End(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
+	tr.Begin(obs.TrackRig, "drain", int64(r.Net.Sched.Now()))
 	margin := r.drainMargin()
 	r.Net.Sched.RunUntil(until + margin)
 	if err := r.Iface.Err(); err != nil {
 		return err
 	}
-	return r.Drain(until + margin)
+	err := r.Drain(until + margin)
+	tr.End(obs.TrackRig, "drain", int64(r.Net.Sched.Now()))
+	r.publishObs()
+	return err
+}
+
+// publishObs writes the end-of-run verification figures into the registry:
+// how many cells the environment offered, what the comparison engine saw,
+// and the final protocol lag bound.
+func (r *SwitchRig) publishObs() {
+	reg := r.Cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Gauge("coverify.offered").Set(float64(r.Offered))
+	reg.Gauge("coverify.cmp.matched").Set(float64(r.Cmp.Matched))
+	reg.Gauge("coverify.cmp.mismatches").Set(float64(len(r.Cmp.Mismatches())))
+	reg.Gauge("coverify.dut_delivered").Set(float64(r.DUTDelivered()))
+	reg.Gauge("coverify.clock_cycles").Set(float64(r.ClockCycles()))
+	reg.Gauge("cosim.entity.max_lag_ps").Set(float64(r.Entity.MaxLag))
 }
 
 // drainMargin is a generous bound on how long in-flight cells can linger:

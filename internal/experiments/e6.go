@@ -60,6 +60,7 @@ func E6(cells uint64, seed uint64) E6Result {
 
 	// Event-driven engine.
 	h := hdl.New()
+	h.Instrument(obsRun.Reg(), "hdl.sim")
 	clk := h.Bit("clk", hdl.U)
 	h.Clock(clk, period)
 	sw := dut.NewSwitch(h, clk, table, dut.DefaultSwitchConfig())

@@ -46,6 +46,8 @@ func E7(cellsPerPoint uint64, seed uint64) E7Result {
 			Sources: []coverify.PolicerSource{
 				{Model: traffic.NewPoisson(contractRate * ratio), VC: vc, Cells: cellsPerPoint},
 			},
+			Metrics: obsRun.Reg(),
+			Trace:   obsRun.Trace(),
 		})
 		horizon := sim.FromSeconds(float64(cellsPerPoint)/(contractRate*ratio)) + sim.Millisecond
 		if err := rig.Run(horizon); err != nil {

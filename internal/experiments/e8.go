@@ -37,8 +37,7 @@ func E8(seed uint64) E8Result {
 	var res E8Result
 	faults := faultsim.TableFaults(coverify.DefaultTable())
 	for nPorts := 1; nPorts <= 4; nPorts++ {
-		var cfg coverify.SwitchRigConfig
-		cfg.Seed = seed
+		cfg := observed(coverify.SwitchRigConfig{Seed: seed})
 		for p := 0; p < nPorts; p++ {
 			cfg.Traffic[p] = coverify.PortTraffic{
 				Model: traffic.NewCBR(100e3),

@@ -21,9 +21,30 @@ import (
 	"castanet/internal/atm"
 	"castanet/internal/coverify"
 	"castanet/internal/dut"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 	"castanet/internal/traffic"
 )
+
+// obsRun is the observability sink installed by Observe. The harness
+// signatures (E1..E8) predate the observability layer and stay stable for
+// their benchmark callers, so the sink travels through package state
+// instead of a parameter. nil (the default) leaves every rig
+// uninstrumented.
+var obsRun *obs.Run
+
+// Observe installs an observability sink: every rig elaborated by a
+// subsequent E* call registers its metrics and trace events with it.
+// Experiments that elaborate several rigs (sweeps, campaigns) accumulate
+// into the same registry. Pass nil to disable.
+func Observe(run *obs.Run) { obsRun = run }
+
+// observed copies the installed sink into a rig configuration.
+func observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig {
+	cfg.Metrics = obsRun.Reg()
+	cfg.Trace = obsRun.Trace()
+	return cfg
+}
 
 // loadTraffic offers CBR load on all four ports at the given fraction of
 // the 20 MHz byte-clock line rate (1 cell / 53 cycles).
@@ -79,7 +100,7 @@ type E1Result struct {
 func E1(cells uint64, seed uint64) E1Result {
 	const load = 0.8
 	r := E1Result{Cells: cells}
-	cfg := coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)}
+	cfg := observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
 
 	co := coverify.NewSwitchRig(cfg)
 	start := time.Now()
@@ -153,12 +174,12 @@ func E2(cells uint64, seed uint64) E2Result {
 	res := E2Result{Cells: cells}
 	period := 50 * sim.Nanosecond
 	run := func(deltaCycles int, syncEvery sim.Duration, lockstep bool) {
-		cfg := coverify.SwitchRigConfig{
+		cfg := observed(coverify.SwitchRigConfig{
 			Seed:      seed,
 			Traffic:   loadTraffic(cells, load),
 			Delta:     sim.Duration(deltaCycles) * period,
 			SyncEvery: syncEvery,
-		}
+		})
 		rig := coverify.NewSwitchRig(cfg)
 		start := time.Now()
 		if err := rig.Run(horizonFor(cells/dut.SwitchPorts, load)); err != nil {
@@ -231,7 +252,7 @@ type E3Result struct {
 // cycles, plus idle periods).
 func E3(cells uint64, seed uint64) E3Result {
 	const load = 0.25 // realistic partially-loaded line: idle slots between cells
-	cfg := coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)}
+	cfg := observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
 	rig := coverify.NewSwitchRig(cfg)
 	if err := rig.Run(horizonFor(cells/dut.SwitchPorts, load)); err != nil {
 		panic(err)
@@ -291,7 +312,7 @@ func E4(cells uint64, seed uint64) E4Result {
 	const load = 0.6
 	res := E4Result{Cells: cells}
 	for _, depth := range []int{128, 512, 2048, 8192, 32768} {
-		cfg := coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)}
+		cfg := observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
 		rig, err := coverify.NewBoardRig(cfg, depth)
 		if err != nil {
 			panic(err)
@@ -351,6 +372,8 @@ func E5(seed uint64) E5Result {
 			{Model: traffic.NewPoisson(10e3), VC: -1, Cells: 50},
 		},
 	}
+	cfg.Metrics = obsRun.Reg()
+	cfg.Trace = obsRun.Trace()
 	rig := coverify.NewAcctRig(cfg)
 
 	// Conformance vectors replayed ahead of the stochastic phase.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 )
 
@@ -129,6 +130,50 @@ type Simulator struct {
 	signalEvents uint64
 	procRuns     uint64
 	timePoints   uint64
+	deltaCycles  uint64
+
+	// Observability handles, synchronized from the internal counters once
+	// per Step (diff-based) so the per-delta hot path stays untouched.
+	// All nil when uninstrumented.
+	obsDeltas *obs.Counter
+	obsEvents *obs.Counter
+	obsRuns   *obs.Counter
+	obsPoints *obs.Counter
+	lastSync  struct{ deltas, events, runs, points uint64 }
+}
+
+// Instrument registers the simulator's metrics under the given prefix
+// (e.g. "hdl.sim"): delta_cycles, signal_events (transitions),
+// process_runs and time_points. Counters are updated once per executed
+// time point, so the per-delta and per-signal hot paths carry no
+// instrumentation at all.
+func (s *Simulator) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s.obsDeltas = reg.Counter(prefix + ".delta_cycles")
+	s.obsEvents = reg.Counter(prefix + ".signal_events")
+	s.obsRuns = reg.Counter(prefix + ".process_runs")
+	s.obsPoints = reg.Counter(prefix + ".time_points")
+	s.lastSync.deltas = s.deltaCycles
+	s.lastSync.events = s.signalEvents
+	s.lastSync.runs = s.procRuns
+	s.lastSync.points = s.timePoints
+}
+
+// syncObs publishes the counter deltas accumulated since the last sync.
+func (s *Simulator) syncObs() {
+	if s.obsDeltas == nil {
+		return
+	}
+	s.obsDeltas.Add(s.deltaCycles - s.lastSync.deltas)
+	s.obsEvents.Add(s.signalEvents - s.lastSync.events)
+	s.obsRuns.Add(s.procRuns - s.lastSync.runs)
+	s.obsPoints.Add(s.timePoints - s.lastSync.points)
+	s.lastSync.deltas = s.deltaCycles
+	s.lastSync.events = s.signalEvents
+	s.lastSync.runs = s.procRuns
+	s.lastSync.points = s.timePoints
 }
 
 // New returns an empty simulator at time zero.
@@ -147,6 +192,9 @@ func (s *Simulator) ProcessRuns() uint64 { return s.procRuns }
 
 // TimePoints returns how many distinct simulated instants were executed.
 func (s *Simulator) TimePoints() uint64 { return s.timePoints }
+
+// DeltaCycles returns the total number of delta cycles executed.
+func (s *Simulator) DeltaCycles() uint64 { return s.deltaCycles }
 
 // Signal creates a signal of the given width, all bits initialized to
 // init ('U' at elaboration in VHDL).
@@ -290,7 +338,9 @@ func (s *Simulator) Step() (bool, error) {
 		}
 		s.spare = run[:0]
 		s.deltasAtNow++
+		s.deltaCycles++
 		if s.deltasAtNow > MaxDeltas {
+			s.syncObs()
 			return true, fmt.Errorf("%w at %v", ErrDeltaOverflow, s.now)
 		}
 		if s.agenda.peek() == nil || s.agenda.peek().at > s.now {
@@ -299,6 +349,7 @@ func (s *Simulator) Step() (bool, error) {
 			}
 		}
 	}
+	s.syncObs()
 	return true, nil
 }
 

@@ -3,6 +3,7 @@ package ipc
 import (
 	"sync"
 
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 )
 
@@ -53,6 +54,12 @@ type FaultStats struct {
 	Partitioned uint64
 }
 
+// faultObs mirrors FaultStats into registry counters (nil handles until
+// Instrument; obs counters are nil-safe).
+type faultObs struct {
+	dropped, duplicated, corrupted, delayed, partitioned *obs.Counter
+}
+
 // held is a delayed message waiting for its release operation.
 type held struct {
 	m   Message
@@ -82,6 +89,7 @@ type FaultTransport struct {
 
 	statMu sync.Mutex
 	stats  FaultStats
+	obs    faultObs
 
 	partMu      sync.Mutex
 	partitioned bool
@@ -127,10 +135,35 @@ func (f *FaultTransport) Stats() FaultStats {
 	return f.stats
 }
 
-func (f *FaultTransport) bump(fn func(*FaultStats)) {
+// Instrument routes the injected-fault counters into the registry under
+// the given prefix (conventionally "ipc.fault"), in addition to the
+// Stats() snapshot. A nil registry is a no-op; safe to call while traffic
+// flows.
+func (f *FaultTransport) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	o := faultObs{
+		dropped:     reg.Counter(prefix + ".dropped"),
+		duplicated:  reg.Counter(prefix + ".duplicated"),
+		corrupted:   reg.Counter(prefix + ".corrupted"),
+		delayed:     reg.Counter(prefix + ".delayed"),
+		partitioned: reg.Counter(prefix + ".partitioned"),
+	}
+	f.statMu.Lock()
+	f.obs = o
+	f.statMu.Unlock()
+}
+
+// bump applies one counter update under the mutex and returns the current
+// registry handles so call sites can mirror it, e.g.
+// f.bump(...).dropped.Inc() — nil handles no-op until Instrument.
+func (f *FaultTransport) bump(fn func(*FaultStats)) faultObs {
 	f.statMu.Lock()
 	fn(&f.stats)
+	o := f.obs
 	f.statMu.Unlock()
+	return o
 }
 
 // cut reports whether the direction is inside a partition window (manual
@@ -202,28 +235,28 @@ func (f *FaultTransport) Send(m Message) error {
 		}
 	}
 	if f.cut(s) {
-		f.bump(func(st *FaultStats) { st.Partitioned++ })
+		f.bump(func(st *FaultStats) { st.Partitioned++ }).partitioned.Inc()
 		return nil
 	}
 	c := s.cfg
 	if c.Drop > 0 && s.rng.Bool(c.Drop) {
-		f.bump(func(st *FaultStats) { st.Dropped++ })
+		f.bump(func(st *FaultStats) { st.Dropped++ }).dropped.Inc()
 		return nil
 	}
 	if c.Corrupt > 0 && s.rng.Bool(c.Corrupt) {
 		m = corrupt(m, s.rng)
-		f.bump(func(st *FaultStats) { st.Corrupted++ })
+		f.bump(func(st *FaultStats) { st.Corrupted++ }).corrupted.Inc()
 	}
 	if c.Delay > 0 && s.rng.Bool(c.Delay) {
 		s.held = append(s.held, held{m: m, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
-		f.bump(func(st *FaultStats) { st.Delayed++ })
+		f.bump(func(st *FaultStats) { st.Delayed++ }).delayed.Inc()
 		return nil
 	}
 	if err := f.inner.Send(m); err != nil {
 		return err
 	}
 	if c.Dup > 0 && s.rng.Bool(c.Dup) {
-		f.bump(func(st *FaultStats) { st.Duplicated++ })
+		f.bump(func(st *FaultStats) { st.Duplicated++ }).duplicated.Inc()
 		return f.inner.Send(m)
 	}
 	return nil
@@ -251,26 +284,26 @@ func (f *FaultTransport) Recv() (Message, error) {
 			return Message{}, err
 		}
 		if f.cut(s) {
-			f.bump(func(st *FaultStats) { st.Partitioned++ })
+			f.bump(func(st *FaultStats) { st.Partitioned++ }).partitioned.Inc()
 			continue
 		}
 		c := s.cfg
 		if c.Drop > 0 && s.rng.Bool(c.Drop) {
-			f.bump(func(st *FaultStats) { st.Dropped++ })
+			f.bump(func(st *FaultStats) { st.Dropped++ }).dropped.Inc()
 			continue
 		}
 		if c.Corrupt > 0 && s.rng.Bool(c.Corrupt) {
 			m = corrupt(m, s.rng)
-			f.bump(func(st *FaultStats) { st.Corrupted++ })
+			f.bump(func(st *FaultStats) { st.Corrupted++ }).corrupted.Inc()
 		}
 		if c.Delay > 0 && s.rng.Bool(c.Delay) {
 			s.held = append(s.held, held{m: m, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
-			f.bump(func(st *FaultStats) { st.Delayed++ })
+			f.bump(func(st *FaultStats) { st.Delayed++ }).delayed.Inc()
 			continue
 		}
 		if c.Dup > 0 && s.rng.Bool(c.Dup) {
 			s.held = append(s.held, held{m: m, due: s.ops + 1})
-			f.bump(func(st *FaultStats) { st.Duplicated++ })
+			f.bump(func(st *FaultStats) { st.Duplicated++ }).duplicated.Inc()
 		}
 		return m, nil
 	}

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"sync"
 	"time"
+
+	"castanet/internal/obs"
 )
 
 // Reserved message kinds of the reliability envelope. They live below
@@ -93,6 +95,14 @@ type ReliableStats struct {
 	CorruptDropped uint64 // frames failing the CRC or envelope parse
 	DupDropped     uint64 // retransmit duplicates suppressed
 	Heartbeats     uint64
+	Timeouts       uint64 // operations abandoned: retry budget, deadline, peer loss
+}
+
+// relObs mirrors ReliableStats into registry counters (all nil when the
+// transport is uninstrumented; obs counters are nil-safe).
+type relObs struct {
+	sent, retransmits, delivered, acksSent       *obs.Counter
+	corruptDropped, dupDropped, heartbeats, tout *obs.Counter
 }
 
 const (
@@ -129,6 +139,32 @@ type ReliableTransport struct {
 	lastAccepted uint32
 	failErr      error
 	stats        ReliableStats
+
+	obs relObs
+}
+
+// Instrument routes the envelope counters into the registry under the
+// given prefix (conventionally "ipc.reliable"), in addition to the
+// Stats() snapshot. Counts accumulated before Instrument stay only in
+// Stats; a nil registry is a no-op. Safe to call while the transport's
+// goroutines are running.
+func (t *ReliableTransport) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	o := relObs{
+		sent:           reg.Counter(prefix + ".sent"),
+		retransmits:    reg.Counter(prefix + ".retransmits"),
+		delivered:      reg.Counter(prefix + ".delivered"),
+		acksSent:       reg.Counter(prefix + ".acks_sent"),
+		corruptDropped: reg.Counter(prefix + ".corrupt_dropped"),
+		dupDropped:     reg.Counter(prefix + ".dup_dropped"),
+		heartbeats:     reg.Counter(prefix + ".heartbeats"),
+		tout:           reg.Counter(prefix + ".timeouts"),
+	}
+	t.mu.Lock()
+	t.obs = o
+	t.mu.Unlock()
 }
 
 // NewReliable wraps inner in the reliability envelope and starts its
@@ -162,10 +198,16 @@ func (t *ReliableTransport) Stats() ReliableStats {
 	return t.stats
 }
 
-func (t *ReliableTransport) bump(fn func(*ReliableStats)) {
+// bump applies one counter update under the mutex and returns the current
+// registry handles, so call sites can mirror the update into the registry
+// with e.g. t.bump(...).sent.Inc() — the handles are nil (and Inc a
+// no-op) until Instrument is called.
+func (t *ReliableTransport) bump(fn func(*ReliableStats)) relObs {
 	t.mu.Lock()
 	fn(&t.stats)
+	o := t.obs
 	t.mu.Unlock()
+	return o
 }
 
 func (t *ReliableTransport) modeNow() int {
@@ -283,9 +325,9 @@ func (t *ReliableTransport) Send(m Message) error {
 			return err
 		}
 		if attempt == 0 {
-			t.bump(func(s *ReliableStats) { s.Sent++ })
+			t.bump(func(s *ReliableStats) { s.Sent++ }).sent.Inc()
 		} else {
-			t.bump(func(s *ReliableStats) { s.Retransmits++ })
+			t.bump(func(s *ReliableStats) { s.Retransmits++ }).retransmits.Inc()
 		}
 		timer := time.NewTimer(wait)
 		acked := false
@@ -302,6 +344,7 @@ func (t *ReliableTransport) Send(m Message) error {
 			case <-deadline:
 				timer.Stop()
 				err := fmt.Errorf("%w: seq %d unacknowledged at deadline", ErrTimeout, seq)
+				t.bump(func(s *ReliableStats) { s.Timeouts++ }).tout.Inc()
 				t.fail(err)
 				return err
 			case <-t.done:
@@ -319,6 +362,7 @@ func (t *ReliableTransport) Send(m Message) error {
 			// transport also unblocks the peer's Recv instead of leaving it
 			// waiting on a half-alive pipe.
 			err := fmt.Errorf("%w: seq %d unacknowledged after %d attempts", ErrTimeout, seq, attempt+1)
+			t.bump(func(s *ReliableStats) { s.Timeouts++ }).tout.Inc()
 			t.fail(err)
 			return err
 		}
@@ -358,7 +402,7 @@ func (t *ReliableTransport) sendAck(seq uint32) {
 	binary.BigEndian.PutUint32(b[:4], seq)
 	binary.BigEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[:4]))
 	if err := t.write(Message{Kind: KindRelAck, Data: b[:]}); err == nil {
-		t.bump(func(s *ReliableStats) { s.AcksSent++ })
+		t.bump(func(s *ReliableStats) { s.AcksSent++ }).acksSent.Inc()
 	}
 }
 
@@ -379,7 +423,7 @@ func (t *ReliableTransport) readLoop() {
 			if err != nil {
 				// Corrupt frames are not acknowledged: the sender
 				// retransmits, which is the recovery.
-				t.bump(func(s *ReliableStats) { s.CorruptDropped++ })
+				t.bump(func(s *ReliableStats) { s.CorruptDropped++ }).corruptDropped.Inc()
 				continue
 			}
 			t.mu.Lock()
@@ -391,7 +435,7 @@ func (t *ReliableTransport) readLoop() {
 			t.mu.Unlock()
 			if dup {
 				// Already delivered; the peer missed our ack — repeat it.
-				t.bump(func(s *ReliableStats) { s.DupDropped++ })
+				t.bump(func(s *ReliableStats) { s.DupDropped++ }).dupDropped.Inc()
 				t.sendAck(seq)
 				continue
 			}
@@ -403,7 +447,7 @@ func (t *ReliableTransport) readLoop() {
 			t.sendAck(seq)
 			select {
 			case t.recvq <- inner:
-				t.bump(func(s *ReliableStats) { s.Delivered++ })
+				t.bump(func(s *ReliableStats) { s.Delivered++ }).delivered.Inc()
 			case <-t.done:
 				return
 			}
@@ -411,7 +455,7 @@ func (t *ReliableTransport) readLoop() {
 			t.decide(modeEnvelope)
 			if len(m.Data) < 8 ||
 				crc32.ChecksumIEEE(m.Data[:4]) != binary.BigEndian.Uint32(m.Data[4:]) {
-				t.bump(func(s *ReliableStats) { s.CorruptDropped++ })
+				t.bump(func(s *ReliableStats) { s.CorruptDropped++ }).corruptDropped.Inc()
 				continue
 			}
 			select {
@@ -448,9 +492,10 @@ func (t *ReliableTransport) heartbeatLoop() {
 				continue
 			}
 			if t.write(Message{Kind: KindRelHeartbeat}) == nil {
-				t.bump(func(s *ReliableStats) { s.Heartbeats++ })
+				t.bump(func(s *ReliableStats) { s.Heartbeats++ }).heartbeats.Inc()
 			}
 			if pt := t.cfg.PeerTimeout; pt > 0 && time.Since(t.heard()) > pt {
+				t.bump(func(s *ReliableStats) { s.Timeouts++ }).tout.Inc()
 				t.fail(ErrPeerLost)
 				return
 			}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event JSON export. The "JSON object format" is written:
+//
+//	{"traceEvents": [...], "displayTimeUnit": "ns"}
+//
+// Timestamps: the viewer timeline is laid out in *simulated* time — ts is
+// sim picoseconds divided by 1e6, because trace_event ts is in
+// microseconds. A co-verification run therefore renders as the simulated
+// schedule (cell slots, δ-windows, sync points), with the wall-clock
+// nanosecond stamp preserved in each event's args for cost analysis.
+//
+// Tracks: each distinct Event.Track becomes one thread (tid) of a single
+// process (pid 1), named via "thread_name" metadata so Perfetto labels
+// the rows netsim / hdl-dut / coupling / board / rig.
+
+// ChromeEvent is one trace_event record; exported so tests can parse the
+// output back.
+type ChromeEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"` // microseconds
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON object format envelope.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// SimPSPerMicrosecond is the ts conversion: trace_event timestamps are
+// microseconds, simulated time is picoseconds.
+const SimPSPerMicrosecond = 1e6
+
+func phase(t EventType) string {
+	switch t {
+	case SpanBegin:
+		return "B"
+	case SpanEnd:
+		return "E"
+	case Instant:
+		return "i"
+	case CounterSample:
+		return "C"
+	}
+	return "i"
+}
+
+// BuildChromeTrace converts recorded events into the trace_event form.
+// Track ids are assigned in first-appearance order, starting at 1.
+func BuildChromeTrace(events []Event) ChromeTrace {
+	tr := ChromeTrace{DisplayTimeUnit: "ns", TraceEvents: []ChromeEvent{}}
+	tids := map[string]int{}
+	var tracks []string
+	for _, e := range events {
+		if _, ok := tids[e.Track]; !ok {
+			tids[e.Track] = len(tids) + 1
+			tracks = append(tracks, e.Track)
+		}
+	}
+	sort.Strings(tracks) // stable tid assignment independent of event order
+	for i, name := range tracks {
+		tids[name] = i + 1
+	}
+	tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]interface{}{"name": "castanet"},
+	})
+	for _, name := range tracks {
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[name],
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+	for _, e := range events {
+		ce := ChromeEvent{
+			Name:  e.Name,
+			Phase: phase(e.Type),
+			TS:    float64(e.Sim) / SimPSPerMicrosecond,
+			PID:   1,
+			TID:   tids[e.Track],
+			Args:  map[string]interface{}{"wall_ns": e.Wall},
+		}
+		switch e.Type {
+		case Instant:
+			ce.Scope = "t"
+		case CounterSample:
+			ce.Args[e.Name] = e.Value
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	return tr
+}
+
+// WriteChromeTrace writes the events as Chrome trace JSON, loadable in
+// chrome://tracing and https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildChromeTrace(events))
+}

@@ -1,0 +1,138 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"castanet/internal/hdl"
+	"castanet/internal/ipc"
+	"castanet/internal/obs"
+	"castanet/internal/sim"
+)
+
+// benchHDLStep measures the HDL kernel hot path: one executed time point
+// per iteration (a clock edge plus one sensitive process). With reg == nil
+// the kernel runs with instrumentation compiled in but disabled — the
+// configuration every uninstrumented rig pays for.
+func benchHDLStep(b *testing.B, reg *obs.Registry) {
+	h := hdl.New()
+	h.Instrument(reg, "hdl.sim")
+	clk := h.Bit("clk", hdl.U)
+	h.Clock(clk, 2*sim.Nanosecond)
+	n := 0
+	h.Process("count", func() { n++ }, clk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReliableRoundTrip measures the coupling-transport hot path: one
+// cell-sized request/response through the reliability envelope over an
+// in-process pipe, with the per-message stat mirror on or off.
+func benchReliableRoundTrip(b *testing.B, reg *obs.Registry) {
+	cfg := ipc.ReliableConfig{
+		MaxRetries: 12,
+		RetryBase:  time.Millisecond,
+		RetryCap:   16 * time.Millisecond,
+	}
+	cl, sv := ipc.Pipe(64)
+	server := ipc.NewReliable(sv, cfg)
+	go func() {
+		for {
+			m, err := server.Recv()
+			if err != nil {
+				return
+			}
+			if server.Send(m) != nil {
+				return
+			}
+		}
+	}()
+	client := ipc.NewReliable(cl, cfg)
+	client.Instrument(reg, "ipc.reliable")
+	defer client.Close()
+	m := ipc.Message{Kind: ipc.KindUser, Time: sim.Microsecond, Data: make([]byte, 53)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Time += sim.Microsecond
+		if err := client.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkHDLStep compares the HDL kernel with observability disabled
+// (nil registry: the zero-cost claim) and enabled.
+func BenchmarkHDLStep(b *testing.B) {
+	b.Run("obs-off", func(b *testing.B) { benchHDLStep(b, nil) })
+	b.Run("obs-on", func(b *testing.B) { benchHDLStep(b, obs.NewRegistry()) })
+}
+
+// BenchmarkReliableRoundTrip compares the reliable transport with the
+// registry mirror disabled and enabled.
+func BenchmarkReliableRoundTrip(b *testing.B) {
+	b.Run("obs-off", func(b *testing.B) { benchReliableRoundTrip(b, nil) })
+	b.Run("obs-on", func(b *testing.B) { benchReliableRoundTrip(b, obs.NewRegistry()) })
+}
+
+// obsBenchPair is one hot path's off/on measurement in BENCH_obs.json.
+type obsBenchPair struct {
+	OffNsOp float64 `json:"off_ns_op"`
+	OnNsOp  float64 `json:"on_ns_op"`
+	// EnabledOverheadFrac is on/off - 1: the full cost of live counters
+	// and gauges, an upper bound on the disabled (nil-handle) cost.
+	EnabledOverheadFrac float64 `json:"enabled_overhead_frac"`
+}
+
+// TestWriteObsBench runs the overhead benchmarks via testing.Benchmark and
+// writes BENCH_obs.json. Gated behind OBS_BENCH_OUT (see the Makefile's
+// obs-bench target) so the regular test run stays fast. nil_handle_ns_op
+// pins the disabled-path primitive: one Inc on a nil *Counter, i.e. the
+// pointer test every disabled instrumentation site costs.
+func TestWriteObsBench(t *testing.T) {
+	out := os.Getenv("OBS_BENCH_OUT")
+	if out == "" {
+		t.Skip("set OBS_BENCH_OUT=<file> to run the overhead benchmark")
+	}
+	measure := func(f func(*testing.B, *obs.Registry)) obsBenchPair {
+		off := testing.Benchmark(func(b *testing.B) { f(b, nil) })
+		on := testing.Benchmark(func(b *testing.B) { f(b, obs.NewRegistry()) })
+		p := obsBenchPair{OffNsOp: float64(off.NsPerOp()), OnNsOp: float64(on.NsPerOp())}
+		if p.OffNsOp > 0 {
+			p.EnabledOverheadFrac = p.OnNsOp/p.OffNsOp - 1
+		}
+		return p
+	}
+	nilHandle := testing.Benchmark(func(b *testing.B) {
+		var c *obs.Counter
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	report := struct {
+		HDLStep           obsBenchPair `json:"hdl_step"`
+		ReliableRoundTrip obsBenchPair `json:"reliable_roundtrip"`
+		NilHandleNsOp     float64      `json:"nil_handle_ns_op"`
+	}{
+		HDLStep:           measure(benchHDLStep),
+		ReliableRoundTrip: measure(benchReliableRoundTrip),
+		NilHandleNsOp:     float64(nilHandle.NsPerOp()),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, data)
+}

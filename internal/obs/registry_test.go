@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b.c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b.c") != c {
+		t.Error("get-or-create returned a different counter")
+	}
+	g := r.Gauge("a.b.g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x", 1, 2)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	// None of these may panic, and all report zero.
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read zero")
+	}
+	if reg.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+	var tr *Tracer
+	tr.Begin("t", "n", 0)
+	tr.End("t", "n", 1)
+	tr.Emit("t", "n", 2)
+	tr.Sample("t", "n", 3, 4)
+	if tr.Enabled() || tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer must be inert")
+	}
+	var run *Run
+	if run.Reg() != nil || run.Trace() != nil {
+		t.Error("nil run must expose nil components")
+	}
+	if err := run.WriteMetrics(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("same.name")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("same.name")
+}
+
+// TestHistogramBucketBoundaries pins the boundary semantics: a value
+// exactly on a bound lands in that bound's bucket (x <= bound), values
+// below the first bound underflow into bucket 0, values above the last
+// bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10, 100)
+
+	h.Observe(-5)                // underflow: still bucket 0
+	h.Observe(1)                 // exactly on first bound -> bucket 0
+	h.Observe(1.0000001)         // just above -> bucket 1
+	h.Observe(10)                // exactly on bound -> bucket 1
+	h.Observe(100)               // last bound -> bucket 2
+	h.Observe(100.5)             // overflow
+	h.Observe(math.MaxFloat64)   // overflow
+	want := []uint64{2, 2, 1, 2} // buckets 0..2 + overflow
+	for i, w := range want {
+		if got := h.Count(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d, want 7", h.N())
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", 1, 2, 3)
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Kind != KindHistogram || s.Value != 0 || s.Sum != 0 {
+		t.Errorf("empty histogram snapshot = %+v", s)
+	}
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4 (3 bounds + overflow)", len(s.Buckets))
+	}
+	for i, c := range s.Buckets {
+		if c != 0 {
+			t.Errorf("bucket %d = %d, want 0", i, c)
+		}
+	}
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"empty.bucket le=+inf 0", "empty.count histogram 0", "empty.sum histogram 0"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race (the Makefile race target covers
+// this package) it proves the hot paths are data-race free and lossless.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// get-or-create races deliberately with other workers.
+			c := r.Counter("conc.counter")
+			h := r.Histogram("conc.hist", 0.5)
+			g := r.Gauge("conc.gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc.counter").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("conc.gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("conc.hist")
+	if h.N() != workers*perWorker {
+		t.Errorf("histogram N = %d, want %d", h.N(), workers*perWorker)
+	}
+	if h.Count(0)+h.Count(1) != h.N() {
+		t.Error("histogram bucket counts do not add up")
+	}
+}
+
+func TestWriteTextAndReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net.sched.executed").Add(42)
+	r.Gauge("net.sched.pending").Set(7)
+	r.Histogram("cosim.entity.lag_us", 1, 10).Observe(3)
+
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"net.sched.executed counter 42",
+		"net.sched.pending gauge 7",
+		"cosim.entity.lag_us.bucket le=10 1",
+		"cosim.entity.lag_us.count histogram 1",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var rep strings.Builder
+	if err := r.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[net]", "[cosim]", "run report"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}
+
+func TestNewRunPreregisters(t *testing.T) {
+	run := NewRun(16)
+	var text strings.Builder
+	if err := run.WriteMetrics(&text); err != nil {
+		t.Fatal(err)
+	}
+	// The schema-stable core: even an idle run reports these at zero.
+	for _, want := range []string{
+		"net.sched.executed counter 0",
+		"ipc.reliable.retransmits counter 0",
+		"cosim.entity.lag_ps gauge 0",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("pre-registered metrics missing %q:\n%s", want, text.String())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport writes a human-readable end-of-run summary table: metrics
+// grouped by their engine prefix (the first dotted component), one
+// aligned row per metric. Histograms report count, mean and the bucket
+// with the largest population — the table is the operator view; the
+// machine-readable form is WriteText.
+func (r *Registry) WriteReport(w io.Writer) error {
+	snaps := r.Snapshot()
+	if len(snaps) == 0 {
+		return nil
+	}
+	width := 0
+	for _, s := range snaps {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "run report (%d metrics)\n", len(snaps)); err != nil {
+		return err
+	}
+	group := ""
+	for _, s := range snaps {
+		g, _, _ := strings.Cut(s.Name, ".")
+		if g != group {
+			group = g
+			if _, err := fmt.Fprintf(w, "  [%s]\n", group); err != nil {
+				return err
+			}
+		}
+		var line string
+		switch s.Kind {
+		case KindHistogram:
+			mean := 0.0
+			if s.Value > 0 {
+				mean = s.Sum / s.Value
+			}
+			line = fmt.Sprintf("n=%d mean=%.4g %s", uint64(s.Value), mean, modalBucket(s))
+		case KindCounter:
+			line = fmt.Sprintf("%d", uint64(s.Value))
+		default:
+			line = fmt.Sprintf("%g", s.Value)
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s  %-9s %s\n", width, s.Name, s.Kind, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// modalBucket describes the most populated histogram bucket.
+func modalBucket(s Snapshot) string {
+	best, bestCount := -1, uint64(0)
+	for i, c := range s.Buckets {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return "mode=-"
+	}
+	if best == len(s.Bounds) {
+		return fmt.Sprintf("mode=(>%g)", s.Bounds[len(s.Bounds)-1])
+	}
+	return fmt.Sprintf("mode=(<=%g)", s.Bounds[best])
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Emit(TrackRig, "e", int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4 (ring capacity)", len(evs))
+	}
+	// The oldest three were overwritten; order stays chronological.
+	for i, e := range evs {
+		if want := int64(3 + i); e.Sim != want {
+			t.Errorf("event %d sim = %d, want %d", i, e.Sim, want)
+		}
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestTracerWallStampsMonotone(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Begin(TrackHDL, "w", 10)
+	tr.End(TrackHDL, "w", 20)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Wall > evs[1].Wall {
+		t.Errorf("wall stamps not monotone: %d then %d", evs[0].Wall, evs[1].Wall)
+	}
+}
+
+// scriptedRun records the trace of a tiny synthetic co-verification run:
+// a rig span containing two coupling message spans, δ-window spans on the
+// hdl track, a sync instant and queue-depth counter samples — the shape
+// the real instrumentation produces.
+func scriptedRun() *Tracer {
+	tr := NewTracer(64)
+	tr.Begin(TrackRig, "run", 0)
+	tr.Begin(TrackCoupling, "msg k16", 1_000_000)
+	tr.Begin(TrackHDL, "window", 1_000_000)
+	tr.End(TrackHDL, "window", 4_200_000)
+	tr.End(TrackCoupling, "msg k16", 4_200_000)
+	tr.Sample(TrackNetsim, "net.sched.pending", 4_200_000, 3)
+	tr.Emit(TrackNetsim, "sync", 5_000_000)
+	tr.Begin(TrackCoupling, "msg k17", 6_000_000)
+	tr.End(TrackCoupling, "msg k17", 8_000_000)
+	tr.Sample(TrackNetsim, "net.sched.pending", 8_000_000, 1)
+	tr.End(TrackRig, "run", 9_000_000)
+	return tr
+}
+
+// TestChromeTraceGolden exports the scripted run and parses the JSON
+// back, asserting the invariants a trace viewer relies on: valid JSON,
+// named tracks, per-track monotonic timestamps, balanced and properly
+// nested B/E spans, instants carrying a scope, counters carrying values.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, scriptedRun().Events()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+
+	names := map[int]string{}
+	var meta, real int
+	for _, e := range parsed.TraceEvents {
+		if e.Phase == "M" {
+			meta++
+			if e.Name == "thread_name" {
+				names[e.TID] = e.Args["name"].(string)
+			}
+			continue
+		}
+		real++
+	}
+	if real != 11 {
+		t.Errorf("non-metadata events = %d, want 11", real)
+	}
+	wantTracks := map[string]bool{TrackRig: true, TrackCoupling: true, TrackHDL: true, TrackNetsim: true}
+	for _, n := range names {
+		delete(wantTracks, n)
+	}
+	if len(wantTracks) != 0 {
+		t.Errorf("tracks missing thread_name metadata: %v (have %v)", wantTracks, names)
+	}
+
+	// Timestamps are monotone per track (sim time is globally monotone in
+	// a run, so this holds per tid too), and ts maps sim ps -> us.
+	lastTS := map[int]float64{}
+	depth := map[int]int{}
+	for _, e := range parsed.TraceEvents {
+		if e.Phase == "M" {
+			continue
+		}
+		if prev, ok := lastTS[e.TID]; ok && e.TS < prev {
+			t.Errorf("track %d (%s): ts %g after %g — not monotone", e.TID, names[e.TID], e.TS, prev)
+		}
+		lastTS[e.TID] = e.TS
+		switch e.Phase {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Errorf("track %d (%s): E without matching B", e.TID, names[e.TID])
+			}
+		case "i":
+			if e.Scope == "" {
+				t.Error("instant event missing scope")
+			}
+		case "C":
+			if _, ok := e.Args[e.Name]; !ok {
+				t.Errorf("counter event %q missing value arg", e.Name)
+			}
+		}
+		if _, ok := e.Args["wall_ns"]; !ok {
+			t.Errorf("event %q missing wall_ns arg", e.Name)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("track %d (%s): %d unclosed spans", tid, names[tid], d)
+		}
+	}
+	// ts maps sim ps -> us: the scripted run ends at 9,000,000 ps = 9 us.
+	if last := lastTS[tidOf(names, TrackRig)]; last != 9 {
+		t.Errorf("rig run end ts = %g us, want 9 (9,000,000 ps sim)", last)
+	}
+}
+
+func tidOf(names map[int]string, track string) int {
+	for tid, n := range names {
+		if n == track {
+			return tid
+		}
+	}
+	return -1
+}
