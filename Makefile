@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench obs-bench
+.PHONY: verify build vet test race bench obs-bench campaign-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -15,9 +15,24 @@ test:
 	$(GO) test ./...
 
 # The coupling layer is the concurrency hot spot: reader goroutines,
-# watchdog timers, and transport teardown all race by design.
+# watchdog timers, and transport teardown all race by design. The
+# campaign engine joins the list: per-run isolation is a -race claim.
 race:
-	$(GO) test -race ./internal/ipc/... ./internal/cosim/... ./internal/obs/...
+	$(GO) test -race ./internal/ipc/... ./internal/cosim/... ./internal/obs/... ./internal/campaign/...
+
+# A short real campaign under the race detector: the engine's unit tests
+# plus an actual multi-shard fault campaign through the CLI, proving
+# per-run isolation on the full rig stack, not just on synthetic cells.
+campaign-smoke:
+	$(GO) test -race -count=1 ./internal/campaign/...
+	$(GO) run -race ./cmd/castanet -campaign faults -runs 10 -shards 4 -seed 7
+	$(GO) run -race ./cmd/castanet -campaign switch -runs 8 -shards 2 -seed 1 -failfast
+
+# Coverage-guided fuzzing of the ipc frame and envelope decoders; seed
+# corpora live in internal/ipc/testdata/fuzz/.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/ipc/
+	$(GO) test -run '^$$' -fuzz '^FuzzOpenEnvelope$$' -fuzztime=10s ./internal/ipc/
 
 bench:
 	$(GO) test -bench=Transport -benchtime=100x -run=^$$ ./internal/ipc/

@@ -129,6 +129,106 @@ func TestCommandLineTools(t *testing.T) {
 		}
 	})
 
+	t.Run("castanet-campaign", func(t *testing.T) {
+		traceFile := filepath.Join(bin, "campaign.json")
+		out, err := exec.Command(filepath.Join(bin, "castanet"),
+			"-campaign", "switch", "-runs", "8", "-shards", "2", "-seed", "1",
+			"-trace", traceFile).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{
+			`campaign "switch": 8 runs on 2 shards`,
+			"completed=8 failed=0 skipped=0",
+			"stat cells",
+		} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("summary report missing %q:\n%s", want, out)
+			}
+		}
+
+		// The campaign trace must carry one well-formed track per worker.
+		raw, err := os.ReadFile(traceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr struct {
+			TraceEvents []struct {
+				Name  string                 `json:"name"`
+				Phase string                 `json:"ph"`
+				Tid   int                    `json:"tid"`
+				TS    float64                `json:"ts"`
+				Args  map[string]interface{} `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("campaign trace is not valid JSON: %v", err)
+		}
+		tracks := map[string]bool{}
+		begins, ends := 0, 0
+		lastTS := map[int]float64{}
+		backwards := 0
+		for _, e := range tr.TraceEvents {
+			switch e.Phase {
+			case "M":
+				if e.Name == "thread_name" {
+					tracks[e.Args["name"].(string)] = true
+				}
+				continue
+			case "B":
+				begins++
+			case "E":
+				ends++
+			}
+			if prev, ok := lastTS[e.Tid]; ok && e.TS < prev {
+				backwards++
+			}
+			lastTS[e.Tid] = e.TS
+		}
+		for _, want := range []string{"worker0", "worker1"} {
+			if !tracks[want] {
+				t.Errorf("campaign trace missing track %q (have %v)", want, tracks)
+			}
+		}
+		if begins == 0 || begins != ends {
+			t.Errorf("campaign spans unbalanced: %d begins, %d ends", begins, ends)
+		}
+		if backwards > 0 {
+			t.Errorf("%d campaign events run backwards within their track", backwards)
+		}
+	})
+
+	t.Run("castanet-campaign-replay", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(bin, "castanet"),
+			"-campaign", "switch", "-runs", "8", "-seed", "1", "-replay", "3").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "replay run=000003") || !strings.Contains(string(out), "outcome: ok") {
+			t.Errorf("replay output malformed:\n%s", out)
+		}
+	})
+
+	t.Run("castanet-campaign-bad-flags", func(t *testing.T) {
+		for name, args := range map[string][]string{
+			"unknown name":    {"-campaign", "nope"},
+			"zero runs":       {"-campaign", "switch", "-runs", "0"},
+			"negative shards": {"-campaign", "switch", "-shards", "-1"},
+			"replay range":    {"-campaign", "switch", "-runs", "4", "-replay", "4"},
+		} {
+			out, err := exec.Command(filepath.Join(bin, "castanet"), args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("%s: accepted:\n%s", name, out)
+			}
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+				t.Errorf("%s: exit status = %v, want 2", name, err)
+			}
+			if !strings.Contains(string(out), "Usage") && !strings.Contains(string(out), "-campaign") {
+				t.Errorf("%s: no usage text:\n%s", name, out)
+			}
+		}
+	})
+
 	t.Run("atmgen-roundtrip", func(t *testing.T) {
 		trace := filepath.Join(bin, "t.trace")
 		out, err := exec.Command(filepath.Join(bin, "atmgen"),

@@ -7,22 +7,33 @@
 //	castanet -experiment e1 -cells 10000
 //	castanet -experiment all
 //	castanet -experiment e1 -trace /tmp/e1.json -metrics /tmp/e1.metrics
+//	castanet -campaign faults -runs 1000 -shards 8 -seed 7
+//	castanet -campaign faults -runs 1000 -seed 7 -replay 412
 //
 // With -metrics the run's counters and gauges are written to the given
 // file in plain-text exposition format and a summary table is printed;
 // with -trace the run's events are exported as Chrome trace-event JSON
 // (open in Perfetto or chrome://tracing); -pprof serves net/http/pprof
 // on the given address for the duration of the run.
+//
+// With -campaign, instead of a single experiment the named verification
+// campaign fans -runs seed-derived runs across -shards workers and prints
+// a summary report with a replayable failure digest; -replay re-executes
+// exactly one run of the matrix by index. Exit status is 2 for flag
+// errors, 1 when a campaign (or replayed run) fails, 0 otherwise.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 
+	"castanet/internal/campaign"
 	"castanet/internal/experiments"
 	"castanet/internal/obs"
 )
@@ -61,14 +72,23 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
-		cells   = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
-		seed    = flag.Uint64("seed", 1, "master random seed")
-		metrics = flag.String("metrics", "", "write run metrics (plain-text exposition) to this file")
-		trace   = flag.String("trace", "", "write Chrome trace-event JSON to this file")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		exp      = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
+		cells    = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		metrics  = flag.String("metrics", "", "write run metrics (plain-text exposition) to this file")
+		trace    = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		camp     = flag.String("campaign", "", "run a verification campaign instead of an experiment: "+experiments.CampaignNames())
+		runs     = flag.Int("runs", 256, "campaign: total runs in the matrix")
+		shards   = flag.Int("shards", 0, "campaign: worker shards (0 = GOMAXPROCS)")
+		replay   = flag.Int64("replay", -1, "campaign: replay this single run index from a failure digest")
+		failfast = flag.Bool("failfast", false, "campaign: cancel remaining runs after the first failure")
 	)
 	flag.Parse()
+
+	if *camp != "" {
+		return runCampaign(*camp, *runs, *shards, *seed, *replay, *failfast, *metrics, *trace)
+	}
 
 	// Validate the experiment selection before any work starts.
 	want := strings.ToLower(*exp)
@@ -110,6 +130,83 @@ func run() int {
 			return 1
 		}
 		run.Reg().WriteReport(os.Stdout)
+	}
+	return 0
+}
+
+// badFlags reports a campaign flag error the way unknown -experiment is
+// reported: a one-line diagnosis on stderr plus exit status 2.
+func badFlags(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "castanet: "+format+"\n", args...)
+	flag.Usage()
+	return 2
+}
+
+// runCampaign executes (or replays one run of) a named campaign matrix.
+func runCampaign(name string, runs, shards int, seed uint64, replay int64, failfast bool, metrics, trace string) int {
+	matrix, err := experiments.CampaignMatrix(name)
+	if err != nil {
+		return badFlags("unknown campaign %q (valid: %s)", name, experiments.CampaignNames())
+	}
+	if runs < 1 {
+		return badFlags("-runs must be at least 1 (got %d)", runs)
+	}
+	if shards < 0 {
+		return badFlags("-shards must be non-negative (got %d, 0 = GOMAXPROCS)", shards)
+	}
+	if replay >= int64(runs) {
+		return badFlags("-replay index %d out of range (campaign has %d runs)", replay, runs)
+	}
+
+	var obsRun *obs.Run
+	if metrics != "" || trace != "" {
+		obsRun = obs.NewRun(obs.DefaultTraceCap)
+	}
+	spec := campaign.Spec{
+		Name:     name,
+		Seed:     seed,
+		Runs:     runs,
+		Shards:   shards,
+		FailFast: failfast,
+		Matrix:   matrix,
+		Obs:      obsRun,
+	}
+
+	// Ctrl-C cancels in-flight couplings and still prints the partial
+	// summary, so a long campaign interrupted at run 900 is not wasted.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if replay >= 0 {
+		res, err := campaign.Replay(ctx, spec, uint64(replay))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+			return 2
+		}
+		fmt.Printf("replay run=%06d seed=0x%016x cell=%s wall=%v\n",
+			res.Index, res.Seed, res.Cell.Name(), res.Wall)
+		if res.Err != nil {
+			fmt.Printf("outcome: FAIL: %v\n", res.Err)
+			return 1
+		}
+		fmt.Println("outcome: ok")
+		return 0
+	}
+
+	sum, err := campaign.Execute(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+		return 2
+	}
+	sum.WriteReport(os.Stdout)
+	if obsRun != nil {
+		if err := writeRunArtifacts(obsRun, metrics, trace); err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+			return 1
+		}
+	}
+	if !sum.Clean() {
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"sort"
+
+	"castanet/internal/obs"
+)
+
+// histBounds are the bucket upper bounds of the per-stat registry
+// histograms. Campaign stats span cells-per-run counts, latencies in
+// seconds and cycle counts, so the buckets cover nine decades.
+var histBounds = []float64{1e-3, 1e-2, 0.1, 1, 10, 100, 1e3, 1e4, 1e5, 1e6}
+
+// statAgg is the streaming aggregate of one named stat: O(1) memory per
+// stat however many runs observe it.
+type statAgg struct {
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func (s *statAgg) observe(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+}
+
+// merge folds b into s. count/min/max merge is exactly order-independent;
+// the float64 sum (and so the mean) is merged in shard order, which is
+// deterministic for a fixed shard count.
+func (s *statAgg) merge(b *statAgg) {
+	if b.count == 0 {
+		return
+	}
+	if s.count == 0 || b.min < s.min {
+		s.min = b.min
+	}
+	if s.count == 0 || b.max > s.max {
+		s.max = b.max
+	}
+	s.count += b.count
+	s.sum += b.sum
+}
+
+// agg is one shard's stat table. Workers own their agg exclusively while
+// running; no locking is needed until the engine merges them.
+type agg struct {
+	stats map[string]*statAgg
+}
+
+func newAgg() *agg { return &agg{stats: make(map[string]*statAgg)} }
+
+func (a *agg) observe(name string, v float64) {
+	s, ok := a.stats[name]
+	if !ok {
+		s = &statAgg{}
+		a.stats[name] = s
+	}
+	s.observe(v)
+}
+
+func (a *agg) merge(b *agg) {
+	for name, bs := range b.stats {
+		s, ok := a.stats[name]
+		if !ok {
+			s = &statAgg{}
+			a.stats[name] = s
+		}
+		s.merge(bs)
+	}
+}
+
+// Stat is one aggregated campaign statistic.
+type Stat struct {
+	Name  string
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count (0 for an empty stat).
+func (s Stat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// summary flattens the table, sorted by name for stable reports.
+func (a *agg) summary() []Stat {
+	out := make([]Stat, 0, len(a.stats))
+	for name, s := range a.stats {
+		out = append(out, Stat{Name: name, Count: s.count, Sum: s.sum, Min: s.min, Max: s.max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// publishSummary mirrors the campaign totals and per-stat aggregates into
+// the registry as gauges, alongside the per-shard counters the workers
+// maintained while running.
+func publishSummary(reg *obs.Registry, sum *Summary) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("campaign.completed").Set(float64(sum.Completed))
+	reg.Gauge("campaign.failed").Set(float64(sum.Failed))
+	reg.Gauge("campaign.skipped").Set(float64(sum.Skipped))
+	reg.Gauge("campaign.shards").Set(float64(sum.Shards))
+	for _, s := range sum.Stats {
+		reg.Gauge("campaign.stat." + s.Name + ".mean").Set(s.Mean())
+		reg.Gauge("campaign.stat." + s.Name + ".min").Set(s.Min)
+		reg.Gauge("campaign.stat." + s.Name + ".max").Set(s.Max)
+	}
+}

@@ -1,0 +1,407 @@
+// Package campaign fans a matrix of co-verification runs — {experiment ×
+// seed × fault-profile} — across a bounded worker pool. One castanet
+// process stops meaning one experiment: a campaign schedules thousands of
+// deterministic, independently replayable verification runs onto
+// GOMAXPROCS-bounded shards, streams their statistics into a bounded
+// aggregate, and distils failures into a digest whose lines reproduce the
+// exact failing run in isolation.
+//
+// Determinism is structural, not incidental:
+//
+//   - Run i draws its seed from sim.DeriveSeed(campaign seed, i), so the
+//     stimulus of a run depends only on the (campaign seed, index) pair —
+//     never on scheduling, shard count, or the runs around it.
+//   - Run i executes matrix cell i % len(Matrix), so the experiment ×
+//     fault-profile coverage pattern is a pure function of the index.
+//   - Shard s owns exactly the indices ≡ s (mod Shards); each shard's
+//     work list and failure stream ascend by index, and the final digest
+//     is an index-ordered merge — byte-identical for any shard count.
+//
+// Every run builds its own engine stack (scheduler, HDL kernel,
+// transports) through its RunFunc; runs share nothing mutable, which the
+// package's -race tests enforce.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"castanet/internal/cosim"
+	"castanet/internal/obs"
+	"castanet/internal/sim"
+)
+
+// Cell is one column of the campaign matrix: an experiment paired with a
+// fault profile. Run index i executes Matrix[i%len(Matrix)], so a matrix
+// of E experiments × F fault profiles is swept every E·F runs and every
+// cell sees a fresh derived seed on each revisit.
+type Cell struct {
+	Experiment string
+	Fault      string // fault-profile name; "" is the clean channel
+	Run        RunFunc
+}
+
+// Name is the cell's digest label.
+func (c Cell) Name() string {
+	if c.Fault == "" {
+		return c.Experiment
+	}
+	return c.Experiment + "/" + c.Fault
+}
+
+// RunFunc executes one verification run. It must elaborate every engine it
+// needs from scratch (runs execute concurrently and share nothing), honour
+// ctx so fail-fast cancellation can tear down in-flight couplings (see
+// OnCancel), and return nil for a verified run or a deterministic error —
+// ideally a typed *cosim.CouplingError — for a failed one.
+type RunFunc func(ctx context.Context, r *Run) error
+
+// Run is the per-run context handed to a RunFunc.
+type Run struct {
+	Index uint64
+	Seed  uint64 // sim.DeriveSeed(campaign seed, Index)
+	Shard int
+	Cell  Cell
+
+	agg   *agg
+	reg   *obs.Registry
+	value any
+}
+
+// RNG returns a fresh generator over the run's derived stream. Every call
+// restarts the stream, so a RunFunc normally calls it once.
+func (r *Run) RNG() *sim.RNG { return sim.NewRNG(r.Seed) }
+
+// Observe streams one named observation into the campaign aggregate
+// (count/sum/min/max per stat) and, when the campaign is instrumented,
+// into the registry histogram "campaign.stat.<name>".
+func (r *Run) Observe(stat string, v float64) {
+	r.agg.observe(stat, v)
+	if r.reg != nil {
+		r.reg.Histogram("campaign.stat."+stat, histBounds...).Observe(v)
+	}
+}
+
+// SetValue attaches a payload to the run's Result for Spec.OnResult
+// collectors. Without a collector the payload is dropped when the run
+// finishes, keeping campaign memory bounded.
+func (r *Run) SetValue(v any) { r.value = v }
+
+// Spec describes a campaign.
+type Spec struct {
+	// Name labels reports and replay lines.
+	Name string
+	// Seed is the campaign master seed every per-run seed derives from.
+	Seed uint64
+	// Runs is the total number of runs.
+	Runs int
+	// Shards is the worker count; 0 selects GOMAXPROCS. Run i is
+	// statically assigned to shard i % Shards, so each shard's work list
+	// is a pure function of (Runs, Shards) — the precondition for the
+	// digest's shard-count independence.
+	Shards int
+	// FailFast cancels the remaining runs at the first failure. In-flight
+	// runs are torn down through their contexts; runs not yet started are
+	// reported as skipped.
+	FailFast bool
+	// DigestMax bounds the failure digest (default 16); failures beyond it
+	// are counted but not retained.
+	DigestMax int
+	// Matrix is the experiment × fault-profile cell list.
+	Matrix []Cell
+	// Obs, when non-nil, receives campaign metrics — per-shard labelled
+	// counters campaign.runs.shardK / campaign.failures.shardK, stat
+	// histograms, end-of-campaign stat gauges — and a campaign-level trace
+	// with one track per worker. Campaign trace timestamps are wall time
+	// (µs), not simulated time: each run restarts its own simulation
+	// clocks, so wall time is the only axis shared by all runs.
+	Obs *obs.Run
+	// OnResult, when non-nil, is invoked serially (in completion order,
+	// not index order) with every finished run's Result, including its
+	// SetValue payload. Callers needing index order can slot results by
+	// Result.Index.
+	OnResult func(Result)
+}
+
+// ErrSpec classifies campaign parameter errors, so the CLI can map them to
+// usage-and-exit-2 like any other flag validation failure.
+var ErrSpec = errors.New("campaign: invalid spec")
+
+func (s *Spec) validate() error {
+	switch {
+	case s.Runs < 1:
+		return fmt.Errorf("%w: runs = %d, want >= 1", ErrSpec, s.Runs)
+	case s.Shards < 0:
+		return fmt.Errorf("%w: shards = %d, want >= 0", ErrSpec, s.Shards)
+	case len(s.Matrix) == 0:
+		return fmt.Errorf("%w: empty matrix", ErrSpec)
+	case s.DigestMax < 0:
+		return fmt.Errorf("%w: digest max = %d, want >= 0", ErrSpec, s.DigestMax)
+	}
+	return nil
+}
+
+func (s *Spec) shardCount() int {
+	if s.Shards > 0 {
+		return s.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (s *Spec) digestMax() int {
+	if s.DigestMax > 0 {
+		return s.DigestMax
+	}
+	return 16
+}
+
+// cellFor returns the matrix cell of run index i.
+func (s *Spec) cellFor(i uint64) Cell { return s.Matrix[i%uint64(len(s.Matrix))] }
+
+// Result is one finished run.
+type Result struct {
+	Index uint64
+	Seed  uint64
+	Cell  Cell
+	Shard int
+	Err   error
+	Value any
+	Wall  time.Duration
+}
+
+// Failure is one digest entry.
+type Failure struct {
+	Index uint64
+	Seed  uint64
+	Cell  string
+	Err   error
+}
+
+// Label renders the failure deterministically: typed coupling errors
+// collapse to their class/op pair (their full text can carry
+// timing-dependent detail), anything else prints its error text, which
+// sources are required to keep deterministic.
+func (f Failure) Label() string {
+	var ce *cosim.CouplingError
+	if errors.As(f.Err, &ce) {
+		return fmt.Sprintf("coupling/%s/%s", ce.Class, ce.Op)
+	}
+	if f.Err == nil {
+		return "ok"
+	}
+	return f.Err.Error()
+}
+
+// shardState accumulates one worker's output; workers never share state
+// while running, the engine merges shard states in shard order afterwards.
+type shardState struct {
+	agg       *agg
+	failures  []Failure // ascending by index, bounded by digestMax
+	failTotal int
+	completed int
+	skipped   int
+}
+
+// Execute runs the campaign and blocks until every worker has drained or
+// been cancelled. The returned Summary is complete even when ctx was
+// cancelled mid-campaign; the error reports spec problems only.
+func Execute(ctx context.Context, spec Spec) (*Summary, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	shards := spec.shardCount()
+	if shards > spec.Runs {
+		shards = spec.Runs
+	}
+	epoch := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Result collection is serialized through one channel so OnResult
+	// never observes two runs at once.
+	var results chan Result
+	collectorDone := make(chan struct{})
+	if spec.OnResult != nil {
+		results = make(chan Result, shards)
+		go func() {
+			defer close(collectorDone)
+			for res := range results {
+				spec.OnResult(res)
+			}
+		}()
+	} else {
+		close(collectorDone)
+	}
+
+	states := make([]*shardState, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		st := &shardState{agg: newAgg()}
+		states[s] = st
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			runShard(runCtx, cancel, &spec, shard, shards, st, results, epoch)
+		}(s)
+	}
+	wg.Wait()
+	if results != nil {
+		close(results)
+	}
+	<-collectorDone
+
+	sum := &Summary{
+		Name:     spec.Name,
+		Seed:     spec.Seed,
+		Runs:     spec.Runs,
+		Shards:   shards,
+		FailFast: spec.FailFast,
+		Wall:     time.Since(epoch),
+	}
+	merged := newAgg()
+	var lists [][]Failure
+	for _, st := range states {
+		merged.merge(st.agg)
+		sum.Completed += st.completed
+		sum.Failed += st.failTotal
+		sum.Skipped += st.skipped
+		lists = append(lists, st.failures)
+	}
+	sum.Stats = merged.summary()
+	sum.Failures = mergeFailures(lists, spec.digestMax())
+	publishSummary(spec.Obs.Reg(), sum)
+	return sum, nil
+}
+
+// runShard executes the shard's statically assigned indices in ascending
+// order.
+func runShard(ctx context.Context, cancel context.CancelFunc, spec *Spec,
+	shard, shards int, st *shardState, results chan<- Result, epoch time.Time) {
+
+	reg := spec.Obs.Reg()
+	tr := spec.Obs.Trace()
+	track := obs.TrackWorker(shard)
+	runsC := reg.ShardCounter("campaign.runs", shard)
+	failsC := reg.ShardCounter("campaign.failures", shard)
+	wallPS := func() int64 { return time.Since(epoch).Nanoseconds() * 1000 }
+
+	for i := uint64(shard); i < uint64(spec.Runs); i += uint64(shards) {
+		if ctx.Err() != nil {
+			st.skipped++
+			continue
+		}
+		cell := spec.cellFor(i)
+		r := &Run{Index: i, Seed: sim.DeriveSeed(spec.Seed, i), Shard: shard,
+			Cell: cell, agg: st.agg, reg: reg}
+		tr.Begin(track, cell.Name(), wallPS())
+		start := time.Now()
+		err := runOne(ctx, cell.Run, r)
+		wall := time.Since(start)
+		tr.End(track, cell.Name(), wallPS())
+		runsC.Inc()
+		switch {
+		case err == nil:
+			st.completed++
+		case ctx.Err() != nil:
+			// The run was torn down by cancellation; its error is an
+			// artifact of the teardown, not a finding.
+			st.skipped++
+		default:
+			failsC.Inc()
+			st.failTotal++
+			if len(st.failures) < spec.digestMax() {
+				st.failures = append(st.failures, Failure{Index: i, Seed: r.Seed, Cell: cell.Name(), Err: err})
+			}
+			tr.Emit(track, "fail:"+cell.Name(), wallPS())
+			if spec.FailFast {
+				cancel()
+			}
+		}
+		if results != nil {
+			results <- Result{Index: i, Seed: r.Seed, Cell: cell, Shard: shard,
+				Err: err, Value: r.value, Wall: wall}
+		}
+	}
+}
+
+// runOne executes the run with panic containment: a panicking rig fails
+// its own run instead of killing the campaign's worker pool.
+func runOne(ctx context.Context, fn RunFunc, r *Run) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("campaign: run panicked: %v", p)
+		}
+	}()
+	return fn(ctx, r)
+}
+
+// mergeFailures k-way merges per-shard ascending failure lists into one
+// index-ordered digest, truncated to max entries.
+func mergeFailures(lists [][]Failure, max int) []Failure {
+	var out []Failure
+	heads := make([]int, len(lists))
+	for len(out) < max {
+		best := -1
+		for s, h := range heads {
+			if h >= len(lists[s]) {
+				continue
+			}
+			if best < 0 || lists[s][h].Index < lists[best][heads[best]].Index {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Replay executes exactly the single run a digest line names, serially on
+// the calling goroutine, and returns its result. The run reconstructs the
+// identical (seed, cell) pair the campaign used, so a digest failure
+// reproduces bit-exactly without executing any run around it.
+func Replay(ctx context.Context, spec Spec, index uint64) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if index >= uint64(spec.Runs) {
+		return Result{}, fmt.Errorf("%w: replay index %d outside 0..%d", ErrSpec, index, spec.Runs-1)
+	}
+	cell := spec.cellFor(index)
+	r := &Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell,
+		agg: newAgg(), reg: spec.Obs.Reg()}
+	start := time.Now()
+	err := runOne(ctx, cell.Run, r)
+	return Result{Index: index, Seed: r.Seed, Cell: cell, Err: err,
+		Value: r.value, Wall: time.Since(start)}, nil
+}
+
+// OnCancel arranges teardown for an in-flight run: stop is invoked once if
+// ctx is cancelled before the returned release function is called. Sources
+// bracket a blocking rig run with it so fail-fast cancellation closes the
+// rig's coupling transport, turning the blocked run into a typed coupling
+// error instead of letting it outlive the campaign. release blocks until
+// the watcher goroutine has exited, so no goroutine leaks past the run.
+func OnCancel(ctx context.Context, stop func()) (release func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			stop()
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}

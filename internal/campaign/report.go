@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Summary is the end-of-campaign report.
+type Summary struct {
+	Name     string
+	Seed     uint64
+	Runs     int
+	Shards   int
+	FailFast bool
+
+	Completed int
+	Failed    int // total failures, not truncated to the digest
+	Skipped   int // runs cancelled before or during teardown
+	Wall      time.Duration
+
+	Stats    []Stat    // sorted by name
+	Failures []Failure // first DigestMax failures, ascending by run index
+}
+
+// Clean reports whether every run completed verified.
+func (s *Summary) Clean() bool { return s.Failed == 0 && s.Skipped == 0 }
+
+// Digest renders the canonical failure digest: one line per retained
+// failure, ascending by run index. Everything in it — indices, derived
+// seeds, cell names, failure labels — is a pure function of the campaign
+// spec, so the digest is byte-identical across shard counts; wall-clock
+// figures deliberately never appear.
+func (s *Summary) Digest() string {
+	var b strings.Builder
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "run=%06d seed=0x%016x cell=%s fail=%s\n",
+			f.Index, f.Seed, f.Cell, f.Label())
+	}
+	return b.String()
+}
+
+// ReplayArgs returns the castanet argument string that reproduces failure
+// f in isolation.
+func (s *Summary) ReplayArgs(f Failure) string {
+	return fmt.Sprintf("-campaign %s -runs %d -seed %d -replay %d",
+		s.Name, s.Runs, s.Seed, f.Index)
+}
+
+// WriteReport writes the operator summary: headline, outcome counts,
+// aggregated stats, and the failure digest with one replay line per entry.
+func (s *Summary) WriteReport(w io.Writer) error {
+	rate := 0.0
+	if secs := s.Wall.Seconds(); secs > 0 {
+		rate = float64(s.Completed+s.Failed) / secs
+	}
+	if _, err := fmt.Fprintf(w, "campaign %q: %d runs on %d shards in %v (%.0f runs/s)\n",
+		s.Name, s.Runs, s.Shards, s.Wall.Round(time.Millisecond), rate); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  completed=%d failed=%d skipped=%d failfast=%v seed=%d\n",
+		s.Completed, s.Failed, s.Skipped, s.FailFast, s.Seed); err != nil {
+		return err
+	}
+	for _, st := range s.Stats {
+		if _, err := fmt.Fprintf(w, "  stat %-18s n=%-7d mean=%-12.6g min=%-12.6g max=%.6g\n",
+			st.Name, st.Count, st.Mean(), st.Min, st.Max); err != nil {
+			return err
+		}
+	}
+	if s.Failed > 0 {
+		if _, err := fmt.Fprintf(w, "failure digest (first %d of %d):\n", len(s.Failures), s.Failed); err != nil {
+			return err
+		}
+		for _, f := range s.Failures {
+			if _, err := fmt.Fprintf(w, "  run=%06d seed=0x%016x cell=%s fail=%s\n",
+				f.Index, f.Seed, f.Cell, f.Label()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "    replay: castanet %s\n", s.ReplayArgs(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

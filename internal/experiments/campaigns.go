@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"castanet/internal/atm"
+	"castanet/internal/campaign"
+	"castanet/internal/coverify"
+	"castanet/internal/dut"
+	"castanet/internal/ipc"
+	"castanet/internal/sim"
+	"castanet/internal/traffic"
+)
+
+// This file defines the verification campaigns castanet -campaign runs:
+// named matrices of {experiment × fault-profile} cells for the campaign
+// engine. Every RunFunc derives its entire workload from the run's seed,
+// elaborates a fresh rig, and returns a deterministic error on a
+// verification failure — the contract that makes campaign failure digests
+// byte-identical across shard counts and every digest line replayable.
+
+// campaignMatrices maps campaign names to their matrix builders.
+var campaignMatrices = map[string]func() []campaign.Cell{
+	"switch":  switchCells,
+	"faults":  faultCells,
+	"policer": policerCells,
+	"acct":    acctCells,
+}
+
+// CampaignNames lists the valid -campaign values, sorted.
+func CampaignNames() string {
+	names := make([]string, 0, len(campaignMatrices))
+	for name := range campaignMatrices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// CampaignMatrix returns the named campaign's matrix cells.
+func CampaignMatrix(name string) ([]campaign.Cell, error) {
+	build, ok := campaignMatrices[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown campaign %q (valid: %s)", name, CampaignNames())
+	}
+	return build(), nil
+}
+
+// campaignTraffic derives a small deterministic switch workload from the
+// run's stream: 1..4 driven ports, 12..28 cells each, CBR rates inside
+// the uncongested region so a healthy device delivers every cell.
+func campaignTraffic(rng *sim.RNG) ([dut.SwitchPorts]coverify.PortTraffic, sim.Time) {
+	var tr [dut.SwitchPorts]coverify.PortTraffic
+	ports := 1 + rng.Intn(dut.SwitchPorts)
+	cells := uint64(12 + rng.Intn(17))
+	horizon := sim.Time(0)
+	for p := 0; p < ports; p++ {
+		rate := 60e3 + 60e3*rng.Float64() // cells/s, well under the 377k line rate
+		tr[p] = coverify.PortTraffic{
+			Model: traffic.NewCBR(rate),
+			VCs:   coverify.PortVCs(p),
+			Cells: cells,
+		}
+		if h := sim.FromSeconds(float64(cells+2) / rate); h > horizon {
+			horizon = h
+		}
+	}
+	return tr, horizon + 200*sim.Microsecond
+}
+
+// switchCells is the clean co-verification campaign: every run drives a
+// fresh switch rig (direct coupling) with seed-derived traffic and demands
+// a clean comparison.
+func switchCells() []campaign.Cell {
+	return []campaign.Cell{{Experiment: "switch", Run: func(ctx context.Context, r *campaign.Run) error {
+		rng := r.RNG()
+		tr, horizon := campaignTraffic(rng)
+		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{Seed: rng.Uint64(), Traffic: tr})
+		if err := rig.Run(horizon); err != nil {
+			return err
+		}
+		r.Observe("cells", float64(rig.Offered))
+		r.Observe("cycles", float64(rig.ClockCycles()))
+		if !rig.Cmp.Clean() {
+			return fmt.Errorf("switch comparison not clean: %s", rig.Cmp.Summary())
+		}
+		return nil
+	}}}
+}
+
+// faultProfile is one degraded-link column of the faults campaign. The
+// fault generator's seed is re-derived per run, so a long campaign sweeps
+// fresh loss/corruption patterns every revisit while staying replayable.
+type faultProfile struct {
+	name string
+	dir  ipc.DirFaults
+	// abort marks profiles (permanent partitions) whose only correct
+	// outcome is a typed coupling abort; all others must be fully masked.
+	abort bool
+}
+
+var faultProfiles = []faultProfile{
+	{name: "drop5-corrupt1", dir: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01}},
+	{name: "dup10", dir: ipc.DirFaults{Dup: 0.1}},
+	{name: "delay-reorder", dir: ipc.DirFaults{Delay: 0.2, DelaySlots: 3}},
+	{name: "partition", dir: ipc.DirFaults{PartitionAfter: 10}, abort: true},
+}
+
+// faultCells is the resilience campaign: the switch rig coupled over the
+// reliability envelope with per-run link faults. Recoverable profiles must
+// end bit-clean; the partition must end in a typed coupling abort. The
+// clean column keeps a fault-free reference in the same matrix.
+func faultCells() []campaign.Cell {
+	cells := []campaign.Cell{{Experiment: "faults", Fault: "clean", Run: faultRun(nil)}}
+	for i := range faultProfiles {
+		p := &faultProfiles[i]
+		cells = append(cells, campaign.Cell{Experiment: "faults", Fault: p.name, Run: faultRun(p)})
+	}
+	return cells
+}
+
+func faultRun(profile *faultProfile) campaign.RunFunc {
+	return func(ctx context.Context, r *campaign.Run) error {
+		rng := r.RNG()
+		tr, horizon := campaignTraffic(rng)
+		cfg := coverify.SwitchRigConfig{
+			Seed:    rng.Uint64(),
+			Traffic: tr,
+			Remote:  true,
+			Reliable: &ipc.ReliableConfig{
+				MaxRetries: 20,
+				RetryBase:  time.Millisecond,
+				RetryCap:   8 * time.Millisecond,
+			},
+		}
+		if profile != nil {
+			cfg.Fault = &ipc.FaultConfig{Seed: rng.Uint64(), Send: profile.dir, Recv: profile.dir}
+			if profile.abort {
+				// A permanent partition must abort within the retry budget,
+				// not mask; keep the budget tight so it aborts promptly.
+				cfg.Fault.Recv = ipc.DirFaults{}
+				cfg.Reliable.MaxRetries = 5
+			}
+		}
+		rig := coverify.NewSwitchRig(cfg)
+		// Fail-fast cancellation tears the coupling down so the blocked
+		// run surfaces a typed error instead of outliving the campaign.
+		release := campaign.OnCancel(ctx, func() { rig.Close() })
+		err := rig.Run(horizon)
+		release()
+		rig.Close()
+
+		expectAbort := profile != nil && profile.abort
+		switch {
+		case err != nil && !expectAbort:
+			return err // typed coupling errors keep their class in the digest
+		case err != nil && expectAbort:
+			return nil // the partition aborted cleanly, as required
+		case expectAbort:
+			return fmt.Errorf("partitioned link completed instead of aborting")
+		}
+		r.Observe("cells", float64(rig.Offered))
+		r.Observe("retransmits", float64(rig.RelClient.Stats().Retransmits))
+		if !rig.Cmp.Clean() {
+			return fmt.Errorf("degraded link leaked into the verdict: %s", rig.Cmp.Summary())
+		}
+		return nil
+	}
+}
+
+// policerCells is the UPC campaign: per run a seed-derived offered load
+// between 0.5× and 2× the contract, with the RTL policer and the GCRA
+// reference required to agree per cell.
+func policerCells() []campaign.Cell {
+	return []campaign.Cell{{Experiment: "policer", Run: func(ctx context.Context, r *campaign.Run) error {
+		rng := r.RNG()
+		const contractRate = 50e3 // cells/s
+		ratio := 0.5 + 1.5*rng.Float64()
+		cells := uint64(30 + rng.Intn(31))
+		vc := atm.VC{VPI: 1, VCI: 10}
+		rig := coverify.NewPolicerRig(coverify.PolicerRigConfig{
+			Seed: rng.Uint64(),
+			Contracts: []coverify.PolicerContract{
+				{VC: vc, PeakInterval: sim.FromSeconds(1 / contractRate), Tau: 2 * sim.Microsecond},
+			},
+			Sources: []coverify.PolicerSource{
+				{Model: traffic.NewPoisson(contractRate * ratio), VC: vc, Cells: cells},
+			},
+		})
+		horizon := sim.FromSeconds(float64(cells)/(contractRate*ratio)) + sim.Millisecond
+		if err := rig.Run(horizon); err != nil {
+			return err
+		}
+		r.Observe("load_ratio", ratio)
+		r.Observe("cells", float64(rig.Offered))
+		if !rig.Cmp.Clean() {
+			return fmt.Errorf("policer decisions diverged at load %.3f: %d bad, %d outstanding",
+				ratio, len(rig.Cmp.Bad), rig.Cmp.Outstanding())
+		}
+		return nil
+	}}}
+}
+
+// acctCells is the accounting campaign: the standardized conformance
+// vectors replayed ahead of a short seed-derived stochastic phase, with
+// every hardware counter required to match the reference meter.
+func acctCells() []campaign.Cell {
+	return []campaign.Cell{{Experiment: "acct", Run: func(ctx context.Context, r *campaign.Run) error {
+		rng := r.RNG()
+		vcs := []atm.VC{{VPI: 1, VCI: 10}, {VPI: 2, VCI: 20}}
+		cfg := coverify.AcctRigConfig{
+			Seed:   rng.Uint64(),
+			VCs:    vcs,
+			Tariff: atm.Tariff{CellsPerUnit: 10},
+			Sources: []coverify.AcctSource{
+				{Model: traffic.NewCBR(80e3 + 40e3*rng.Float64()), VC: 0, Cells: 20 + uint64(rng.Intn(21))},
+				{Model: traffic.NewPoisson(60e3 + 30e3*rng.Float64()), VC: 1, Cells: 20 + uint64(rng.Intn(21)), CLP1: rng.Float64() / 2},
+			},
+		}
+		rig := coverify.NewAcctRig(cfg)
+		suite := conformanceSuite(vcs[0])
+		at := sim.Microsecond
+		for i := range suite.Vectors {
+			rig.InjectVector(at, suite.Vectors[i].Image)
+			at += 60 * sim.Microsecond
+		}
+		if err := rig.Run(4 * sim.Millisecond); err != nil {
+			return err
+		}
+		r.Observe("cells", float64(rig.Offered))
+		if m := rig.Compare(); len(m) > 0 {
+			return fmt.Errorf("accounting counters diverged: %d mismatches, first %s/%s",
+				len(m), m[0].VC, m[0].Field)
+		}
+		return nil
+	}}}
+}

@@ -52,7 +52,10 @@ type cellRecord struct {
 // E6 runs the identical stimulus through the event-driven RTL switch and
 // its cycle-based twin, comparing wall-clock speed and checking that the
 // delivered cells are identical.
-func E6(cells uint64, seed uint64) E6Result {
+func E6(cells uint64, seed uint64) E6Result { return Factory{Obs: obsRun}.E6(cells, seed) }
+
+// E6 is the engine comparison against the factory's sink.
+func (f Factory) E6(cells uint64, seed uint64) E6Result {
 	st := makeE6Stimulus(cells, seed)
 	table := coverify.DefaultTable()
 	period := 50 * sim.Nanosecond
@@ -60,7 +63,7 @@ func E6(cells uint64, seed uint64) E6Result {
 
 	// Event-driven engine.
 	h := hdl.New()
-	h.Instrument(obsRun.Reg(), "hdl.sim")
+	h.Instrument(f.Obs.Reg(), "hdl.sim")
 	clk := h.Bit("clk", hdl.U)
 	h.Clock(clk, period)
 	sw := dut.NewSwitch(h, clk, table, dut.DefaultSwitchConfig())

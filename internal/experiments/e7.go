@@ -32,8 +32,13 @@ type E7Result struct {
 	Rows []E7Row
 }
 
-// E7 runs the sweep.
+// E7 runs the sweep against the package-level sink.
 func E7(cellsPerPoint uint64, seed uint64) E7Result {
+	return Factory{Obs: obsRun}.E7(cellsPerPoint, seed)
+}
+
+// E7 runs the sweep.
+func (f Factory) E7(cellsPerPoint uint64, seed uint64) E7Result {
 	var res E7Result
 	vc := atm.VC{VPI: 1, VCI: 10}
 	const contractRate = 50e3 // cells/s
@@ -46,8 +51,8 @@ func E7(cellsPerPoint uint64, seed uint64) E7Result {
 			Sources: []coverify.PolicerSource{
 				{Model: traffic.NewPoisson(contractRate * ratio), VC: vc, Cells: cellsPerPoint},
 			},
-			Metrics: obsRun.Reg(),
-			Trace:   obsRun.Trace(),
+			Metrics: f.Obs.Reg(),
+			Trace:   f.Obs.Trace(),
 		})
 		horizon := sim.FromSeconds(float64(cellsPerPoint)/(contractRate*ratio)) + sim.Millisecond
 		if err := rig.Run(horizon); err != nil {

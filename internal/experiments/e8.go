@@ -32,12 +32,15 @@ type E8Result struct {
 	Rows []E8Row
 }
 
+// E8 runs the coverage sweep against the package-level sink.
+func E8(seed uint64) E8Result { return Factory{Obs: obsRun}.E8(seed) }
+
 // E8 runs fault campaigns with traffic on 1..4 input ports.
-func E8(seed uint64) E8Result {
+func (f Factory) E8(seed uint64) E8Result {
 	var res E8Result
 	faults := faultsim.TableFaults(coverify.DefaultTable())
 	for nPorts := 1; nPorts <= 4; nPorts++ {
-		cfg := observed(coverify.SwitchRigConfig{Seed: seed})
+		cfg := f.observed(coverify.SwitchRigConfig{Seed: seed})
 		for p := 0; p < nPorts; p++ {
 			cfg.Traffic[p] = coverify.PortTraffic{
 				Model: traffic.NewCBR(100e3),

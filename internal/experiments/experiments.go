@@ -26,23 +26,33 @@ import (
 	"castanet/internal/traffic"
 )
 
-// obsRun is the observability sink installed by Observe. The harness
-// signatures (E1..E8) predate the observability layer and stay stable for
-// their benchmark callers, so the sink travels through package state
-// instead of a parameter. nil (the default) leaves every rig
-// uninstrumented.
+// Factory builds experiment harnesses against an explicit observability
+// sink. Campaign workers construct one Factory per run (or share one
+// campaign-scoped sink — obs handles are concurrency-safe) instead of
+// reaching through package state, so concurrent runs stay free of shared
+// mutable state. A zero Factory (nil Obs) elaborates uninstrumented rigs.
+type Factory struct {
+	Obs *obs.Run
+}
+
+// obsRun is the observability sink installed by Observe. The package-level
+// harness signatures (E1..E8) predate the observability layer and stay
+// stable for their benchmark callers, so for them the sink travels through
+// package state; campaign code uses a Factory instead. nil (the default)
+// leaves every rig uninstrumented.
 var obsRun *obs.Run
 
-// Observe installs an observability sink: every rig elaborated by a
-// subsequent E* call registers its metrics and trace events with it.
-// Experiments that elaborate several rigs (sweeps, campaigns) accumulate
-// into the same registry. Pass nil to disable.
+// Observe installs the package-level observability sink: every rig
+// elaborated by a subsequent package-level E* call registers its metrics
+// and trace events with it. Experiments that elaborate several rigs
+// (sweeps, campaigns) accumulate into the same registry. Pass nil to
+// disable.
 func Observe(run *obs.Run) { obsRun = run }
 
-// observed copies the installed sink into a rig configuration.
-func observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig {
-	cfg.Metrics = obsRun.Reg()
-	cfg.Trace = obsRun.Trace()
+// observed copies the factory's sink into a rig configuration.
+func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig {
+	cfg.Metrics = f.Obs.Reg()
+	cfg.Trace = f.Obs.Trace()
 	return cfg
 }
 
@@ -94,13 +104,16 @@ type E1Result struct {
 	Speedup float64
 }
 
+// E1 runs the §2 benchmark workload against the package-level sink.
+func E1(cells uint64, seed uint64) E1Result { return Factory{Obs: obsRun}.E1(cells, seed) }
+
 // E1 runs the §2 benchmark workload: cells through the 4-port switch with
 // one global control unit, once in the co-verification environment and
 // once as a pure-RTL regression bench.
-func E1(cells uint64, seed uint64) E1Result {
+func (f Factory) E1(cells uint64, seed uint64) E1Result {
 	const load = 0.8
 	r := E1Result{Cells: cells}
-	cfg := observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
+	cfg := f.observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
 
 	co := coverify.NewSwitchRig(cfg)
 	start := time.Now()
@@ -169,12 +182,15 @@ type E2Result struct {
 // cycle — the "incorporating the HW-clock into the OPNET interface model"
 // that §3.2 rejects — showing the message blow-up the timing windows
 // avoid.
-func E2(cells uint64, seed uint64) E2Result {
+func E2(cells uint64, seed uint64) E2Result { return Factory{Obs: obsRun}.E2(cells, seed) }
+
+// E2 is the sweep against the factory's sink.
+func (f Factory) E2(cells uint64, seed uint64) E2Result {
 	const load = 0.6
 	res := E2Result{Cells: cells}
 	period := 50 * sim.Nanosecond
 	run := func(deltaCycles int, syncEvery sim.Duration, lockstep bool) {
-		cfg := observed(coverify.SwitchRigConfig{
+		cfg := f.observed(coverify.SwitchRigConfig{
 			Seed:      seed,
 			Traffic:   loadTraffic(cells, load),
 			Delta:     sim.Duration(deltaCycles) * period,
@@ -247,12 +263,15 @@ type E3Result struct {
 	CyclesPerLineCell float64
 }
 
+// E3 measures the event accounting against the package-level sink.
+func E3(cells uint64, seed uint64) E3Result { return Factory{Obs: obsRun}.E3(cells, seed) }
+
 // E3 measures the two engines' event counts for the same traffic (Fig. 4
 // and §3.2: mapping one abstract cell event onto 53+ bit-level clock
 // cycles, plus idle periods).
-func E3(cells uint64, seed uint64) E3Result {
+func (f Factory) E3(cells uint64, seed uint64) E3Result {
 	const load = 0.25 // realistic partially-loaded line: idle slots between cells
-	cfg := observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
+	cfg := f.observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
 	rig := coverify.NewSwitchRig(cfg)
 	if err := rig.Run(horizonFor(cells/dut.SwitchPorts, load)); err != nil {
 		panic(err)
@@ -308,11 +327,14 @@ type E4Result struct {
 // durations (stimulus memory depths): longer hardware activity cycles
 // amortize the per-cycle SCSI software activity, raising the real-time
 // fraction — the trade the §3.3 memory configuration governs.
-func E4(cells uint64, seed uint64) E4Result {
+func E4(cells uint64, seed uint64) E4Result { return Factory{Obs: obsRun}.E4(cells, seed) }
+
+// E4 is the board sweep against the factory's sink.
+func (f Factory) E4(cells uint64, seed uint64) E4Result {
 	const load = 0.6
 	res := E4Result{Cells: cells}
 	for _, depth := range []int{128, 512, 2048, 8192, 32768} {
-		cfg := observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
+		cfg := f.observed(coverify.SwitchRigConfig{Seed: seed, Traffic: loadTraffic(cells, load)})
 		rig, err := coverify.NewBoardRig(cfg, depth)
 		if err != nil {
 			panic(err)
@@ -358,7 +380,10 @@ type E5Result struct {
 // E5 runs the paper's case study: the accounting unit verified against
 // its algorithmic reference under mixed stochastic traffic, an MPEG
 // trace, and the standardized conformance vectors.
-func E5(seed uint64) E5Result {
+func E5(seed uint64) E5Result { return Factory{Obs: obsRun}.E5(seed) }
+
+// E5 is the case study against the factory's sink.
+func (f Factory) E5(seed uint64) E5Result {
 	vcs := []atm.VC{{VPI: 1, VCI: 10}, {VPI: 1, VCI: 11}, {VPI: 2, VCI: 20}, {VPI: 3, VCI: 30}}
 	cfg := coverify.AcctRigConfig{
 		Seed:   seed,
@@ -372,8 +397,8 @@ func E5(seed uint64) E5Result {
 			{Model: traffic.NewPoisson(10e3), VC: -1, Cells: 50},
 		},
 	}
-	cfg.Metrics = obsRun.Reg()
-	cfg.Trace = obsRun.Trace()
+	cfg.Metrics = f.Obs.Reg()
+	cfg.Trace = f.Obs.Trace()
 	rig := coverify.NewAcctRig(cfg)
 
 	// Conformance vectors replayed ahead of the stochastic phase.

@@ -1,9 +1,12 @@
 package faultsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
+	"castanet/internal/campaign"
 	"castanet/internal/cosim"
 	"castanet/internal/coverify"
 	"castanet/internal/ipc"
@@ -76,6 +79,14 @@ func DefaultChannelFaults() []ChannelFault {
 // for the caller to flag — divergence under a masked channel means the
 // coupling leaked a fault into the verification verdict.
 //
+// The scenarios run concurrently on the campaign engine, one matrix cell
+// per fault, each on a fresh rig stack; results come back slotted by run
+// index so the returned slice order matches faults regardless of which
+// shard finished first. Because every scenario shares cfg.Traffic, the
+// traffic models must be stateless (CBR, Poisson) — stateful models would
+// race across shards and already broke run-to-run reproducibility under
+// the old serial sweep.
+//
 // cfg.Remote is forced on; a default reliability envelope is supplied
 // when cfg.Reliable is nil.
 func ChannelCampaign(cfg coverify.SwitchRigConfig, horizon sim.Time, faults []ChannelFault) ([]ChannelResult, string, error) {
@@ -95,26 +106,54 @@ func ChannelCampaign(cfg coverify.SwitchRigConfig, horizon sim.Time, faults []Ch
 	}
 	want := golden.Report()
 
-	results := make([]ChannelResult, 0, len(faults))
-	for _, f := range faults {
-		fcfg := cfg
-		fc := f.Fault
-		fcfg.Fault = &fc
-		rig := coverify.NewSwitchRig(fcfg)
-		err := rig.Run(horizon)
-		rig.Close()
-		res := ChannelResult{ChannelFault: f, Err: err}
-		if err != nil {
-			var ce *cosim.CouplingError
-			if !errors.As(err, &ce) {
-				return nil, want, fmt.Errorf("faultsim: scenario %q died with untyped error: %w", f.Name, err)
+	cells := make([]campaign.Cell, len(faults))
+	for i, f := range faults {
+		f := f
+		cells[i] = campaign.Cell{Experiment: "channel", Fault: f.Name,
+			Run: func(ctx context.Context, r *campaign.Run) error {
+				fcfg := cfg
+				fc := f.Fault
+				fcfg.Fault = &fc
+				rig := coverify.NewSwitchRig(fcfg)
+				release := campaign.OnCancel(ctx, func() { rig.Close() })
+				err := rig.Run(horizon)
+				release()
+				rig.Close()
+				res := ChannelResult{ChannelFault: f, Err: err}
+				if err != nil {
+					var ce *cosim.CouplingError
+					if !errors.As(err, &ce) {
+						return fmt.Errorf("faultsim: scenario %q died with untyped error: %w", f.Name, err)
+					}
+					res.Aborted = true
+				} else {
+					res.Report = rig.Report()
+					res.Identical = rig.Cmp.Clean() && res.Report == want
+				}
+				r.SetValue(res)
+				return nil
+			}}
+	}
+
+	results := make([]ChannelResult, len(faults))
+	sum, err := campaign.Execute(context.Background(), campaign.Spec{
+		Name:   "channel-faults",
+		Seed:   cfg.Seed,
+		Runs:   len(faults),
+		Shards: min(len(faults), runtime.GOMAXPROCS(0)),
+		Matrix: cells,
+		OnResult: func(res campaign.Result) {
+			if v, ok := res.Value.(ChannelResult); ok {
+				results[res.Index] = v
 			}
-			res.Aborted = true
-		} else {
-			res.Report = rig.Report()
-			res.Identical = rig.Cmp.Clean() && res.Report == want
-		}
-		results = append(results, res)
+		},
+	})
+	if err != nil {
+		return nil, want, err
+	}
+	if len(sum.Failures) > 0 {
+		f := sum.Failures[0]
+		return nil, want, f.Err
 	}
 	return results, want, nil
 }

@@ -289,6 +289,13 @@ func openEnvelope(data []byte) (uint32, Message, error) {
 		return 0, Message{}, fmt.Errorf("%w: envelope crc mismatch", ErrBadFrame)
 	}
 	m, err := Decode(bytes.NewReader(data[8:]))
+	if err != nil && !errors.Is(err, ErrBadFrame) {
+		// A CRC-valid envelope around an undecodable inner frame (e.g. a
+		// truncated header surfacing as io.EOF) is still a corrupt frame;
+		// classify it so receivers drop it instead of treating the stream
+		// as terminated.
+		err = fmt.Errorf("%w: inner frame: %v", ErrBadFrame, err)
+	}
 	return seq, m, err
 }
 

@@ -212,6 +212,22 @@ func (r *Registry) get(name string, kind Kind, make func() *metric) *metric {
 	return m
 }
 
+// ShardName labels a metric with the campaign shard that owns it:
+// "campaign.runs" on shard 2 becomes "campaign.runs.shard2". The label is
+// a name suffix (not a separate dimension) so sharded counters sort
+// together in the exposition format and the run report.
+func ShardName(name string, shard int) string {
+	return fmt.Sprintf("%s.shard%d", name, shard)
+}
+
+// ShardCounter returns the per-shard labelled counter for name.
+func (r *Registry) ShardCounter(name string, shard int) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(ShardName(name, shard))
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {

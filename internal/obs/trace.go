@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -30,6 +31,11 @@ const (
 	TrackBoard    = "board"
 	TrackRig      = "rig"
 )
+
+// TrackWorker names the timeline row of one campaign worker shard, so a
+// campaign-level trace renders as one track per worker with the runs it
+// executed laid end to end.
+func TrackWorker(shard int) string { return fmt.Sprintf("worker%d", shard) }
 
 // Event is one structured trace record. Sim is simulated time in integer
 // picoseconds (the unit of sim.Time); Wall is wall-clock nanoseconds since

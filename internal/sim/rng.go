@@ -25,6 +25,20 @@ func NewRNG(seed uint64) *RNG {
 // source its own stream from one experiment seed.
 func (r *RNG) Split() *RNG { return NewRNG(r.next()) }
 
+// DeriveSeed hashes a (campaign seed, run index) pair into the seed of one
+// campaign run. Both words pass through the splitmix64 core, so per-run
+// streams are decorrelated from each other and from the campaign seed
+// itself, yet depend only on the pair: any run of a campaign is replayable
+// in isolation from its printed (seed, index) without executing the runs
+// before it.
+func DeriveSeed(campaign, index uint64) uint64 {
+	r := RNG{state: campaign}
+	h := r.next()
+	r.state ^= index
+	r.next()
+	return r.next() ^ h
+}
+
 // next is splitmix64.
 func (r *RNG) next() uint64 {
 	r.state += 0x9E3779B97F4A7C15
