@@ -23,10 +23,14 @@ race:
 # A short real campaign under the race detector: the engine's unit tests
 # plus an actual multi-shard fault campaign through the CLI, proving
 # per-run isolation on the full rig stack, not just on synthetic cells.
+# The serve-telemetry step starts a campaign with -serve and scrapes
+# /metrics and /healthz mid-run, asserting the Prometheus exposition
+# parses and carries per-shard progress.
 campaign-smoke:
 	$(GO) test -race -count=1 ./internal/campaign/...
 	$(GO) run -race ./cmd/castanet -campaign faults -runs 10 -shards 4 -seed 7
 	$(GO) run -race ./cmd/castanet -campaign switch -runs 8 -shards 2 -seed 1 -failfast
+	$(GO) test -race -count=1 -run 'TestCommandLineTools/castanet-serve-telemetry' .
 
 # Coverage-guided fuzzing of the ipc frame and envelope decoders; seed
 # corpora live in internal/ipc/testdata/fuzz/.

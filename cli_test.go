@@ -1,12 +1,17 @@
 package castanet_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCommandLineTools smoke-tests the three binaries end to end: build
@@ -196,6 +201,107 @@ func TestCommandLineTools(t *testing.T) {
 		if backwards > 0 {
 			t.Errorf("%d campaign events run backwards within their track", backwards)
 		}
+	})
+
+	t.Run("castanet-serve-telemetry", func(t *testing.T) {
+		// Run a campaign with the live telemetry endpoint up and scrape it
+		// mid-flight: /metrics must be valid Prometheus exposition carrying
+		// per-shard progress, /healthz must report ok, /snapshot must
+		// stream JSON progress lines.
+		cmd := exec.Command(filepath.Join(bin, "castanet"),
+			"-campaign", "switch", "-runs", "600", "-shards", "2", "-seed", "1",
+			"-serve", "127.0.0.1:0")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}()
+
+		// The bound address is announced on stderr before the campaign
+		// starts.
+		var base string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "telemetry at "); ok {
+				base = strings.TrimSuffix(rest, "/")
+				break
+			}
+		}
+		if base == "" {
+			t.Fatal("telemetry address never announced on stderr")
+		}
+		go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+		get := func(path string) (string, error) {
+			resp, err := http.Get(base + path)
+			if err != nil {
+				return "", err
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			return string(b), err
+		}
+
+		// Poll /metrics until per-shard campaign progress appears (the
+		// first runs must complete before the shard counters exist); the
+		// campaign is large enough that this happens mid-run.
+		deadline := time.Now().Add(30 * time.Second)
+		var metrics string
+		for {
+			m, err := get("/metrics")
+			if err == nil && strings.Contains(m, `campaign_runs_total{shard="`) {
+				metrics = m
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("per-shard progress never appeared in /metrics; last scrape:\n%s", m)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if !strings.Contains(metrics, "# TYPE campaign_runs_total counter") {
+			t.Errorf("/metrics missing the campaign_runs_total TYPE line:\n%s", metrics)
+		}
+		// Structural exposition check: every line is a comment or a
+		// "name{labels} value" / "name value" sample.
+		sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(e[0-9+-]+)?$`)
+		for _, line := range strings.Split(strings.TrimRight(metrics, "\n"), "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if !sample.MatchString(line) {
+				t.Errorf("exposition line does not parse: %q", line)
+			}
+		}
+
+		healthz, err := get("/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(healthz), &h); err != nil || h.Status != "ok" {
+			t.Errorf("/healthz = %q (err %v), want status ok", healthz, err)
+		}
+
+		snap, err := get("/snapshot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p struct {
+			WallMS *int64 `json:"wall_ms"`
+		}
+		if err := json.Unmarshal([]byte(snap), &p); err != nil || p.WallMS == nil {
+			t.Errorf("/snapshot = %q (err %v), want a JSON progress line", snap, err)
+		}
+
+		cmd.Process.Kill()
 	})
 
 	t.Run("castanet-campaign-replay", func(t *testing.T) {

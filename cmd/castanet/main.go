@@ -14,11 +14,18 @@
 // file in plain-text exposition format and a summary table is printed;
 // with -trace the run's events are exported as Chrome trace-event JSON
 // (open in Perfetto or chrome://tracing); -pprof serves net/http/pprof
-// on the given address for the duration of the run.
+// on the given address for the duration of the run, shut down cleanly on
+// exit.
+//
+// -serve exposes the live run over HTTP while it executes: /metrics in
+// Prometheus text exposition format, /healthz liveness, and /snapshot as
+// a JSON progress stream. -trace-cells N samples the causal cell tracing
+// (every Nth cell's per-hop waterfall; default 1 = every cell, 0 = off).
 //
 // With -campaign, instead of a single experiment the named verification
 // campaign fans -runs seed-derived runs across -shards workers and prints
-// a summary report with a replayable failure digest; -replay re-executes
+// a summary report with a replayable failure digest — failed runs attach
+// their cell waterfall and flight-recorder dump; -replay re-executes
 // exactly one run of the matrix by index. Exit status is 2 for flag
 // errors, 1 when a campaign (or replayed run) fails, 0 otherwise.
 package main
@@ -27,7 +34,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
@@ -78,6 +84,8 @@ func run() int {
 		metrics  = flag.String("metrics", "", "write run metrics (plain-text exposition) to this file")
 		trace    = flag.String("trace", "", "write Chrome trace-event JSON to this file")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		serve    = flag.String("serve", "", "serve live telemetry on this address: /metrics (Prometheus), /healthz, /snapshot")
+		traceN   = flag.Int("trace-cells", 1, "causal cell tracing sample: trace every Nth cell (1 = all, 0 = off)")
 		camp     = flag.String("campaign", "", "run a verification campaign instead of an experiment: "+experiments.CampaignNames())
 		runs     = flag.Int("runs", 256, "campaign: total runs in the matrix")
 		shards   = flag.Int("shards", 0, "campaign: worker shards (0 = GOMAXPROCS)")
@@ -86,8 +94,16 @@ func run() int {
 	)
 	flag.Parse()
 
+	if *traceN < 0 {
+		return badFlags("-trace-cells must be non-negative (got %d)", *traceN)
+	}
+
 	if *camp != "" {
-		return runCampaign(*camp, *runs, *shards, *seed, *replay, *failfast, *metrics, *trace)
+		return runCampaign(campaignOpts{
+			name: *camp, runs: *runs, shards: *shards, seed: *seed,
+			replay: *replay, failfast: *failfast,
+			metrics: *metrics, trace: *trace, serve: *serve, traceCells: *traceN,
+		})
 	}
 
 	// Validate the experiment selection before any work starts.
@@ -104,24 +120,40 @@ func run() int {
 	}
 
 	if *pprof != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "castanet: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "castanet: pprof at http://%s/debug/pprof/\n", *pprof)
+		stop, err := startPprof(*pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: pprof server: %v\n", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	// Observability is run-scoped: one registry and one trace ring shared
 	// by every selected experiment.
 	var run *obs.Run
-	if *metrics != "" || *trace != "" {
+	if *metrics != "" || *trace != "" || *serve != "" {
 		run = obs.NewRun(obs.DefaultTraceCap)
+		if *traceN > 0 {
+			run.Cells = obs.NewCellTracker(*traceN, 0)
+		}
 		experiments.Observe(run)
+	}
+
+	var srv *obs.Server
+	if *serve != "" {
+		var stop func()
+		var err error
+		srv, stop, err = startTelemetry(*serve, run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: telemetry server: %v\n", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	for _, e := range selected {
 		fmt.Println(e.run(*cells, *seed))
+		srv.Beat()
 	}
 
 	if run != nil {
@@ -142,12 +174,29 @@ func badFlags(format string, args ...any) int {
 	return 2
 }
 
+// campaignOpts carries the parsed -campaign flag set into runCampaign.
+type campaignOpts struct {
+	name       string
+	runs       int
+	shards     int
+	seed       uint64
+	replay     int64
+	failfast   bool
+	metrics    string
+	trace      string
+	serve      string
+	traceCells int
+}
+
 // runCampaign executes (or replays one run of) a named campaign matrix.
-func runCampaign(name string, runs, shards int, seed uint64, replay int64, failfast bool, metrics, trace string) int {
-	matrix, err := experiments.CampaignMatrix(name)
+func runCampaign(o campaignOpts) int {
+	matrix, err := experiments.CampaignMatrixCfg(o.name,
+		experiments.CampaignConfig{TraceEvery: o.traceCells})
 	if err != nil {
-		return badFlags("unknown campaign %q (valid: %s)", name, experiments.CampaignNames())
+		return badFlags("unknown campaign %q (valid: %s)", o.name, experiments.CampaignNames())
 	}
+	name, runs, shards, seed, replay := o.name, o.runs, o.shards, o.seed, o.replay
+	metrics, trace := o.metrics, o.trace
 	if runs < 1 {
 		return badFlags("-runs must be at least 1 (got %d)", runs)
 	}
@@ -159,7 +208,7 @@ func runCampaign(name string, runs, shards int, seed uint64, replay int64, failf
 	}
 
 	var obsRun *obs.Run
-	if metrics != "" || trace != "" {
+	if metrics != "" || trace != "" || o.serve != "" {
 		obsRun = obs.NewRun(obs.DefaultTraceCap)
 	}
 	spec := campaign.Spec{
@@ -167,9 +216,20 @@ func runCampaign(name string, runs, shards int, seed uint64, replay int64, failf
 		Seed:     seed,
 		Runs:     runs,
 		Shards:   shards,
-		FailFast: failfast,
+		FailFast: o.failfast,
 		Matrix:   matrix,
 		Obs:      obsRun,
+	}
+
+	if o.serve != "" {
+		srv, stop, err := startTelemetry(o.serve, obsRun)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: telemetry server: %v\n", err)
+			return 1
+		}
+		defer stop()
+		// Every finished run is a heartbeat for /healthz liveness.
+		spec.OnResult = func(campaign.Result) { srv.Beat() }
 	}
 
 	// Ctrl-C cancels in-flight couplings and still prints the partial

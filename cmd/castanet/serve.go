@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"castanet/internal/obs"
+)
+
+// shutdownGrace bounds how long a stopping HTTP server waits for
+// in-flight requests before cutting them off.
+const shutdownGrace = time.Second
+
+// serveHTTP runs handler on a freshly bound listener and returns the
+// bound address plus a stop function that shuts the server down and
+// releases the port before returning — the run exits with no listener
+// left behind.
+func serveHTTP(addr string, handler http.Handler) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			srv.Close()
+		}
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// startPprof serves net/http/pprof (registered on the default mux by the
+// blank import in main.go) for the duration of the run. The returned stop
+// function closes the listener cleanly on run exit.
+func startPprof(addr string) (stop func(), err error) {
+	bound, stop, err := serveHTTP(addr, http.DefaultServeMux)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "castanet: pprof at http://%s/debug/pprof/\n", bound)
+	return stop, nil
+}
+
+// startTelemetry serves the live telemetry endpoints (/metrics /healthz
+// /snapshot) over the run's observability state. The bound address is
+// announced on stderr so scripts can scrape a :0 listener.
+func startTelemetry(addr string, run *obs.Run) (*obs.Server, func(), error) {
+	srv := obs.NewServer(run)
+	bound, stop, err := serveHTTP(addr, srv.Handler())
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "castanet: telemetry at http://%s/\n", bound)
+	return srv, stop, nil
+}

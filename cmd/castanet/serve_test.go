@@ -1,0 +1,64 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"castanet/internal/obs"
+)
+
+// TestPprofLifecycle: the -pprof server answers while the run lives and
+// releases its listener on stop — the old implementation leaked the
+// listening goroutine past main.
+func TestPprofLifecycle(t *testing.T) {
+	stop, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound address is announced on stderr; rediscover it by probing
+	// the helper directly instead.
+	bound, stop2, err := serveHTTP("127.0.0.1:0", http.DefaultServeMux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + bound + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof not served: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index answered %d, want 200", resp.StatusCode)
+	}
+	stop2()
+	stop()
+	if _, err := net.Dial("tcp", bound); err == nil {
+		t.Error("listener still accepting after stop")
+	}
+}
+
+// TestTelemetryLifecycle: startTelemetry serves the obs endpoints on the
+// bound port and tears down cleanly.
+func TestTelemetryLifecycle(t *testing.T) {
+	run := obs.NewRun(obs.DefaultTraceCap)
+	run.Reg().Counter("net.sched.executed").Add(9)
+	bound, stop, err := serveHTTP("127.0.0.1:0", obs.NewServer(run).Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatalf("telemetry not served: %v", err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "net_sched_executed_total 9") {
+		t.Errorf("metrics exposition missing counter:\n%s", body[:n])
+	}
+	stop()
+	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		t.Error("telemetry still answering after stop")
+	}
+}

@@ -179,6 +179,39 @@ type Failure struct {
 	Seed  uint64
 	Cell  string
 	Err   error
+	// Detail is the run's attached triage bundle (waterfall +
+	// flight-recorder dump, see Detailed). It is printed by WriteReport
+	// but deliberately kept out of Digest(), whose lines must stay
+	// one-per-failure and byte-identical across shard counts.
+	Detail string
+}
+
+// Detailer is implemented by errors carrying a multi-line triage detail
+// (Detailed wraps any error with one). The campaign engine extracts it
+// into Failure.Detail so reports show the failing run's flight-recorder
+// dump and cell waterfall without a re-run.
+type Detailer interface {
+	FailureDetail() string
+}
+
+// detailedError attaches a triage detail to a run failure while leaving
+// the wrapped error's identity (errors.Is/As, Error text) untouched.
+type detailedError struct {
+	err    error
+	detail string
+}
+
+func (e *detailedError) Error() string         { return e.err.Error() }
+func (e *detailedError) Unwrap() error         { return e.err }
+func (e *detailedError) FailureDetail() string { return e.detail }
+
+// Detailed wraps a run failure with its triage detail. A nil err or
+// empty detail passes err through unchanged.
+func Detailed(err error, detail string) error {
+	if err == nil || detail == "" {
+		return err
+	}
+	return &detailedError{err: err, detail: detail}
 }
 
 // Label renders the failure deterministically: typed coupling errors
@@ -314,7 +347,12 @@ func runShard(ctx context.Context, cancel context.CancelFunc, spec *Spec,
 			failsC.Inc()
 			st.failTotal++
 			if len(st.failures) < spec.digestMax() {
-				st.failures = append(st.failures, Failure{Index: i, Seed: r.Seed, Cell: cell.Name(), Err: err})
+				f := Failure{Index: i, Seed: r.Seed, Cell: cell.Name(), Err: err}
+				var det Detailer
+				if errors.As(err, &det) {
+					f.Detail = det.FailureDetail()
+				}
+				st.failures = append(st.failures, f)
 			}
 			tr.Emit(track, "fail:"+cell.Name(), wallPS())
 			if spec.FailFast {

@@ -81,6 +81,15 @@ func (s *Summary) WriteReport(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "    replay: castanet %s\n", s.ReplayArgs(f)); err != nil {
 				return err
 			}
+			// The attached triage bundle (cell waterfall + flight-recorder
+			// dump), indented under its digest entry.
+			if f.Detail != "" {
+				for _, line := range strings.Split(strings.TrimRight(f.Detail, "\n"), "\n") {
+					if _, err := fmt.Fprintf(w, "    | %s\n", line); err != nil {
+						return err
+					}
+				}
+			}
 		}
 	}
 	return nil

@@ -74,6 +74,13 @@ type Entity struct {
 	// steady-state figure.
 	FreezeLagStats bool
 
+	// Cells, when non-nil, records the entity.rx hop of traced messages
+	// (messages whose Trace ID is sampled by the tracker).
+	Cells *obs.CellTracker
+	// Recorder, when non-nil, receives flight-recorder notes for protocol
+	// anomalies (causality violations, undeclared kinds).
+	Recorder *obs.Recorder
+
 	// Observability handles (nil when uninstrumented; all nil-safe). The
 	// entity runs single-threaded inside the simulation loop, so plain
 	// field access is fine.
@@ -167,7 +174,14 @@ func (e *Entity) Now() sim.Time { return e.tcur }
 // Emit queues a response message stamped with the current HDL time.
 // Device-output callbacks (e.g. a CellPortReader's OnCell) call it.
 func (e *Entity) Emit(kind ipc.Kind, data []byte) {
-	e.outbox = append(e.outbox, ipc.Message{Kind: kind, Time: e.HDL.Now(), Data: data})
+	e.EmitTraced(kind, data, 0)
+}
+
+// EmitTraced queues a response carrying a causal trace ID, so the
+// response leg of a traced cell's journey stays linked through the
+// coupling (0 behaves like Emit).
+func (e *Entity) EmitTraced(kind ipc.Kind, data []byte, trace uint64) {
+	e.outbox = append(e.outbox, ipc.Message{Kind: kind, Time: e.HDL.Now(), Data: data, Trace: trace})
 }
 
 // TakeOutbox returns and clears the accumulated responses.
@@ -197,7 +211,12 @@ func (e *Entity) Deliver(msg ipc.Message) error {
 	if msg.Time < e.gmin {
 		e.CausalityErrors++
 		e.obsCausality.Inc()
+		e.Recorder.NoteCell(msg.Trace, "entity", int64(msg.Time),
+			"causality violation: kind %d stamped before horizon %v", msg.Kind, e.gmin)
 		return fmt.Errorf("%w: stamp %v before horizon %v", ErrCausality, msg.Time, e.gmin)
+	}
+	if msg.Trace != 0 {
+		e.Cells.Hop(msg.Trace, obs.HopEntityRx, int64(msg.Time))
 	}
 	// Record how far the hardware clock trails the incoming network time
 	// stamp before the new window is granted — the lag the conservative
@@ -228,6 +247,8 @@ func (e *Entity) Deliver(msg ipc.Message) error {
 	}
 	q, ok := e.byKind[msg.Kind]
 	if !ok {
+		e.Recorder.NoteCell(msg.Trace, "entity", int64(msg.Time),
+			"message for undeclared input kind %d", msg.Kind)
 		return fmt.Errorf("cosim: message for undeclared input kind %d", msg.Kind)
 	}
 	q.msgs = append(q.msgs, msg)

@@ -21,6 +21,10 @@ type Response struct {
 	// NetTime is the network simulator's clock when the response was
 	// picked up.
 	NetTime sim.Time
+	// Trace is the causal cell-trace ID the hardware side attached to the
+	// response (0 = untraced); rigs use it to close the waterfall at the
+	// comparison engine.
+	Trace uint64
 }
 
 // InterfaceProcess is the CASTANET interface model on the network-
@@ -52,6 +56,15 @@ type InterfaceProcess struct {
 	// hardware clock advancing through traffic pauses. Zero disables
 	// periodic sync.
 	SyncEvery sim.Duration
+	// TraceOf, when non-nil, mints the causal trace ID of an outbound
+	// packet (0 = untraced). Sampled IDs ride the IPC envelope and record
+	// the ipc.tx hop in Cells.
+	TraceOf func(pkt *netsim.Packet, port int) uint64
+	// Cells, when non-nil, collects the per-hop journeys of traced cells.
+	Cells *obs.CellTracker
+	// Recorder, when non-nil, receives flight-recorder notes for coupling
+	// failures.
+	Recorder *obs.Recorder
 
 	// Sent counts data messages pushed to the hardware side.
 	Sent uint64
@@ -130,7 +143,14 @@ func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int
 	}
 	p.Sent++
 	p.obsSent.Inc()
-	p.push(ctx, ipc.Message{Kind: kind, Time: ctx.Now(), Data: data})
+	msg := ipc.Message{Kind: kind, Time: ctx.Now(), Data: data}
+	if p.TraceOf != nil {
+		if id := p.TraceOf(pkt, port); p.Cells.Sampled(id) {
+			msg.Trace = id
+			p.Cells.Hop(id, obs.HopEnvelopeTx, int64(msg.Time))
+		}
+	}
+	p.push(ctx, msg)
 }
 
 // Timer implements netsim.Processor: periodic time updates and deferred
@@ -182,7 +202,7 @@ func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
 		}
 		p.Responses++
 		p.obsResponses.Inc()
-		r := Response{Kind: rm.Kind, Value: value, HWTime: rm.Time}
+		r := Response{Kind: rm.Kind, Value: value, HWTime: rm.Time, Trace: rm.Trace}
 		if rm.Time > ctx.Now() {
 			// The DUT produced this inside its δ-window, ahead of the
 			// network clock: hand it back as a future event.
@@ -227,6 +247,11 @@ func (p *InterfaceProcess) decode(m ipc.Message) (interface{}, error) {
 // record the first error and stop the scheduler so the run terminates at
 // the current simulation time with the error available via Err.
 func (p *InterfaceProcess) fail(ctx *netsim.Ctx, err error) {
+	now := int64(-1)
+	if ctx != nil {
+		now = int64(ctx.Now())
+	}
+	p.Recorder.Note("iface", now, "coupling failure: %v", err)
 	if p.OnError != nil {
 		p.OnError(err)
 		return

@@ -10,6 +10,7 @@ package coverify
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"castanet/internal/atm"
@@ -83,6 +84,20 @@ type SwitchRigConfig struct {
 	// Trace, when non-nil, records run-scoped events (δ-windows, coupling
 	// messages, rig phases) for Chrome trace-event export.
 	Trace *obs.Tracer
+	// Cells, when non-nil, records the causal per-hop journey of sampled
+	// cells (trace ID = cell Seq + 1) from traffic-source enqueue to the
+	// comparison engine; waterfalls surface in FailureDigest and as
+	// Chrome-trace flow arrows.
+	Cells *obs.CellTracker
+	// Recorder, when non-nil, keeps the rig's flight-recorder ring:
+	// coupling failures, protocol anomalies and comparison mismatches are
+	// noted as they happen and dumped by FailureDigest.
+	Recorder *obs.Recorder
+	// TamperResponse, when non-nil, mutates every DUT response cell before
+	// comparison — a verify-the-verifier hook that induces deterministic
+	// mismatches so digests, waterfalls and recorder dumps can be exercised
+	// end to end.
+	TamperResponse func(c *atm.Cell)
 }
 
 // DefaultTable returns a full-mesh connection table: each input port p
@@ -178,11 +193,23 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 	r.DUT = dut.NewSwitch(r.HDL, clk, cfg.Table, cfg.Switch)
 	r.Entity = cosim.NewEntity(r.HDL)
 	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
+	r.Entity.Cells = cfg.Cells
+	r.Entity.Recorder = cfg.Recorder
 	for p := 0; p < dut.SwitchPorts; p++ {
 		p := p
 		w := mapping.NewCellPortWriter(r.HDL, fmt.Sprintf("castanet_tx%d", p), clk,
 			r.DUT.In[p].Data, r.DUT.In[p].Sync)
 		r.writers[p] = w
+		if cfg.Cells.Enabled() {
+			// The Seq stamp rides the first four payload octets of the
+			// 53-octet image (Cell.StampSeq), so the hdl.commit hop can be
+			// recovered from the raw bytes as they hit the wire.
+			w.OnCellStart = func(img [atm.CellBytes]byte) {
+				seq := uint32(img[atm.HeaderBytes])<<24 | uint32(img[atm.HeaderBytes+1])<<16 |
+					uint32(img[atm.HeaderBytes+2])<<8 | uint32(img[atm.HeaderBytes+3])
+				cfg.Cells.Hop(uint64(seq)+1, obs.HopHDLCommit, int64(r.HDL.Now()))
+			}
+		}
 		r.Entity.Input(KindCellIn(p), cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
 			v, err := (mapping.CellCodec{}).Decode(msg.Data)
 			if err != nil {
@@ -199,7 +226,11 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 			if err != nil {
 				panic(err)
 			}
-			r.Entity.Emit(KindCellOut(p), data)
+			if id := uint64(c.Seq) + 1; cfg.Cells.Sampled(id) {
+				r.Entity.EmitTraced(KindCellOut(p), data, id)
+			} else {
+				r.Entity.Emit(KindCellOut(p), data)
+			}
 		}
 	}
 
@@ -259,7 +290,15 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		Coupling:  coupling,
 		Registry:  registry,
 		SyncEvery: cfg.SyncEvery,
+		Cells:     cfg.Cells,
+		Recorder:  cfg.Recorder,
 		Classify:  func(pkt *netsim.Packet, port int) ipc.Kind { return KindCellIn(port) },
+		TraceOf: func(pkt *netsim.Packet, port int) uint64 {
+			if c, ok := pkt.Data.(*atm.Cell); ok {
+				return uint64(c.Seq) + 1
+			}
+			return 0
+		},
 		OnResponse: func(ctx *netsim.Ctx, resp cosim.Response) {
 			port := int(resp.Kind - kindCellOut)
 			cell, ok := resp.Value.(*atm.Cell)
@@ -269,7 +308,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 			if t, known := r.injected[cell.Seq]; known {
 				latency.Record(ctx.Now(), (resp.HWTime - t).Seconds())
 			}
-			r.Cmp.Actual(port, cell)
+			r.compare(port, cell, int64(ctx.Now()))
 		},
 	}
 	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
@@ -301,6 +340,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 				}
 				c.StampSeq()
 				r.injected[c.Seq] = ctx.Now()
+				cfg.Cells.Hop(uint64(c.Seq)+1, obs.HopNetEnqueue, int64(ctx.Now()))
 				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
 			},
 		}
@@ -330,6 +370,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 // horizon) are still delivered, then flushes the hardware pipeline.
 func (r *SwitchRig) Run(until sim.Time) error {
 	tr := r.Cfg.Trace
+	r.Cfg.Recorder.Note("rig", int64(r.Net.Sched.Now()), "run to horizon %v", until)
 	tr.Begin(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
 	r.Net.Run(until)
 	if err := r.Iface.Err(); err != nil {
@@ -337,6 +378,7 @@ func (r *SwitchRig) Run(until sim.Time) error {
 	}
 	tr.End(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
 	tr.Begin(obs.TrackRig, "drain", int64(r.Net.Sched.Now()))
+	r.Cfg.Recorder.Note("rig", int64(r.Net.Sched.Now()), "horizon reached, draining")
 	margin := r.drainMargin()
 	r.Net.Sched.RunUntil(until + margin)
 	if err := r.Iface.Err(); err != nil {
@@ -394,12 +436,54 @@ func (r *SwitchRig) Drain(until sim.Time) error {
 		if err != nil {
 			return err
 		}
-		r.Cmp.Actual(int(m.Kind-kindCellOut), v.(*atm.Cell))
+		r.compare(int(m.Kind-kindCellOut), v.(*atm.Cell), int64(m.Time))
 	}
 	if r.vcd != nil {
 		return r.vcd.Close()
 	}
 	return nil
+}
+
+// compare feeds one DUT response cell into the comparison engine,
+// closing the cell's causal waterfall at the compare hop and noting any
+// fresh mismatch in the flight recorder. The TamperResponse hook (test
+// instrumentation) is applied first, so an induced fault takes the same
+// triage path as a real one.
+func (r *SwitchRig) compare(port int, c *atm.Cell, simPS int64) {
+	if r.Cfg.TamperResponse != nil {
+		r.Cfg.TamperResponse(c)
+	}
+	id := uint64(c.Seq) + 1
+	r.Cfg.Cells.Hop(id, obs.HopCompare, simPS)
+	before := len(r.Cmp.Mismatches())
+	r.Cmp.Actual(port, c)
+	if ms := r.Cmp.Mismatches(); len(ms) > before {
+		m := ms[len(ms)-1]
+		r.Cfg.Recorder.NoteCell(uint64(m.Seq)+1, "cmp", simPS, "port %d: %s", port, m)
+	}
+}
+
+// FailureDigest renders the rig's triage bundle after a failed or
+// unclean run: the first comparison mismatch with its cell's trace ID and
+// per-hop waterfall, followed by the flight-recorder dump. Everything in
+// it derives from simulated time and seed-determined state, so a replay
+// of the same run produces the same digest. Returns "" when there is
+// nothing to report.
+func (r *SwitchRig) FailureDigest() string {
+	var b strings.Builder
+	if ms := r.Cmp.Mismatches(); len(ms) > 0 {
+		m := ms[0]
+		id := uint64(m.Seq) + 1
+		fmt.Fprintf(&b, "first mismatch: %s (trace=0x%x)\n", m, id)
+		if tr, ok := r.Cfg.Cells.Trace(id); ok {
+			b.WriteString(obs.WaterfallText(tr))
+		} else if r.Cfg.Cells.Enabled() {
+			fmt.Fprintf(&b, "cell trace 0x%x not sampled (tracing every %d cells)\n",
+				id, r.Cfg.Cells.Every())
+		}
+	}
+	b.WriteString(r.Cfg.Recorder.Dump())
+	return b.String()
 }
 
 // Close shuts down a remote coupling. It is idempotent: repeated calls

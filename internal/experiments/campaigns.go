@@ -12,6 +12,7 @@ import (
 	"castanet/internal/coverify"
 	"castanet/internal/dut"
 	"castanet/internal/ipc"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 	"castanet/internal/traffic"
 )
@@ -23,8 +24,31 @@ import (
 // verification failure — the contract that makes campaign failure digests
 // byte-identical across shard counts and every digest line replayable.
 
+// CampaignConfig tunes the per-run observability of a campaign matrix.
+type CampaignConfig struct {
+	// TraceEvery samples the causal cell tracing: every Nth cell of a run
+	// is traced hop by hop (1 traces all, the default; 0 disables
+	// tracing). Campaign runs are small, so full tracing is the default;
+	// raise it for full-rate soak campaigns.
+	TraceEvery int
+}
+
+// DefaultCampaignConfig traces every cell — see CampaignConfig.
+var DefaultCampaignConfig = CampaignConfig{TraceEvery: 1}
+
+// runObs builds the per-run cell tracker and flight recorder. Each run
+// gets fresh ones (runs share nothing mutable), sized for a campaign-run
+// workload.
+func (cfg CampaignConfig) runObs() (*obs.CellTracker, *obs.Recorder) {
+	var cells *obs.CellTracker
+	if cfg.TraceEvery > 0 {
+		cells = obs.NewCellTracker(cfg.TraceEvery, 0)
+	}
+	return cells, obs.NewRecorder(0)
+}
+
 // campaignMatrices maps campaign names to their matrix builders.
-var campaignMatrices = map[string]func() []campaign.Cell{
+var campaignMatrices = map[string]func(CampaignConfig) []campaign.Cell{
 	"switch":  switchCells,
 	"faults":  faultCells,
 	"policer": policerCells,
@@ -41,13 +65,20 @@ func CampaignNames() string {
 	return strings.Join(names, ", ")
 }
 
-// CampaignMatrix returns the named campaign's matrix cells.
+// CampaignMatrix returns the named campaign's matrix cells with the
+// default observability configuration.
 func CampaignMatrix(name string) ([]campaign.Cell, error) {
+	return CampaignMatrixCfg(name, DefaultCampaignConfig)
+}
+
+// CampaignMatrixCfg returns the named campaign's matrix cells under an
+// explicit observability configuration.
+func CampaignMatrixCfg(name string, cfg CampaignConfig) ([]campaign.Cell, error) {
 	build, ok := campaignMatrices[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown campaign %q (valid: %s)", name, CampaignNames())
 	}
-	return build(), nil
+	return build(cfg), nil
 }
 
 // campaignTraffic derives a small deterministic switch workload from the
@@ -74,19 +105,25 @@ func campaignTraffic(rng *sim.RNG) ([dut.SwitchPorts]coverify.PortTraffic, sim.T
 
 // switchCells is the clean co-verification campaign: every run drives a
 // fresh switch rig (direct coupling) with seed-derived traffic and demands
-// a clean comparison.
-func switchCells() []campaign.Cell {
+// a clean comparison. Failures leave with the rig's triage bundle (cell
+// waterfall + flight-recorder dump) attached via campaign.Detailed.
+func switchCells(ccfg CampaignConfig) []campaign.Cell {
 	return []campaign.Cell{{Experiment: "switch", Run: func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		tr, horizon := campaignTraffic(rng)
-		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{Seed: rng.Uint64(), Traffic: tr})
+		cells, rec := ccfg.runObs()
+		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
+			Seed: rng.Uint64(), Traffic: tr, Cells: cells, Recorder: rec,
+		})
 		if err := rig.Run(horizon); err != nil {
-			return err
+			return campaign.Detailed(err, rig.FailureDigest())
 		}
 		r.Observe("cells", float64(rig.Offered))
 		r.Observe("cycles", float64(rig.ClockCycles()))
 		if !rig.Cmp.Clean() {
-			return fmt.Errorf("switch comparison not clean: %s", rig.Cmp.Summary())
+			return campaign.Detailed(
+				fmt.Errorf("switch comparison not clean: %s", rig.Cmp.Summary()),
+				rig.FailureDigest())
 		}
 		return nil
 	}}}
@@ -114,23 +151,26 @@ var faultProfiles = []faultProfile{
 // reliability envelope with per-run link faults. Recoverable profiles must
 // end bit-clean; the partition must end in a typed coupling abort. The
 // clean column keeps a fault-free reference in the same matrix.
-func faultCells() []campaign.Cell {
-	cells := []campaign.Cell{{Experiment: "faults", Fault: "clean", Run: faultRun(nil)}}
+func faultCells(ccfg CampaignConfig) []campaign.Cell {
+	cells := []campaign.Cell{{Experiment: "faults", Fault: "clean", Run: faultRun(ccfg, nil)}}
 	for i := range faultProfiles {
 		p := &faultProfiles[i]
-		cells = append(cells, campaign.Cell{Experiment: "faults", Fault: p.name, Run: faultRun(p)})
+		cells = append(cells, campaign.Cell{Experiment: "faults", Fault: p.name, Run: faultRun(ccfg, p)})
 	}
 	return cells
 }
 
-func faultRun(profile *faultProfile) campaign.RunFunc {
+func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 	return func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		tr, horizon := campaignTraffic(rng)
+		cells, rec := ccfg.runObs()
 		cfg := coverify.SwitchRigConfig{
-			Seed:    rng.Uint64(),
-			Traffic: tr,
-			Remote:  true,
+			Seed:     rng.Uint64(),
+			Traffic:  tr,
+			Remote:   true,
+			Cells:    cells,
+			Recorder: rec,
 			Reliable: &ipc.ReliableConfig{
 				MaxRetries: 20,
 				RetryBase:  time.Millisecond,
@@ -157,7 +197,9 @@ func faultRun(profile *faultProfile) campaign.RunFunc {
 		expectAbort := profile != nil && profile.abort
 		switch {
 		case err != nil && !expectAbort:
-			return err // typed coupling errors keep their class in the digest
+			// Typed coupling errors keep their class in the digest; the
+			// flight recorder rides along as report detail.
+			return campaign.Detailed(err, rig.FailureDigest())
 		case err != nil && expectAbort:
 			return nil // the partition aborted cleanly, as required
 		case expectAbort:
@@ -166,7 +208,9 @@ func faultRun(profile *faultProfile) campaign.RunFunc {
 		r.Observe("cells", float64(rig.Offered))
 		r.Observe("retransmits", float64(rig.RelClient.Stats().Retransmits))
 		if !rig.Cmp.Clean() {
-			return fmt.Errorf("degraded link leaked into the verdict: %s", rig.Cmp.Summary())
+			return campaign.Detailed(
+				fmt.Errorf("degraded link leaked into the verdict: %s", rig.Cmp.Summary()),
+				rig.FailureDigest())
 		}
 		return nil
 	}
@@ -175,7 +219,7 @@ func faultRun(profile *faultProfile) campaign.RunFunc {
 // policerCells is the UPC campaign: per run a seed-derived offered load
 // between 0.5× and 2× the contract, with the RTL policer and the GCRA
 // reference required to agree per cell.
-func policerCells() []campaign.Cell {
+func policerCells(_ CampaignConfig) []campaign.Cell {
 	return []campaign.Cell{{Experiment: "policer", Run: func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		const contractRate = 50e3 // cells/s
@@ -208,7 +252,7 @@ func policerCells() []campaign.Cell {
 // acctCells is the accounting campaign: the standardized conformance
 // vectors replayed ahead of a short seed-derived stochastic phase, with
 // every hardware counter required to match the reference meter.
-func acctCells() []campaign.Cell {
+func acctCells(_ CampaignConfig) []campaign.Cell {
 	return []campaign.Cell{{Experiment: "acct", Run: func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		vcs := []atm.VC{{VPI: 1, VCI: 10}, {VPI: 2, VCI: 20}}

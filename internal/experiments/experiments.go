@@ -53,6 +53,7 @@ func Observe(run *obs.Run) { obsRun = run }
 func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig {
 	cfg.Metrics = f.Obs.Reg()
 	cfg.Trace = f.Obs.Trace()
+	cfg.Cells = f.Obs.CellTrace()
 	return cfg
 }
 

@@ -135,11 +135,12 @@ type Simulator struct {
 	// Observability handles, synchronized from the internal counters once
 	// per Step (diff-based) so the per-delta hot path stays untouched.
 	// All nil when uninstrumented.
-	obsDeltas *obs.Counter
-	obsEvents *obs.Counter
-	obsRuns   *obs.Counter
-	obsPoints *obs.Counter
-	lastSync  struct{ deltas, events, runs, points uint64 }
+	obsDeltas  *obs.Counter
+	obsEvents  *obs.Counter
+	obsRuns    *obs.Counter
+	obsPoints  *obs.Counter
+	obsPending *obs.Gauge // scheduled-transaction agenda depth
+	lastSync   struct{ deltas, events, runs, points uint64 }
 }
 
 // Instrument registers the simulator's metrics under the given prefix
@@ -155,6 +156,7 @@ func (s *Simulator) Instrument(reg *obs.Registry, prefix string) {
 	s.obsEvents = reg.Counter(prefix + ".signal_events")
 	s.obsRuns = reg.Counter(prefix + ".process_runs")
 	s.obsPoints = reg.Counter(prefix + ".time_points")
+	s.obsPending = reg.Gauge(prefix + ".pending")
 	s.lastSync.deltas = s.deltaCycles
 	s.lastSync.events = s.signalEvents
 	s.lastSync.runs = s.procRuns
@@ -170,6 +172,7 @@ func (s *Simulator) syncObs() {
 	s.obsEvents.Add(s.signalEvents - s.lastSync.events)
 	s.obsRuns.Add(s.procRuns - s.lastSync.runs)
 	s.obsPoints.Add(s.timePoints - s.lastSync.points)
+	s.obsPending.Set(float64(s.agenda.len()))
 	s.lastSync.deltas = s.deltaCycles
 	s.lastSync.events = s.signalEvents
 	s.lastSync.runs = s.procRuns

@@ -1,0 +1,111 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+// The trace-carrying frame layout must never invalidate what older peers
+// wrote: untraced messages still encode in the original 16-byte-header
+// layout, and frames recorded before trace IDs existed still decode.
+
+// legacyFrame is a frame captured from the pre-trace wire format:
+// magic 0xCA57, kind 8 (KindUser), time 12345, payload "cell".
+var legacyFrame = []byte{
+	0xCA, 0x57, // magic
+	0x00, 0x08, // kind
+	0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x30, 0x39, // time
+	0x00, 0x00, 0x00, 0x04, // len
+	'c', 'e', 'l', 'l',
+}
+
+// TestDecodeLegacyFrame: a hard-coded pre-trace frame decodes unchanged,
+// with a zero (untraced) trace ID.
+func TestDecodeLegacyFrame(t *testing.T) {
+	m, err := Decode(bytes.NewReader(legacyFrame))
+	if err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	if m.Kind != KindUser || m.Time != sim.Time(12345) || string(m.Data) != "cell" {
+		t.Errorf("legacy frame decoded wrong: %v", m)
+	}
+	if m.Trace != 0 {
+		t.Errorf("legacy frame must decode untraced, got trace 0x%x", m.Trace)
+	}
+}
+
+// TestEncodeUntracedIsLegacy: Trace == 0 emits bytes identical to the
+// original format — a never-tracing coupling is wire-compatible with old
+// peers by construction.
+func TestEncodeUntracedIsLegacy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Message{Kind: KindUser, Time: 12345, Data: []byte("cell")}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), legacyFrame) {
+		t.Errorf("untraced encoding diverged from the legacy layout:\n got %x\nwant %x",
+			buf.Bytes(), legacyFrame)
+	}
+}
+
+// TestTracedRoundTrip: a traced message survives Encode→Decode with its
+// trace ID, under the traced magic.
+func TestTracedRoundTrip(t *testing.T) {
+	in := Message{Kind: KindUser, Time: 777, Trace: 0x2a, Data: []byte{0xDE, 0xAD}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if got := uint16(raw[0])<<8 | uint16(raw[1]); got != magicTraced {
+		t.Errorf("traced frame magic = 0x%04x, want 0x%04x", got, magicTraced)
+	}
+	if len(raw) != tracedHeaderBytes+len(in.Data) {
+		t.Errorf("traced frame is %d bytes, want %d", len(raw), tracedHeaderBytes+len(in.Data))
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != in.Trace || out.Kind != in.Kind || out.Time != in.Time || !bytes.Equal(out.Data, in.Data) {
+		t.Errorf("traced round trip changed the message: %v -> %v", in, out)
+	}
+}
+
+// TestTracedZeroRejected: a traced-layout frame claiming trace ID 0 can
+// not have been produced by Encode; the decoder must classify it as a bad
+// frame rather than silently aliasing the legacy layout.
+func TestTracedZeroRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Message{Kind: KindUser, Time: 1, Trace: 5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 12; i < 20; i++ {
+		raw[i] = 0
+	}
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero-trace traced frame returned %v, want ErrBadFrame", err)
+	}
+}
+
+// TestEnvelopeCarriesTrace: the reliability envelope encodes the inner
+// message with Encode, so the trace ID crosses a faulty link inside the
+// checksummed body and comes back out of openEnvelope intact.
+func TestEnvelopeCarriesTrace(t *testing.T) {
+	in := Message{Kind: KindUser, Time: 42, Trace: 9, Data: []byte("x")}
+	env, err := envelope(3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, out, err := openEnvelope(env.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 || out.Trace != 9 || out.Kind != in.Kind || out.Time != in.Time {
+		t.Errorf("envelope round trip: seq=%d msg=%v", seq, out)
+	}
+}

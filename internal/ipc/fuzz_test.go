@@ -31,6 +31,16 @@ func FuzzDecode(f *testing.F) {
 	binary.BigEndian.PutUint32(long[12:], MaxData+1)
 	f.Add(long)
 	f.Add([]byte{})
+	// Traced-layout seeds: a valid traced frame, and a traced frame whose
+	// trace field is zero (must be rejected — Encode never emits it).
+	var traced bytes.Buffer
+	if err := Encode(&traced, Message{Kind: KindUser, Time: 12345, Trace: 0x2a, Data: []byte("cell")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced.Bytes())
+	zeroTrace := append([]byte(nil), traced.Bytes()...)
+	binary.BigEndian.PutUint64(zeroTrace[12:], 0)
+	f.Add(zeroTrace)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(bytes.NewReader(data))
@@ -48,7 +58,7 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode of re-encoded message failed: %v", err)
 		}
-		if m2.Kind != m.Kind || m2.Time != m.Time || !bytes.Equal(m2.Data, m.Data) {
+		if m2.Kind != m.Kind || m2.Time != m.Time || m2.Trace != m.Trace || !bytes.Equal(m2.Data, m.Data) {
 			t.Fatalf("round trip changed the message: %v -> %v", m, m2)
 		}
 	})
@@ -74,6 +84,12 @@ func FuzzOpenEnvelope(f *testing.F) {
 	cut := append([]byte(nil), env.Data[:12]...)
 	binary.BigEndian.PutUint32(cut[4:], crc32.ChecksumIEEE(cut[8:]))
 	f.Add(cut)
+	// A traced inner frame: the envelope must carry the trace ID through.
+	tracedEnv, err := envelope(8, Message{Kind: KindUser, Time: 100, Trace: 0x2a, Data: []byte{0x01}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tracedEnv.Data)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seq, inner, err := openEnvelope(data)
@@ -92,7 +108,7 @@ func FuzzOpenEnvelope(f *testing.F) {
 			t.Fatalf("unwrap of re-enveloped frame failed: %v", err)
 		}
 		if seq2 != seq || inner2.Kind != inner.Kind || inner2.Time != inner.Time ||
-			!bytes.Equal(inner2.Data, inner.Data) {
+			inner2.Trace != inner.Trace || !bytes.Equal(inner2.Data, inner.Data) {
 			t.Fatalf("envelope round trip changed the frame: seq %d->%d, %v -> %v",
 				seq, seq2, inner, inner2)
 		}

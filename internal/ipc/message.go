@@ -40,17 +40,35 @@ type Message struct {
 	Kind Kind
 	Time sim.Time // originator's simulation time
 	Data []byte
+	// Trace is the causal cell-trace ID riding with the message (see
+	// internal/obs celltrace); 0 means untraced. Untraced messages encode
+	// in the original wire format, so streams written by older peers (and
+	// the recorded corpora) decode unchanged.
+	Trace uint64
 }
 
 // String formats the message for logs.
 func (m Message) String() string {
+	if m.Trace != 0 {
+		return fmt.Sprintf("msg{kind=%d t=%v len=%d trace=0x%x}", m.Kind, m.Time, len(m.Data), m.Trace)
+	}
 	return fmt.Sprintf("msg{kind=%d t=%v len=%d}", m.Kind, m.Time, len(m.Data))
 }
 
-// Wire format: magic(2) kind(2) time(8) len(4) data(len), big endian.
+// Wire format, big endian. Two frame layouts share the stream,
+// distinguished by the magic:
+//
+//	0xCA57: magic(2) kind(2) time(8) len(4) data(len)           — legacy
+//	0xCA58: magic(2) kind(2) time(8) trace(8) len(4) data(len)  — traced
+//
+// Encode emits the legacy layout whenever Trace == 0, so a coupling that
+// never traces produces byte-identical streams to the pre-trace format
+// and old recorded corpora remain decodable.
 const (
-	magic       = 0xCA57 // "CAST"
-	headerBytes = 2 + 2 + 8 + 4
+	magic             = 0xCA57 // "CAST"
+	magicTraced       = 0xCA58 // legacy magic + 1: the traced frame layout
+	headerBytes       = 2 + 2 + 8 + 4
+	tracedHeaderBytes = 2 + 2 + 8 + 8 + 4
 	// MaxData bounds message payloads; a full ATM cell is 53 bytes, an
 	// initialization blob a few KiB. The limit guards the decoder against
 	// corrupt length fields.
@@ -65,12 +83,20 @@ func Encode(w io.Writer, m Message) error {
 	if len(m.Data) > MaxData {
 		return fmt.Errorf("ipc: payload %d exceeds limit", len(m.Data))
 	}
-	var hdr [headerBytes]byte
-	binary.BigEndian.PutUint16(hdr[0:], magic)
-	binary.BigEndian.PutUint16(hdr[2:], uint16(m.Kind))
-	binary.BigEndian.PutUint64(hdr[4:], uint64(m.Time))
-	binary.BigEndian.PutUint32(hdr[12:], uint32(len(m.Data)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	var buf [tracedHeaderBytes]byte
+	hdr := buf[:headerBytes]
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	binary.BigEndian.PutUint16(buf[2:], uint16(m.Kind))
+	binary.BigEndian.PutUint64(buf[4:], uint64(m.Time))
+	if m.Trace != 0 {
+		hdr = buf[:tracedHeaderBytes]
+		binary.BigEndian.PutUint16(buf[0:], magicTraced)
+		binary.BigEndian.PutUint64(buf[12:], m.Trace)
+		binary.BigEndian.PutUint32(buf[20:], uint32(len(m.Data)))
+	} else {
+		binary.BigEndian.PutUint32(buf[12:], uint32(len(m.Data)))
+	}
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	if len(m.Data) > 0 {
@@ -81,20 +107,34 @@ func Encode(w io.Writer, m Message) error {
 	return nil
 }
 
-// Decode reads one message from r.
+// Decode reads one message from r, accepting both frame layouts.
 func Decode(r io.Reader) (Message, error) {
-	var hdr [headerBytes]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var buf [tracedHeaderBytes]byte
+	if _, err := io.ReadFull(r, buf[:headerBytes]); err != nil {
 		return Message{}, err
 	}
-	if binary.BigEndian.Uint16(hdr[0:]) != magic {
+	m := Message{
+		Kind: Kind(binary.BigEndian.Uint16(buf[2:])),
+		Time: sim.Time(binary.BigEndian.Uint64(buf[4:])),
+	}
+	var n uint32
+	switch binary.BigEndian.Uint16(buf[0:]) {
+	case magic:
+		n = binary.BigEndian.Uint32(buf[12:])
+	case magicTraced:
+		if _, err := io.ReadFull(r, buf[headerBytes:tracedHeaderBytes]); err != nil {
+			return Message{}, err
+		}
+		m.Trace = binary.BigEndian.Uint64(buf[12:])
+		if m.Trace == 0 {
+			// A traced frame claiming "untraced" would not round-trip
+			// (Encode would emit the legacy layout); reject it as corrupt.
+			return Message{}, fmt.Errorf("%w: traced frame with zero trace id", ErrBadFrame)
+		}
+		n = binary.BigEndian.Uint32(buf[20:])
+	default:
 		return Message{}, ErrBadFrame
 	}
-	m := Message{
-		Kind: Kind(binary.BigEndian.Uint16(hdr[2:])),
-		Time: sim.Time(binary.BigEndian.Uint64(hdr[4:])),
-	}
-	n := binary.BigEndian.Uint32(hdr[12:])
 	if n > MaxData {
 		return Message{}, fmt.Errorf("%w: length %d", ErrBadFrame, n)
 	}

@@ -17,6 +17,12 @@ import (
 type CellPortWriter struct {
 	InsertIdle bool
 
+	// OnCellStart, when non-nil, fires as a queued (non-idle) cell's first
+	// octet goes onto the wire, with the cell's 53-byte image — the moment
+	// the hardware commits to transmitting it. Causal cell tracing hooks
+	// here to record the hdl.commit hop.
+	OnCellStart func(img [atm.CellBytes]byte)
+
 	data *hdl.Driver
 	sync *hdl.Driver
 
@@ -82,6 +88,9 @@ func (w *CellPortWriter) tick() {
 			w.queue = w.queue[1:]
 			w.active = true
 			w.pos = 0
+			if w.OnCellStart != nil {
+				w.OnCellStart(w.current)
+			}
 		} else if w.InsertIdle {
 			w.current = atm.IdleCell().Marshal()
 			w.IdleCells++

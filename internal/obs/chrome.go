@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -29,6 +30,9 @@ type ChromeEvent struct {
 	PID   int                    `json:"pid"`
 	TID   int                    `json:"tid"`
 	Scope string                 `json:"s,omitempty"`
+	Cat   string                 `json:"cat,omitempty"`
+	ID    string                 `json:"id,omitempty"` // flow binding id
+	BP    string                 `json:"bp,omitempty"` // flow end binding point
 	Args  map[string]interface{} `json:"args,omitempty"`
 }
 
@@ -82,6 +86,16 @@ func BuildChromeTrace(events []Event) ChromeTrace {
 			Args: map[string]interface{}{"name": name},
 		})
 	}
+	// Flow phases depend on a waypoint's position within its flow: the
+	// first point starts the arrow chain ("s"), the last finishes it
+	// ("f"), everything between continues it ("t").
+	flowTotal := map[uint64]int{}
+	for _, e := range events {
+		if e.Type == FlowPoint {
+			flowTotal[e.Flow]++
+		}
+	}
+	flowSeen := map[uint64]int{}
 	for _, e := range events {
 		ce := ChromeEvent{
 			Name:  e.Name,
@@ -96,6 +110,19 @@ func BuildChromeTrace(events []Event) ChromeTrace {
 			ce.Scope = "t"
 		case CounterSample:
 			ce.Args[e.Name] = e.Value
+		case FlowPoint:
+			flowSeen[e.Flow]++
+			ce.Cat = "cell"
+			ce.ID = fmt.Sprintf("0x%x", e.Flow)
+			switch {
+			case flowSeen[e.Flow] == 1:
+				ce.Phase = "s"
+			case flowSeen[e.Flow] == flowTotal[e.Flow]:
+				ce.Phase = "f"
+				ce.BP = "e"
+			default:
+				ce.Phase = "t"
+			}
 		}
 		tr.TraceEvents = append(tr.TraceEvents, ce)
 	}

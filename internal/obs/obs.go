@@ -24,6 +24,7 @@ package obs
 
 import (
 	"io"
+	"sort"
 	"time"
 )
 
@@ -34,6 +35,10 @@ type Run struct {
 	Registry *Registry
 	Tracer   *Tracer
 	Start    time.Time
+	// Cells, when non-nil, collects causal per-hop cell traces (see
+	// celltrace.go); its journeys are merged into WriteTrace as flow
+	// arrows. NewRun leaves it nil — cell tracing is opt-in.
+	Cells *CellTracker
 }
 
 // NewRun returns a run context with a fresh registry and a tracer holding
@@ -63,6 +68,15 @@ func (r *Run) Trace() *Tracer {
 	return r.Tracer
 }
 
+// CellTrace returns the cell tracker, nil for a nil run or an untracked
+// one.
+func (r *Run) CellTrace() *CellTracker {
+	if r == nil {
+		return nil
+	}
+	return r.Cells
+}
+
 // WriteMetrics writes the registry's exposition format.
 func (r *Run) WriteMetrics(w io.Writer) error {
 	if r == nil {
@@ -72,11 +86,19 @@ func (r *Run) WriteMetrics(w io.Writer) error {
 }
 
 // WriteTrace exports the tracer's buffered events as Chrome trace JSON.
+// When the run tracks cells, their journeys are merged in as flow events
+// and the combined stream is stably re-sorted by simulated time, keeping
+// every track's timeline monotone.
 func (r *Run) WriteTrace(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	return WriteChromeTrace(w, r.Tracer.Events())
+	events := r.Tracer.Events()
+	if flows := r.Cells.FlowEvents(); len(flows) > 0 {
+		events = append(events, flows...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].Sim < events[j].Sim })
+	}
+	return WriteChromeTrace(w, events)
 }
 
 // preregister touches the metric names every run report is expected to

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry, so
+// a live run can be scraped by stock monitoring tooling. The mapping from
+// the registry's dotted names:
+//
+//   - dots become underscores, any other character outside
+//     [a-zA-Z0-9_:] is dropped to '_': "net.sched.executed" ->
+//     "net_sched_executed";
+//   - counters gain the conventional "_total" suffix;
+//   - the campaign shard suffix ".shardN" (see ShardName) becomes a
+//     {shard="N"} label, so per-shard counters form one family:
+//     "campaign.runs.shard2" -> campaign_runs_total{shard="2"};
+//   - histograms emit cumulative _bucket{le="..."} series plus _sum and
+//     _count, per the exposition format.
+
+// promFamily maps a registry metric name to its exposition family name
+// and label set.
+func promFamily(name string, kind Kind) (family, labels string) {
+	// Shard suffix -> label.
+	if i := strings.LastIndex(name, ".shard"); i >= 0 {
+		if n := name[i+len(".shard"):]; n != "" && isDigits(n) {
+			name = name[:i]
+			labels = fmt.Sprintf(`shard=%q`, n)
+		}
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	family = b.String()
+	if kind == KindCounter {
+		family += "_total"
+	}
+	return family, labels
+}
+
+func isDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// promSample is one exposition sample pending emission under its family.
+type promSample struct {
+	labels string
+	snap   Snapshot
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format. Families are emitted in sorted-name order with one # TYPE line
+// each; per-shard series of the same family are grouped under it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshot() // sorted by registry name
+	type familyGroup struct {
+		name    string
+		kind    Kind
+		samples []promSample
+	}
+	byName := map[string]*familyGroup{}
+	var order []*familyGroup
+	for _, s := range snaps {
+		fam, labels := promFamily(s.Name, s.Kind)
+		g, ok := byName[fam]
+		if !ok {
+			g = &familyGroup{name: fam, kind: s.Kind}
+			byName[fam] = g
+			order = append(order, g)
+		}
+		if g.kind != s.Kind {
+			// Two registry names collapsing onto one family with different
+			// kinds would corrupt the exposition; keep them apart by
+			// emitting the latecomer under its unmerged name.
+			g = &familyGroup{name: fam + "_" + promType(s.Kind), kind: s.Kind}
+			order = append(order, g)
+		}
+		g.samples = append(g.samples, promSample{labels: labels, snap: s})
+	}
+
+	for _, g := range order {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", g.name, promType(g.kind)); err != nil {
+			return err
+		}
+		for _, smp := range g.samples {
+			if err := writePromSample(w, g.name, smp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, family string, smp promSample) error {
+	s := smp.snap
+	switch s.Kind {
+	case KindHistogram:
+		cum := uint64(0)
+		for i, bound := range s.Bounds {
+			cum += s.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+				family, labelPrefix(smp.labels), formatBound(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Buckets[len(s.Buckets)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n",
+			family, labelPrefix(smp.labels), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", family, labelSuffix(smp.labels), s.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labelSuffix(smp.labels), uint64(s.Value))
+		return err
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", family, labelSuffix(smp.labels), uint64(s.Value))
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %g\n", family, labelSuffix(smp.labels), s.Value)
+		return err
+	}
+}
+
+// labelPrefix renders labels for joining with a trailing le label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders a complete label set (or nothing).
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do.
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromFamily pins the registry-name → exposition-family mapping.
+func TestPromFamily(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		kind   Kind
+		family string
+		labels string
+	}{
+		{"net.sched.executed", KindCounter, "net_sched_executed_total", ""},
+		{"cosim.queue.k8.depth", KindGauge, "cosim_queue_k8_depth", ""},
+		{"campaign.runs.shard2", KindCounter, "campaign_runs_total", `shard="2"`},
+		{"campaign.stat.cells.shard11", KindHistogram, "campaign_stat_cells", `shard="11"`},
+		{"campaign.runs.shardx", KindCounter, "campaign_runs_shardx_total", ""},
+		{"weird-name.1", KindGauge, "weird_name_1", ""},
+	} {
+		fam, labels := promFamily(tc.name, tc.kind)
+		if fam != tc.family || labels != tc.labels {
+			t.Errorf("promFamily(%q, %v) = (%q, %q), want (%q, %q)",
+				tc.name, tc.kind, fam, labels, tc.family, tc.labels)
+		}
+	}
+}
+
+// TestWritePrometheus: the exposition is structurally valid — one # TYPE
+// line per family, samples named after their family, shard series grouped
+// under one family, and histogram buckets cumulative and monotone.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("net.sched.executed").Add(42)
+	reg.Gauge("cosim.queue.k8.depth").Set(3)
+	reg.ShardCounter("campaign.runs", 0).Add(5)
+	reg.ShardCounter("campaign.runs", 1).Add(7)
+	h := reg.Histogram("coupling.rtt_us", 1, 10, 100)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	types := map[string]string{}
+	samples := map[string][]string{} // family (stripped of suffixes) not needed; keep raw names
+	var sampleNames []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[fields[2]]; dup {
+				t.Errorf("family %q declared twice", fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		name, rest, ok := splitSample(line)
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		sampleNames = append(sampleNames, name)
+		samples[name] = append(samples[name], rest)
+	}
+
+	if got := types["campaign_runs_total"]; got != "counter" {
+		t.Errorf("campaign_runs_total type = %q, want counter", got)
+	}
+	if len(samples["campaign_runs_total"]) != 2 {
+		t.Errorf("want both shard series under one family, got %v", samples["campaign_runs_total"])
+	}
+	if !strings.Contains(out, `campaign_runs_total{shard="0"} 5`) ||
+		!strings.Contains(out, `campaign_runs_total{shard="1"} 7`) {
+		t.Errorf("shard label series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "net_sched_executed_total 42") {
+		t.Errorf("counter sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cosim_queue_k8_depth 3") {
+		t.Errorf("gauge sample missing:\n%s", out)
+	}
+
+	// Histogram: cumulative buckets, monotone, +Inf == _count.
+	var cum []uint64
+	for _, rest := range samples["coupling_rtt_us_bucket"] {
+		v, err := strconv.ParseUint(strings.Fields(rest)[len(strings.Fields(rest))-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value: %v", err)
+		}
+		cum = append(cum, v)
+	}
+	if len(cum) != 4 || !isMonotone(cum) {
+		t.Errorf("buckets not cumulative-monotone: %v", cum)
+	}
+	if !strings.Contains(out, `coupling_rtt_us_bucket{le="+Inf"} 3`) {
+		t.Errorf("+Inf bucket must equal the observation count:\n%s", out)
+	}
+	if !strings.Contains(out, "coupling_rtt_us_count 3") {
+		t.Errorf("_count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "coupling_rtt_us_sum 5005.5") {
+		t.Errorf("_sum missing:\n%s", out)
+	}
+
+	// Every sample's family must have been declared by a TYPE line.
+	for _, name := range sampleNames {
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if types[fam] != "" {
+				break
+			}
+			fam = strings.TrimSuffix(name, suffix)
+		}
+		if types[fam] == "" {
+			t.Errorf("sample %q has no TYPE declaration", name)
+		}
+	}
+}
+
+// TestWritePrometheusKindClash: two registry names mapping onto one family
+// with different kinds must not share a TYPE declaration.
+func TestWritePrometheusKindClash(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("a.b").Set(1)
+	reg.Histogram("a-b", 1).Observe(0.5) // both sanitize to family "a_b"
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE ") != 2 {
+		t.Errorf("want two TYPE lines for clashing kinds:\n%s", out)
+	}
+}
+
+// splitSample splits "name{labels} value" or "name value" into the bare
+// metric name and the remainder.
+func splitSample(line string) (name, rest string, ok bool) {
+	if i := strings.IndexAny(line, "{ "); i > 0 {
+		return line[:i], line[i:], true
+	}
+	return "", "", false
+}
+
+func isMonotone(v []uint64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			return false
+		}
+	}
+	return true
+}

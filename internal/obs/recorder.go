@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Flight recorder: a bounded ring of structured coupling/hop events a rig
+// keeps while it runs. Nothing is written anywhere during a healthy run;
+// on a mismatch or a typed coupling failure the rig dumps the ring into
+// its failure digest, so a campaign failure arrives with its last-moments
+// context attached and is triageable without a re-run.
+
+// Record is one flight-recorder entry. Sim is simulated time in
+// picoseconds (negative when the event happened outside the simulated
+// clock domain, e.g. on a transport goroutine); Seq optionally names the
+// cell involved (trace ID, 0 when not cell-specific).
+type Record struct {
+	Seq  uint64
+	Sim  int64
+	Src  string // subsystem that recorded it: "rig", "entity", "iface", "cmp", ...
+	Text string
+}
+
+// DefaultRecorderCap is the ring capacity used when NewRecorder is
+// given 0.
+const DefaultRecorderCap = 256
+
+// Recorder is the bounded event ring. When full, the oldest entries are
+// overwritten — a failure dump shows the most recent window, which is the
+// one that matters. A nil *Recorder is a no-op on every method.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Record
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding up to capacity entries
+// (0 selects DefaultRecorderCap).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{buf: make([]Record, capacity)}
+}
+
+// Enabled reports whether notes are kept; callers may use it to skip
+// building expensive messages.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Note records one event at simulated time simPS.
+func (r *Recorder) Note(src string, simPS int64, format string, args ...any) {
+	r.NoteCell(0, src, simPS, format, args...)
+}
+
+// NoteCell records one event attributed to a traced cell.
+func (r *Recorder) NoteCell(seq uint64, src string, simPS int64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	rec := Record{Seq: seq, Sim: simPS, Src: src, Text: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Records returns the buffered entries, oldest first.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Record(nil), r.buf[:r.next]...)
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Dropped returns how many entries were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Dump renders the ring for a failure digest: a headline plus one line
+// per entry. Only simulated time appears, so a dump from a replayed seed
+// matches the campaign's original byte for byte.
+func (r *Recorder) Dump() string {
+	recs := r.Records()
+	if len(recs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder (%d events, %d overwritten):\n", len(recs), r.Dropped())
+	for _, rec := range recs {
+		fmt.Fprintf(&b, "  [%s] t=%s", rec.Src, fmtSimPS(rec.Sim))
+		if rec.Seq != 0 {
+			fmt.Fprintf(&b, " cell=0x%x", rec.Seq)
+		}
+		fmt.Fprintf(&b, " %s\n", rec.Text)
+	}
+	return b.String()
+}

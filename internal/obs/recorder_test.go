@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecorderRing: the ring keeps the newest entries across wrap-around
+// and counts the overwritten ones.
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Note("rig", int64(i*100), "event %d", i)
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(recs))
+	}
+	for i, want := range []string{"event 3", "event 4", "event 5"} {
+		if recs[i].Text != want {
+			t.Errorf("entry %d = %q, want %q (oldest first)", i, recs[i].Text, want)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+}
+
+// TestRecorderDump: the dump headline counts entries and overwrites, each
+// line carries source and simulated time, and cell attribution only
+// appears when a cell is named.
+func TestRecorderDump(t *testing.T) {
+	r := NewRecorder(8)
+	r.Note("iface", 1_000_000, "coupling failure: timeout")
+	r.NoteCell(0x2b, "cmp", 2_000_000, "port 1: payload mismatch")
+	dump := r.Dump()
+	for _, want := range []string{
+		"flight recorder (2 events, 0 overwritten):",
+		"[iface] t=1.000us coupling failure: timeout",
+		"[cmp] t=2.000us cell=0x2b port 1: payload mismatch",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if strings.Contains(strings.Split(dump, "\n")[1], "cell=") {
+		t.Errorf("cell-less entry must not claim a cell:\n%s", dump)
+	}
+}
+
+// TestRecorderNil: every method is a no-op on a nil recorder, and an
+// empty recorder dumps nothing.
+func TestRecorderNil(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder must report disabled")
+	}
+	r.Note("rig", 0, "dropped") // must not panic
+	r.NoteCell(1, "rig", 0, "dropped")
+	if r.Records() != nil || r.Dropped() != 0 || r.Dump() != "" {
+		t.Error("nil recorder must hold nothing")
+	}
+	if NewRecorder(4).Dump() != "" {
+		t.Error("empty recorder must dump an empty string")
+	}
+}

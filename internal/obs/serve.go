@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Live telemetry endpoint: castanet -serve exposes a running
+// co-verification (or campaign) over HTTP while it executes —
+//
+//	/metrics   the registry in Prometheus text exposition format
+//	/healthz   liveness: uptime plus seconds since the last unit of work
+//	/snapshot  a stream of JSON progress snapshots (per-shard run counts,
+//	           coupling queue depths, lookahead lag), one object per line
+//
+// The server reads the same lock-cheap registry the engines write, so
+// scraping a live run costs a snapshot, never a stall.
+
+// Server serves one run's observability state. Create with NewServer,
+// mount Handler on any http.Server.
+type Server struct {
+	run   *Run
+	start time.Time
+	beat  atomic.Int64 // unix nanos of last recorded activity; 0 = none yet
+}
+
+// NewServer returns a telemetry server over the run's registry and
+// tracer.
+func NewServer(run *Run) *Server {
+	return &Server{run: run, start: time.Now()}
+}
+
+// Beat records one unit of forward progress (a finished campaign run, a
+// completed experiment); /healthz reports the time since the last beat so
+// an external watchdog can spot a wedged campaign.
+func (s *Server) Beat() {
+	if s != nil {
+		s.beat.Store(time.Now().UnixNano())
+	}
+}
+
+// Handler returns the endpoint mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/snapshot", s.snapshot)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "castanet telemetry: /metrics /healthz /snapshot\n")
+	})
+	return mux
+}
+
+func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.run.Reg().WritePrometheus(w); err != nil {
+		// The connection is gone; nothing useful left to do.
+		return
+	}
+}
+
+// health is the /healthz document.
+type health struct {
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	LastActivity  *float64 `json:"seconds_since_activity,omitempty"`
+	TraceDropped  uint64   `json:"trace_dropped"`
+	CellsTracked  int      `json:"cells_tracked"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, req *http.Request) {
+	h := health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		TraceDropped:  s.run.Trace().Dropped(),
+		CellsTracked:  s.run.CellTrace().Len(),
+	}
+	if b := s.beat.Load(); b != 0 {
+		secs := time.Since(time.Unix(0, b)).Seconds()
+		h.LastActivity = &secs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// progress is one /snapshot line: the live view an operator (or a
+// dashboard) polls during a long campaign.
+type progress struct {
+	WallMS        int64              `json:"wall_ms"`
+	ShardRuns     map[string]uint64  `json:"shard_runs,omitempty"`
+	ShardFailures map[string]uint64  `json:"shard_failures,omitempty"`
+	QueueDepth    map[string]float64 `json:"queue_depth,omitempty"`
+	LagPS         float64            `json:"lag_ps"`
+	NetPending    float64            `json:"net_pending"`
+	HDLPending    float64            `json:"hdl_pending"`
+}
+
+// buildProgress distils the registry snapshot into the progress view.
+func (s *Server) buildProgress() progress {
+	p := progress{WallMS: time.Since(s.start).Milliseconds()}
+	for _, snap := range s.run.Reg().Snapshot() {
+		switch {
+		case strings.HasPrefix(snap.Name, "campaign.runs.shard"):
+			if n := snap.Name[len("campaign.runs.shard"):]; isDigits(n) {
+				if p.ShardRuns == nil {
+					p.ShardRuns = map[string]uint64{}
+				}
+				p.ShardRuns[n] = uint64(snap.Value)
+			}
+		case strings.HasPrefix(snap.Name, "campaign.failures.shard"):
+			if n := snap.Name[len("campaign.failures.shard"):]; isDigits(n) {
+				if p.ShardFailures == nil {
+					p.ShardFailures = map[string]uint64{}
+				}
+				p.ShardFailures[n] = uint64(snap.Value)
+			}
+		case strings.HasPrefix(snap.Name, "cosim.queue.") && strings.HasSuffix(snap.Name, ".depth"):
+			kind := strings.TrimSuffix(strings.TrimPrefix(snap.Name, "cosim.queue."), ".depth")
+			if p.QueueDepth == nil {
+				p.QueueDepth = map[string]float64{}
+			}
+			p.QueueDepth[kind] = snap.Value
+		case snap.Name == "cosim.entity.lag_ps":
+			p.LagPS = snap.Value
+		case snap.Name == "net.sched.pending":
+			p.NetPending = snap.Value
+		case snap.Name == "hdl.sim.pending":
+			p.HDLPending = snap.Value
+		}
+	}
+	return p
+}
+
+func (s *Server) snapshot(w http.ResponseWriter, req *http.Request) {
+	n := 1
+	if v := req.URL.Query().Get("n"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 1 {
+			http.Error(w, "snapshot: n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		if n > 10000 {
+			n = 10000
+		}
+	}
+	interval := 500 * time.Millisecond
+	if v := req.URL.Query().Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "snapshot: interval must be a positive Go duration", http.StatusBadRequest)
+			return
+		}
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		interval = d
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			select {
+			case <-req.Context().Done():
+				return
+			case <-time.After(interval):
+			}
+		}
+		if err := enc.Encode(s.buildProgress()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

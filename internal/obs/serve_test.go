@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer builds a Server over a run with representative state: a
+// sharded campaign counter, coupling gauges, and one tracked cell.
+func newTestServer() *Server {
+	run := NewRun(DefaultTraceCap)
+	run.Cells = NewCellTracker(1, 0)
+	run.Cells.Hop(1, HopNetEnqueue, 100)
+	reg := run.Reg()
+	reg.ShardCounter("campaign.runs", 0).Add(3)
+	reg.ShardCounter("campaign.failures", 0).Add(1)
+	reg.Gauge("cosim.queue.k8.depth").Set(2)
+	reg.Gauge("cosim.entity.lag_ps").Set(1500)
+	reg.Gauge("net.sched.pending").Set(4)
+	reg.Gauge("hdl.sim.pending").Set(6)
+	return NewServer(run)
+}
+
+// TestServeMetrics: /metrics answers valid Prometheus exposition with the
+// version content type and the sharded campaign family.
+func TestServeMetrics(t *testing.T) {
+	srv := httptest.NewServer(newTestServer().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE campaign_runs_total counter",
+		`campaign_runs_total{shard="0"} 3`,
+		"cosim_queue_k8_depth 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeHealthz: /healthz reports ok, and activity time only after a
+// beat.
+func TestServeHealthz(t *testing.T) {
+	ts := newTestServer()
+	srv := httptest.NewServer(ts.Handler())
+	defer srv.Close()
+
+	get := func() map[string]any {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := get()
+	if h["status"] != "ok" {
+		t.Errorf("status = %v, want ok", h["status"])
+	}
+	if _, ok := h["seconds_since_activity"]; ok {
+		t.Error("activity reported before any beat")
+	}
+	if h["cells_tracked"] != float64(1) {
+		t.Errorf("cells_tracked = %v, want 1", h["cells_tracked"])
+	}
+
+	ts.Beat()
+	if _, ok := get()["seconds_since_activity"]; !ok {
+		t.Error("activity missing after a beat")
+	}
+}
+
+// TestServeSnapshot: /snapshot streams one JSON progress object per line
+// with the per-shard and coupling fields filled from the registry.
+func TestServeSnapshot(t *testing.T) {
+	srv := httptest.NewServer(newTestServer().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/snapshot?n=2&interval=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+		var p struct {
+			ShardRuns     map[string]uint64  `json:"shard_runs"`
+			ShardFailures map[string]uint64  `json:"shard_failures"`
+			QueueDepth    map[string]float64 `json:"queue_depth"`
+			LagPS         float64            `json:"lag_ps"`
+			NetPending    float64            `json:"net_pending"`
+			HDLPending    float64            `json:"hdl_pending"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("snapshot line %d is not JSON: %v", lines, err)
+		}
+		if p.ShardRuns["0"] != 3 || p.ShardFailures["0"] != 1 {
+			t.Errorf("shard progress = %v / %v", p.ShardRuns, p.ShardFailures)
+		}
+		if p.QueueDepth["k8"] != 2 || p.LagPS != 1500 || p.NetPending != 4 || p.HDLPending != 6 {
+			t.Errorf("coupling fields wrong in %s", sc.Text())
+		}
+	}
+	if lines != 2 {
+		t.Errorf("got %d snapshot lines, want 2", lines)
+	}
+
+	if resp, err := http.Get(srv.URL + "/snapshot?n=0"); err == nil {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("n=0 answered %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServeIndex: the root lists the endpoints; anything else is 404.
+func TestServeIndex(t *testing.T) {
+	srv := httptest.NewServer(newTestServer().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+	}
+	resp.Body.Close()
+	if !strings.Contains(b.String(), "/metrics") {
+		t.Errorf("index does not list endpoints: %q", b.String())
+	}
+	if resp, err := http.Get(srv.URL + "/nope"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("/nope answered %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

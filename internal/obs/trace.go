@@ -20,6 +20,11 @@ const (
 	// CounterSample records the value of a named quantity over time
 	// (Chrome "C" phase), rendered as a filled graph in the viewer.
 	CounterSample
+	// FlowPoint is one waypoint of a causal flow (a traced cell's hop);
+	// points sharing Event.Flow render as arrows stitched across tracks
+	// (Chrome "s"/"t"/"f" phases). Produced by CellTracker.FlowEvents,
+	// not by the Tracer itself.
+	FlowPoint
 )
 
 // Track names used by the instrumented engines — one timeline row per
@@ -48,6 +53,7 @@ type Event struct {
 	Sim   int64 // simulated time, ps
 	Wall  int64 // wall time since tracer start, ns
 	Value float64
+	Flow  uint64 // flow (trace) ID linking FlowPoint events; 0 = none
 }
 
 // DefaultTraceCap is the ring capacity used when NewTracer is given 0.
