@@ -1,6 +1,9 @@
 GO ?= go
+# Per-target fuzzing budget for the fuzz target; the nightly workflow
+# raises it to minutes (make fuzz FUZZTIME=5m).
+FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench obs-bench campaign-smoke fuzz
+.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -25,18 +28,23 @@ race:
 # per-run isolation on the full rig stack, not just on synthetic cells.
 # The serve-telemetry step starts a campaign with -serve and scrapes
 # /metrics and /healthz mid-run, asserting the Prometheus exposition
-# parses and carries per-shard progress.
+# parses and carries per-shard progress. The race-instrumented binary is
+# built once and reused for both campaigns — `go run -race` twice would
+# pay the full compile twice.
 campaign-smoke:
 	$(GO) test -race -count=1 ./internal/campaign/...
-	$(GO) run -race ./cmd/castanet -campaign faults -runs 10 -shards 4 -seed 7
-	$(GO) run -race ./cmd/castanet -campaign switch -runs 8 -shards 2 -seed 1 -failfast
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+		$(GO) build -race -o "$$tmp/castanet" ./cmd/castanet && \
+		"$$tmp/castanet" -campaign faults -runs 10 -shards 4 -seed 7 && \
+		"$$tmp/castanet" -campaign switch -runs 8 -shards 2 -seed 1 -failfast
 	$(GO) test -race -count=1 -run 'TestCommandLineTools/castanet-serve-telemetry' .
 
-# Coverage-guided fuzzing of the ipc frame and envelope decoders; seed
-# corpora live in internal/ipc/testdata/fuzz/.
+# Coverage-guided fuzzing of the ipc frame, batch-frame, and envelope
+# decoders; seed corpora live in internal/ipc/testdata/fuzz/.
 fuzz:
-	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/ipc/
-	$(GO) test -run '^$$' -fuzz '^FuzzOpenEnvelope$$' -fuzztime=10s ./internal/ipc/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/ipc/
+	$(GO) test -run '^$$' -fuzz '^FuzzBatch$$' -fuzztime=$(FUZZTIME) ./internal/ipc/
+	$(GO) test -run '^$$' -fuzz '^FuzzOpenEnvelope$$' -fuzztime=$(FUZZTIME) ./internal/ipc/
 
 bench:
 	$(GO) test -bench=Transport -benchtime=100x -run=^$$ ./internal/ipc/
@@ -46,3 +54,10 @@ bench:
 # BENCH_obs.json.
 obs-bench:
 	OBS_BENCH_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestWriteObsBench -count=1 -v ./internal/obs/
+
+# Coupling throughput: batched vs unbatched δ-window round trips and the
+# steady-state batch-encoder allocation count, written to
+# BENCH_coupling.json. CI's bench-gate job regenerates this file and
+# compares it against the committed baseline with cmd/benchgate.
+bench-all: obs-bench
+	COUPLING_BENCH_OUT=$(CURDIR)/BENCH_coupling.json $(GO) test -run TestWriteCouplingBench -count=1 -v ./internal/ipc/

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// report builds a plausible BENCH_coupling.json with the given gated
+// figures; the absolute rows scale off the speedups so the informational
+// columns stay self-consistent.
+func report(t *testing.T, dir, name string, speedupSmall, speedupLarge, encodeAllocs float64) string {
+	t.Helper()
+	unbatched := 30000.0
+	doc := `{
+  "unbatched_delta4": {"ns_per_cell": ` + f(unbatched) + `, "cells_per_sec": ` + f(1e9/unbatched) + `, "allocs_per_cell": 10},
+  "batched_delta4": {"ns_per_cell": ` + f(unbatched/speedupSmall) + `, "cells_per_sec": ` + f(1e9/unbatched*speedupSmall) + `, "allocs_per_cell": 8},
+  "unbatched_delta64": {"ns_per_cell": ` + f(unbatched) + `, "cells_per_sec": ` + f(1e9/unbatched) + `, "allocs_per_cell": 10},
+  "batched_delta64": {"ns_per_cell": ` + f(unbatched/speedupLarge) + `, "cells_per_sec": ` + f(1e9/unbatched*speedupLarge) + `, "allocs_per_cell": 6},
+  "batch_encode_64_allocs_per_op": ` + f(encodeAllocs) + `,
+  "batch_encode_64_ns_per_op": 1700,
+  "speedup_small_delta": ` + f(speedupSmall) + `,
+  "speedup_large_delta": ` + f(speedupLarge) + `
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// gateRun executes the comparator and returns its exit status and output.
+func gateRun(t *testing.T, baseline, current string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", baseline, "-current", current}, &out, &errb)
+	t.Logf("exit=%d\n%s%s", code, out.String(), errb.String())
+	return code, out.String()
+}
+
+// TestGatePassesIdentical pins the trivial fixed point: a report gated
+// against itself is clean.
+func TestGatePassesIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 2.8, 11.0, 0)
+	if code, _ := gateRun(t, base, base); code != 0 {
+		t.Fatalf("identical reports: exit %d, want 0", code)
+	}
+}
+
+// TestGateFailsInjectedRegression is the acceptance check: a 20% drop in
+// a gated speedup must fail the build, and the verdict line must name
+// the regressed figure.
+func TestGateFailsInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 2.8, 11.0, 0)
+	cur := report(t, dir, "cur.json", 2.8*0.80, 11.0, 0)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("20%% speedup regression: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "speedup_small_delta") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("output does not name the regressed figure:\n%s", out)
+	}
+}
+
+// TestGateToleratesNoise proves the 15% tolerance absorbs ordinary
+// run-to-run jitter: a 10% dip passes.
+func TestGateToleratesNoise(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 2.8, 11.0, 0)
+	cur := report(t, dir, "cur.json", 2.8*0.90, 11.0*0.92, 0)
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("10%% dip within tolerance: exit %d, want 0", code)
+	}
+}
+
+// TestGateFailsAllocGrowth pins the zero-alloc claim: the steady-state
+// batch encoder growing from 0 to 1 alloc/op must fail even though the
+// relative tolerance is meaningless at a zero baseline (the ±0.5
+// epsilon, not the percentage, is the binding constraint).
+func TestGateFailsAllocGrowth(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 2.8, 11.0, 0)
+	cur := report(t, dir, "cur.json", 2.8, 11.0, 1)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("encode alloc growth 0 -> 1: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "batch_encode_64_allocs_per_op") {
+		t.Fatalf("output does not name the alloc figure:\n%s", out)
+	}
+}
+
+// TestGateImprovementPasses confirms the gate is one-sided: faster
+// speedups and fewer allocations never fail.
+func TestGateImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 2.8, 11.0, 1)
+	cur := report(t, dir, "cur.json", 4.0, 15.0, 0)
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("improvement: exit %d, want 0", code)
+	}
+}
+
+// TestGateUsageErrors pins the exit-2 contract for missing inputs.
+func TestGateUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("missing -current: exit %d, want 2", code)
+	}
+	if code := run([]string{"-current", "/nonexistent.json"}, &out, &errb); code != 2 {
+		t.Fatalf("unreadable baseline: exit %d, want 2", code)
+	}
+}

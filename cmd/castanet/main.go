@@ -22,6 +22,11 @@
 // a JSON progress stream. -trace-cells N samples the causal cell tracing
 // (every Nth cell's per-hop waterfall; default 1 = every cell, 0 = off).
 //
+// -batch (default on) coalesces the coupling traffic of every rig into
+// δ-window batch frames (one 0xCA59 frame per processing window);
+// -batch=false restores the one-frame-per-message wire protocol, useful
+// for A/B throughput comparison and when debugging at the frame level.
+//
 // With -campaign, instead of a single experiment the named verification
 // campaign fans -runs seed-derived runs across -shards workers and prints
 // a summary report with a replayable failure digest — failed runs attach
@@ -91,6 +96,7 @@ func run() int {
 		shards   = flag.Int("shards", 0, "campaign: worker shards (0 = GOMAXPROCS)")
 		replay   = flag.Int64("replay", -1, "campaign: replay this single run index from a failure digest")
 		failfast = flag.Bool("failfast", false, "campaign: cancel remaining runs after the first failure")
+		batch    = flag.Bool("batch", true, "coalesce coupling messages per δ-window into batch frames (0xCA59)")
 	)
 	flag.Parse()
 
@@ -98,11 +104,14 @@ func run() int {
 		return badFlags("-trace-cells must be non-negative (got %d)", *traceN)
 	}
 
+	experiments.Batching(*batch)
+
 	if *camp != "" {
 		return runCampaign(campaignOpts{
 			name: *camp, runs: *runs, shards: *shards, seed: *seed,
 			replay: *replay, failfast: *failfast,
 			metrics: *metrics, trace: *trace, serve: *serve, traceCells: *traceN,
+			batch: *batch,
 		})
 	}
 
@@ -186,12 +195,13 @@ type campaignOpts struct {
 	trace      string
 	serve      string
 	traceCells int
+	batch      bool
 }
 
 // runCampaign executes (or replays one run of) a named campaign matrix.
 func runCampaign(o campaignOpts) int {
 	matrix, err := experiments.CampaignMatrixCfg(o.name,
-		experiments.CampaignConfig{TraceEvery: o.traceCells})
+		experiments.CampaignConfig{TraceEvery: o.traceCells, Batch: o.batch})
 	if err != nil {
 		return badFlags("unknown campaign %q (valid: %s)", o.name, experiments.CampaignNames())
 	}

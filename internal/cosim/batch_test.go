@@ -1,0 +1,271 @@
+package cosim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"castanet/internal/atm"
+	"castanet/internal/ipc"
+	"castanet/internal/netsim"
+	"castanet/internal/obs"
+	"castanet/internal/sim"
+)
+
+func TestBatchedDirectLoopback(t *testing.T) {
+	e := newLoopbackEntity()
+	resps := runLoopbackBatch(t, &Direct{Entity: e}, e, 20, true)
+	if len(resps) != 20 {
+		t.Fatalf("responses = %d, want 20", len(resps))
+	}
+	for i, r := range resps {
+		if r.Value.(*atm.Cell).Seq != uint32(i) {
+			t.Fatalf("response %d out of order", i)
+		}
+	}
+	if e.CausalityErrors != 0 {
+		t.Errorf("causality errors: %d", e.CausalityErrors)
+	}
+	if !e.LagInvariantHolds() {
+		t.Error("lag invariant broken at end of run")
+	}
+}
+
+func TestBatchedRemoteLoopback(t *testing.T) {
+	e := newLoopbackEntity()
+	a, b := ipc.Pipe(16)
+	srv := &EntityServer{Entity: e, Transport: b}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	resps := runLoopbackBatch(t, &Remote{Transport: a}, e, 20, true)
+	a.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if len(resps) != 20 {
+		t.Fatalf("responses = %d, want 20", len(resps))
+	}
+	for i, r := range resps {
+		if r.Value.(*atm.Cell).Seq != uint32(i) {
+			t.Fatalf("response %d out of order", i)
+		}
+	}
+}
+
+// TestBatchedEqualsUnbatched pins the tentpole safety claim on the
+// standard loopback: batching the δ-window changes neither the response
+// stream nor the hardware stamps, on either deployment.
+func TestBatchedEqualsUnbatched(t *testing.T) {
+	run := func(batch bool, remote bool) []Response {
+		e := newLoopbackEntity()
+		var c Coupling = &Direct{Entity: e}
+		var closer func()
+		if remote {
+			a, b := ipc.Pipe(16)
+			go (&EntityServer{Entity: e, Transport: b}).Serve()
+			c = &Remote{Transport: a}
+			closer = func() { a.Close() }
+		}
+		r := runLoopbackBatch(t, c, e, 25, batch)
+		if closer != nil {
+			closer()
+		}
+		return r
+	}
+	base := run(false, false)
+	for _, cfg := range []struct {
+		name          string
+		batch, remote bool
+	}{
+		{"direct-batched", true, false},
+		{"remote-unbatched", false, true},
+		{"remote-batched", true, true},
+	} {
+		got := run(cfg.batch, cfg.remote)
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d responses, want %d", cfg.name, len(got), len(base))
+		}
+		for i := range base {
+			b, g := base[i], got[i]
+			if b.Value.(*atm.Cell).Seq != g.Value.(*atm.Cell).Seq ||
+				b.HWTime != g.HWTime || b.NetTime != g.NetTime {
+				t.Fatalf("%s: response %d differs: %+v vs %+v", cfg.name, i, b, g)
+			}
+		}
+	}
+}
+
+// burstGen spaces cells by an arbitrary gap sequence, including zero
+// gaps that pile several arrivals into one network instant — the case
+// the δ-window coalescing exists for.
+type burstGen struct {
+	gaps []byte
+	i    int
+}
+
+func (g *burstGen) Next(*sim.RNG) sim.Duration {
+	if len(g.gaps) == 0 {
+		return sim.Microsecond
+	}
+	d := sim.Duration(g.gaps[g.i%len(g.gaps)]%8) * 700 * sim.Nanosecond
+	g.i++
+	return d
+}
+
+// runBurst drives the loopback with the given inter-cell gaps through
+// the full remote stack and returns the observed response stream.
+func runBurst(t *testing.T, gaps []byte, batch bool) []Response {
+	t.Helper()
+	e := newLoopbackEntity()
+	a, b := ipc.Pipe(16)
+	go (&EntityServer{Entity: e, Transport: b}).Serve()
+	defer a.Close()
+	n := netsim.New(3)
+	var responses []Response
+	iface := &InterfaceProcess{
+		Coupling:  &Remote{Transport: a},
+		Registry:  newRegistry(),
+		SyncEvery: 50 * sim.Microsecond,
+		Batch:     batch,
+		OnResponse: func(ctx *netsim.Ctx, r Response) {
+			if r.HWTime > r.NetTime {
+				t.Errorf("lag violated: hw %v > net %v", r.HWTime, r.NetTime)
+			}
+			responses = append(responses, r)
+		},
+	}
+	nCells := len(gaps)
+	src := &netsim.Source{
+		Gen:   &burstGen{gaps: gaps},
+		Limit: uint64(nCells),
+		Make: func(ctx *netsim.Ctx, i uint64) *netsim.Packet {
+			c := &atm.Cell{Header: atm.Header{VPI: byte(i % 4), VCI: uint16(100 + i%8)}, Seq: uint32(i)}
+			c.StampSeq()
+			return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
+		},
+	}
+	na := n.Node("src", src)
+	nb := n.Node("castanet", iface)
+	n.Connect(na, 0, nb, 0, netsim.LinkParams{})
+	n.Run(sim.Time(nCells+40) * 6 * sim.Microsecond)
+	if err := iface.Err(); err != nil {
+		t.Fatalf("coupling failed: %v", err)
+	}
+	return responses
+}
+
+// Property: for ANY burst pattern — including many cells sharing one
+// network instant — the batched coupling observes exactly the event
+// ordering and stamps the unbatched one does. δ_j semantics and the
+// HDL-lags-network invariant are checked inside the run.
+func TestBatchedOrderingProperty(t *testing.T) {
+	f := func(gaps []byte) bool {
+		if len(gaps) > 24 {
+			gaps = gaps[:24]
+		}
+		if len(gaps) == 0 {
+			return true
+		}
+		plain := runBurst(t, gaps, false)
+		batched := runBurst(t, gaps, true)
+		if len(plain) != len(batched) {
+			return false
+		}
+		for i := range plain {
+			p, q := plain[i], batched[i]
+			if p.Value.(*atm.Cell).Seq != q.Value.(*atm.Cell).Seq ||
+				p.HWTime != q.HWTime || p.NetTime != q.NetTime || p.Kind != q.Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedReliableFaultStack proves the batch survives the resilient
+// stack: one envelope per δ-window, acks covering whole batches, drops
+// recovered by retransmission.
+func TestBatchedReliableFaultStack(t *testing.T) {
+	e := newLoopbackEntity()
+	a, b := ipc.Pipe(64)
+	client := ipc.NewReliable(ipc.NewFault(a, ipc.FaultConfig{
+		Seed: 11,
+		Send: ipc.DirFaults{Drop: 0.05},
+		Recv: ipc.DirFaults{Drop: 0.05},
+	}), ipc.ReliableConfig{})
+	server := ipc.NewReliable(b, ipc.ReliableConfig{Auto: true})
+	go (&EntityServer{Entity: e, Transport: server}).Serve()
+	resps := runLoopbackBatch(t, &Remote{Transport: client}, e, 20, true)
+	client.Close()
+	if len(resps) != 20 {
+		t.Fatalf("responses = %d, want 20", len(resps))
+	}
+	for i, r := range resps {
+		if r.Value.(*atm.Cell).Seq != uint32(i) {
+			t.Fatalf("response %d out of order", i)
+		}
+	}
+}
+
+// TestBatchServerErrorDiscardsUnit: a Deliver failure inside a batched
+// unit answers kindError for the whole unit, and no half-built responses
+// leak into the next exchange.
+func TestBatchServerErrorDiscardsUnit(t *testing.T) {
+	e := newLoopbackEntity()
+	a, b := ipc.Pipe(16)
+	go (&EntityServer{Entity: e, Transport: b}).Serve()
+	defer a.Close()
+	r := &Remote{Transport: a}
+	cell := &atm.Cell{Header: atm.Header{VPI: 1, VCI: 1}}
+	data, _ := (newRegistry()).Encode(KindData, cell)
+	bad := ipc.Message{Kind: ipc.KindUser + 9, Time: 2 * sim.Microsecond} // undeclared kind
+	good := ipc.Message{Kind: KindData, Time: 2 * sim.Microsecond, Data: data}
+	if _, err := r.SendBatch([]ipc.Message{good, bad, good}); err == nil {
+		t.Fatal("batched unit with undeclared kind accepted")
+	}
+	// The link keeps working and the poisoned unit's outbox is gone.
+	out, err := r.Send(ipc.Message{Kind: ipc.KindSync, Time: 200 * sim.Microsecond})
+	if err != nil {
+		t.Fatalf("follow-up sync: %v", err)
+	}
+	for _, m := range out {
+		if m.Kind != ipc.KindSync {
+			t.Fatalf("stale response leaked after failed unit: %v", m)
+		}
+	}
+}
+
+// TestBatchMetrics: the flush path publishes batch count and size.
+func TestBatchMetrics(t *testing.T) {
+	e := newLoopbackEntity()
+	reg := obs.NewRegistry()
+	n := netsim.New(7)
+	iface := &InterfaceProcess{
+		Coupling:  &Direct{Entity: e},
+		Registry:  newRegistry(),
+		SyncEvery: 100 * sim.Microsecond,
+		Batch:     true,
+	}
+	iface.Instrument(reg, nil)
+	src := &netsim.Source{
+		Gen:   cellGen{2726 * sim.Nanosecond},
+		Limit: 10,
+		Make: func(ctx *netsim.Ctx, i uint64) *netsim.Packet {
+			c := &atm.Cell{Header: atm.Header{VPI: 1, VCI: 100}, Seq: uint32(i)}
+			c.StampSeq()
+			return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
+		},
+	}
+	na := n.Node("src", src)
+	nb := n.Node("castanet", iface)
+	n.Connect(na, 0, nb, 0, netsim.LinkParams{})
+	n.Run(50 * 2726 * sim.Nanosecond)
+	if got := reg.Counter("cosim.iface.batches").Value(); got == 0 {
+		t.Error("cosim.iface.batches not incremented")
+	}
+	if got := reg.Histogram("cosim.iface.batch_size").N(); got == 0 {
+		t.Error("cosim.iface.batch_size not observed")
+	}
+}

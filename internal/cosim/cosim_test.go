@@ -70,6 +70,10 @@ type cellGen struct{ gap sim.Duration }
 func (g cellGen) Next(*sim.RNG) sim.Duration { return g.gap }
 
 func runLoopback(t *testing.T, coupling Coupling, e *Entity, nCells int) []Response {
+	return runLoopbackBatch(t, coupling, e, nCells, false)
+}
+
+func runLoopbackBatch(t *testing.T, coupling Coupling, e *Entity, nCells int, batch bool) []Response {
 	t.Helper()
 	n := netsim.New(7)
 	var responses []Response
@@ -77,6 +81,7 @@ func runLoopback(t *testing.T, coupling Coupling, e *Entity, nCells int) []Respo
 		Coupling:  coupling,
 		Registry:  newRegistry(),
 		SyncEvery: 100 * sim.Microsecond,
+		Batch:     batch,
 		OnResponse: func(ctx *netsim.Ctx, r Response) {
 			if r.HWTime > r.NetTime {
 				t.Errorf("lag violated: hw %v > net %v", r.HWTime, r.NetTime)

@@ -24,6 +24,18 @@ type Coupling interface {
 	Close() error
 }
 
+// BatchCoupling is a Coupling that can ship a whole δ-window of messages
+// as one protocol unit: the conservative protocol has already proven
+// every message in the window safe, so nothing is gained by paying a
+// round trip per message. SendBatch delivers msgs in order, returns all
+// responses the unit provoked, and follows the same error contract as
+// Send — on error the slice is nil and any half-built response unit is
+// discarded. The caller's slice is not retained.
+type BatchCoupling interface {
+	Coupling
+	SendBatch(msgs []ipc.Message) ([]ipc.Message, error)
+}
+
 // Direct couples the interface process to an Entity by plain function
 // calls — both engines in one OS process, the fastest deployment.
 type Direct struct {
@@ -34,6 +46,20 @@ type Direct struct {
 func (d *Direct) Send(msg ipc.Message) ([]ipc.Message, error) {
 	if err := d.Entity.Deliver(msg); err != nil {
 		return nil, &CouplingError{Class: ClassProtocol, Op: "entity", Err: err}
+	}
+	return d.Entity.TakeOutbox(), nil
+}
+
+// SendBatch implements BatchCoupling: the messages are delivered
+// back-to-back and the entity's outbox — which coalesces emissions per
+// delta-window — is taken once for the whole unit. A mid-unit failure
+// discards the half-built outbox per the error contract.
+func (d *Direct) SendBatch(msgs []ipc.Message) ([]ipc.Message, error) {
+	for _, m := range msgs {
+		if err := d.Entity.Deliver(m); err != nil {
+			d.Entity.TakeOutbox()
+			return nil, &CouplingError{Class: ClassProtocol, Op: "entity", Err: err}
+		}
 	}
 	return d.Entity.TakeOutbox(), nil
 }
@@ -94,6 +120,60 @@ func (r *Remote) Send(msg ipc.Message) ([]ipc.Message, error) {
 	}
 }
 
+// SendBatch implements BatchCoupling. On a batch-capable transport the
+// whole window crosses in one frame and the server answers with one
+// response unit terminated by its KindSync acknowledgement; otherwise it
+// degrades to the strict per-message alternation, which preserves
+// semantics at the unbatched cost.
+func (r *Remote) SendBatch(msgs []ipc.Message) ([]ipc.Message, error) {
+	if len(msgs) == 1 {
+		return r.Send(msgs[0])
+	}
+	bt, ok := r.Transport.(ipc.BatchTransport)
+	if !ok {
+		var out []ipc.Message
+		for _, m := range msgs {
+			resp, err := r.Send(m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, resp...)
+		}
+		return out, nil
+	}
+	if r.Deadline > 0 {
+		wd := time.AfterFunc(r.Deadline, func() {
+			r.timedOut.Store(true)
+			r.Transport.Close()
+		})
+		defer wd.Stop()
+	}
+	if err := bt.SendBatch(msgs); err != nil {
+		return nil, r.wrap("send", err)
+	}
+	var out []ipc.Message
+	for {
+		unit, err := bt.RecvBatch()
+		if err != nil {
+			return nil, r.wrap("recv", err)
+		}
+		for _, m := range unit {
+			switch m.Kind {
+			case ipc.KindSync:
+				r.PeerTime = int64(m.Time)
+				return out, nil
+			case kindError:
+				return nil, &CouplingError{
+					Class: ClassProtocol,
+					Op:    "entity",
+					Err:   fmt.Errorf("remote entity: %s", m.Data),
+				}
+			}
+			out = append(out, m)
+		}
+	}
+}
+
 // wrap types a transport error; a failure caused by the deadline watchdog
 // reports as timeout, not as the closed link the watchdog left behind.
 func (r *Remote) wrap(op string, err error) error {
@@ -127,10 +207,29 @@ type EntityServer struct {
 	watchdogFired atomic.Bool
 }
 
+// recvUnit reads the client's next protocol unit: one message, or a
+// whole δ-window batch when the transport carries batches.
+func (s *EntityServer) recvUnit() ([]ipc.Message, error) {
+	if bt, ok := s.Transport.(ipc.BatchTransport); ok {
+		return bt.RecvBatch()
+	}
+	m, err := s.Transport.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return []ipc.Message{m}, nil
+}
+
 // Serve runs the request loop. It returns nil when the client closes the
 // connection cleanly, and a *CouplingError when the link dies any other
 // way. The transport is closed on return, so a client blocked on a
 // response learns of the server's death instead of waiting forever.
+//
+// A batched request is processed as one unit: every message is delivered
+// in order, the entity's coalesced outbox plus the KindSync
+// acknowledgement travel back as one batch, and a mid-unit Deliver
+// failure discards the half-built outbox and answers kindError for the
+// whole unit — mirroring the client-side error contract.
 func (s *EntityServer) Serve() error {
 	defer s.Transport.Close()
 	var wd *time.Timer
@@ -142,7 +241,7 @@ func (s *EntityServer) Serve() error {
 		defer wd.Stop()
 	}
 	for {
-		msg, err := s.Transport.Recv()
+		unit, err := s.recvUnit()
 		if err != nil {
 			if s.watchdogFired.Load() {
 				return &CouplingError{
@@ -159,18 +258,36 @@ func (s *EntityServer) Serve() error {
 		if wd != nil {
 			wd.Reset(s.Watchdog)
 		}
-		if derr := s.Entity.Deliver(msg); derr != nil {
+		var derr error
+		for _, msg := range unit {
+			if derr = s.Entity.Deliver(msg); derr != nil {
+				break
+			}
+		}
+		if derr != nil {
+			s.Entity.TakeOutbox() // discard the half-built unit
 			if serr := s.Transport.Send(ipc.Message{Kind: kindError, Time: s.Entity.HDL.Now(), Data: []byte(derr.Error())}); serr != nil {
 				return coupErr("send", serr)
 			}
 			continue
 		}
-		for _, resp := range s.Entity.TakeOutbox() {
+		resps := s.Entity.TakeOutbox()
+		sync := ipc.Message{Kind: ipc.KindSync, Time: s.Entity.HDL.Now()}
+		if len(unit) > 1 {
+			// A batched request earns a batched reply; the transport is
+			// batch-capable or the unit could not have arrived whole.
+			reply := append(resps, sync)
+			if err := s.Transport.(ipc.BatchTransport).SendBatch(reply); err != nil {
+				return coupErr("send", err)
+			}
+			continue
+		}
+		for _, resp := range resps {
 			if err := s.Transport.Send(resp); err != nil {
 				return coupErr("send", err)
 			}
 		}
-		if err := s.Transport.Send(ipc.Message{Kind: ipc.KindSync, Time: s.Entity.HDL.Now()}); err != nil {
+		if err := s.Transport.Send(sync); err != nil {
 			return coupErr("send", err)
 		}
 	}

@@ -2,6 +2,7 @@ package cosim
 
 import (
 	"fmt"
+	"time"
 
 	"castanet/internal/ipc"
 	"castanet/internal/mapping"
@@ -56,6 +57,15 @@ type InterfaceProcess struct {
 	// hardware clock advancing through traffic pauses. Zero disables
 	// periodic sync.
 	SyncEvery sim.Duration
+	// Batch coalesces every message generated within one network instant
+	// (one δ-window boundary) into a single coupling unit, flushed at the
+	// end of the instant — the conservative protocol has already proven
+	// all of them safe, so one round trip carries the whole window. It
+	// takes effect when the Coupling implements BatchCoupling; otherwise
+	// messages travel one per round trip as before. Event orderings and
+	// the lag invariant are unchanged either way (see the batched-vs-
+	// unbatched property test).
+	Batch bool
 	// TraceOf, when non-nil, mints the causal trace ID of an outbound
 	// packet (0 = untraced). Sampled IDs ride the IPC envelope and record
 	// the ipc.tx hop in Cells.
@@ -75,6 +85,12 @@ type InterfaceProcess struct {
 	// handling; once set, the process stops driving the coupling.
 	err error
 
+	// pending holds the messages of the current network instant awaiting
+	// the end-of-instant flush; flushArmed tracks the zero-delay flush
+	// timer. Only ever non-empty within a single instant.
+	pending    []ipc.Message
+	flushArmed bool
+
 	// Observability handles (nil when uninstrumented; all nil-safe). The
 	// process runs inside the sequential network scheduler, so plain field
 	// access is fine.
@@ -82,6 +98,9 @@ type InterfaceProcess struct {
 	obsResponses *obs.Counter
 	obsSyncs     *obs.Counter
 	obsPending   *obs.Gauge
+	obsBatches   *obs.Counter
+	obsBatchSize *obs.Histogram
+	obsFlushUs   *obs.Histogram
 	tracer       *obs.Tracer
 }
 
@@ -99,6 +118,9 @@ func (p *InterfaceProcess) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	p.obsResponses = reg.Counter("cosim.iface.responses")
 	p.obsSyncs = reg.Counter("cosim.iface.syncs")
 	p.obsPending = reg.Gauge("cosim.iface.net_pending")
+	p.obsBatches = reg.Counter("cosim.iface.batches")
+	p.obsBatchSize = reg.Histogram("cosim.iface.batch_size", 1, 2, 4, 8, 16, 32, 64, 128)
+	p.obsFlushUs = reg.Histogram("cosim.iface.flush_us", 1, 5, 10, 50, 100, 500, 1000, 5000)
 }
 
 // Err returns the coupling failure that terminated the run, or nil. Rigs
@@ -119,6 +141,13 @@ func (p *InterfaceProcess) Init(ctx *netsim.Ctx) {
 }
 
 type syncTag struct{}
+
+// flushTag marks the end-of-instant flush of the coalesced message
+// window. It is armed with a zero-delay timer when the first message of
+// an instant is buffered: the scheduler runs same-timestamp events in
+// scheduling order, so the flush executes after every arrival of the
+// instant, at the same network time.
+type flushTag struct{}
 
 // respTag schedules delivery of a response whose hardware time stamp lies
 // ahead of the network clock (the DUT produced it inside its granted
@@ -150,7 +179,7 @@ func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int
 			p.Cells.Hop(id, obs.HopEnvelopeTx, int64(msg.Time))
 		}
 	}
-	p.push(ctx, msg)
+	p.enqueue(ctx, msg)
 }
 
 // Timer implements netsim.Processor: periodic time updates and deferred
@@ -169,11 +198,72 @@ func (p *InterfaceProcess) Timer(ctx *netsim.Ctx, tag interface{}) {
 		if p.obsPending != nil {
 			p.obsPending.Set(float64(ctx.Net().Sched.Pending()))
 		}
-		p.push(ctx, ipc.Message{Kind: ipc.KindSync, Time: ctx.Now()})
+		// A sync is a natural window boundary: when messages of this
+		// instant are already buffered it joins their batch, otherwise it
+		// travels alone.
+		if len(p.pending) > 0 {
+			p.pending = append(p.pending, ipc.Message{Kind: ipc.KindSync, Time: ctx.Now()})
+			p.flush(ctx)
+		} else {
+			p.push(ctx, ipc.Message{Kind: ipc.KindSync, Time: ctx.Now()})
+		}
 		ctx.SetTimer(p.SyncEvery, syncTag{})
+	case flushTag:
+		p.flush(ctx)
 	case respTag:
 		p.deliver(ctx, tg.r)
 	}
+}
+
+// enqueue routes one outgoing message: buffered until the end of the
+// instant when batching is on and the coupling can carry units, pushed
+// through a full round trip otherwise.
+func (p *InterfaceProcess) enqueue(ctx *netsim.Ctx, msg ipc.Message) {
+	if p.err != nil {
+		return
+	}
+	if _, ok := p.Coupling.(BatchCoupling); !ok || !p.Batch {
+		p.push(ctx, msg)
+		return
+	}
+	p.pending = append(p.pending, msg)
+	if !p.flushArmed {
+		p.flushArmed = true
+		ctx.SetTimer(0, flushTag{})
+	}
+}
+
+// flush ships the buffered window as one unit and dispatches its
+// responses — semantically identical to pushing each message in order,
+// minus the per-message round trips.
+func (p *InterfaceProcess) flush(ctx *netsim.Ctx) {
+	p.flushArmed = false
+	msgs := p.pending
+	p.pending = p.pending[:0]
+	if len(msgs) == 0 || p.err != nil {
+		return
+	}
+	span := p.tracer.Enabled()
+	if span {
+		p.tracer.Begin(obs.TrackCoupling, "batch flush", int64(ctx.Now()))
+	}
+	start := time.Now()
+	resps, err := p.Coupling.(BatchCoupling).SendBatch(msgs)
+	p.obsBatches.Inc()
+	if p.obsBatchSize != nil {
+		p.obsBatchSize.Observe(float64(len(msgs)))
+	}
+	if p.obsFlushUs != nil {
+		p.obsFlushUs.Observe(float64(time.Since(start).Microseconds()))
+	}
+	if span {
+		p.tracer.End(obs.TrackCoupling, "batch flush", int64(ctx.Now()))
+	}
+	if err != nil {
+		p.fail(ctx, err)
+		return
+	}
+	p.handleResponses(ctx, resps)
 }
 
 // push sends one message and dispatches the responses it provoked. A
@@ -194,6 +284,12 @@ func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
 		p.fail(ctx, err)
 		return
 	}
+	p.handleResponses(ctx, resps)
+}
+
+// handleResponses decodes and dispatches the responses one coupling
+// operation provoked, in order.
+func (p *InterfaceProcess) handleResponses(ctx *netsim.Ctx, resps []ipc.Message) {
 	for _, rm := range resps {
 		value, err := p.decode(rm)
 		if err != nil {

@@ -91,18 +91,17 @@ func (c *Reconnector) teardown() {
 	}
 }
 
-// Send implements Coupling.
-func (c *Reconnector) Send(msg ipc.Message) ([]ipc.Message, error) {
+// do runs one coupling operation with the reconnect-and-retry policy.
+// sendsInit marks operations that themselves carry the init message:
+// replaying the recorded init before retrying those would deliver it
+// twice.
+func (c *Reconnector) do(sendsInit bool, op func(*Remote) ([]ipc.Message, error)) ([]ipc.Message, error) {
 	if c.cur == nil {
 		if err := c.connect(false); err != nil {
 			return nil, err
 		}
 	}
-	if msg.Kind == ipc.KindInit {
-		m := msg
-		c.init = &m
-	}
-	out, err := c.cur.Send(msg)
+	out, err := op(c.cur)
 	if err == nil {
 		return out, nil
 	}
@@ -117,14 +116,12 @@ func (c *Reconnector) Send(msg ipc.Message) ([]ipc.Message, error) {
 		if wait *= 2; wait > cap {
 			wait = cap
 		}
-		// Replaying the init we are about to send would deliver it twice.
-		replay := msg.Kind != ipc.KindInit
-		if cerr := c.connect(replay); cerr != nil {
+		if cerr := c.connect(!sendsInit); cerr != nil {
 			lastErr = cerr
 			continue
 		}
 		c.Reconnects++
-		out, err = c.cur.Send(msg)
+		out, err = op(c.cur)
 		if err == nil {
 			return out, nil
 		}
@@ -138,6 +135,34 @@ func (c *Reconnector) Send(msg ipc.Message) ([]ipc.Message, error) {
 		Op:    "reconnect",
 		Err:   fmt.Errorf("gave up after %d attempts: %w", c.maxAttempts(), lastErr),
 	}
+}
+
+// Send implements Coupling.
+func (c *Reconnector) Send(msg ipc.Message) ([]ipc.Message, error) {
+	if msg.Kind == ipc.KindInit {
+		m := msg
+		c.init = &m
+	}
+	return c.do(msg.Kind == ipc.KindInit, func(r *Remote) ([]ipc.Message, error) {
+		return r.Send(msg)
+	})
+}
+
+// SendBatch implements BatchCoupling with the same retry policy; the
+// whole unit is retried as one operation, so a reconnect never splits a
+// δ-window.
+func (c *Reconnector) SendBatch(msgs []ipc.Message) ([]ipc.Message, error) {
+	sendsInit := false
+	for _, m := range msgs {
+		if m.Kind == ipc.KindInit {
+			mm := m
+			c.init = &mm
+			sendsInit = true
+		}
+	}
+	return c.do(sendsInit, func(r *Remote) ([]ipc.Message, error) {
+		return r.SendBatch(msgs)
+	})
 }
 
 // Close implements Coupling.

@@ -35,6 +35,9 @@ type AcctRigConfig struct {
 	Sources []AcctSource
 	// SyncEvery is the time-update period.
 	SyncEvery sim.Duration
+	// Batch coalesces per-instant coupling messages into δ-window units
+	// (see SwitchRigConfig.Batch).
+	Batch bool
 	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
@@ -130,6 +133,7 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 		Coupling:  &cosim.Direct{Entity: r.Entity},
 		Registry:  registry,
 		SyncEvery: cfg.SyncEvery,
+		Batch:     cfg.Batch,
 		Classify: func(pkt *netsim.Packet, port int) ipc.Kind {
 			if _, raw := pkt.Data.([]byte); raw {
 				return KindRawCell

@@ -101,6 +101,7 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 		Coupling:  coupling,
 		Registry:  registry,
 		SyncEvery: cfg.SyncEvery,
+		Batch:     cfg.Batch, // inert: the board coupling is not batch-capable
 		Classify:  func(pkt *netsim.Packet, port int) ipc.Kind { return KindCellIn(port) },
 		OnResponse: func(ctx *netsim.Ctx, resp cosim.Response) {
 			port := int(resp.Kind - KindCellOut(0))

@@ -55,6 +55,9 @@ type PolicerRigConfig struct {
 	Contracts   []PolicerContract
 	Sources     []PolicerSource
 	SyncEvery   sim.Duration
+	// Batch coalesces per-instant coupling messages into δ-window units
+	// (see SwitchRigConfig.Batch).
+	Batch bool
 	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
@@ -211,6 +214,7 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 		Coupling:  &cosim.Direct{Entity: r.Entity},
 		Registry:  registry,
 		SyncEvery: cfg.SyncEvery,
+		Batch:     cfg.Batch,
 		OnResponse: func(ctx *netsim.Ctx, resp cosim.Response) {
 			r.Cmp.Actual(resp.Value.(*atm.Cell))
 		},

@@ -73,6 +73,11 @@ type SwitchRigConfig struct {
 	Deadline time.Duration
 	// SyncEvery overrides the periodic time-update interval.
 	SyncEvery sim.Duration
+	// Batch coalesces all coupling messages of one network instant into a
+	// single δ-window unit (one wire frame, one acknowledgement) — see
+	// cosim.InterfaceProcess.Batch. Event orderings are unchanged; only
+	// the per-message round trips are amortized.
+	Batch bool
 	// Waveforms, when non-nil, receives a VCD dump of the DUT's external
 	// ports — the HDL-side waveform debugging window of Fig. 2.
 	Waveforms io.Writer
@@ -290,6 +295,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		Coupling:  coupling,
 		Registry:  registry,
 		SyncEvery: cfg.SyncEvery,
+		Batch:     cfg.Batch,
 		Cells:     cfg.Cells,
 		Recorder:  cfg.Recorder,
 		Classify:  func(pkt *netsim.Packet, port int) ipc.Kind { return KindCellIn(port) },

@@ -31,10 +31,17 @@ type CampaignConfig struct {
 	// tracing). Campaign runs are small, so full tracing is the default;
 	// raise it for full-rate soak campaigns.
 	TraceEvery int
+	// Batch runs every rig through the δ-window batched coupling path
+	// (default on, matching the castanet -batch flag). The campaigns are
+	// then end-to-end consumers of the batched wire format: switch runs
+	// batch over the direct coupling, fault runs push whole batches
+	// through Reliable(Fault(pipe)).
+	Batch bool
 }
 
-// DefaultCampaignConfig traces every cell — see CampaignConfig.
-var DefaultCampaignConfig = CampaignConfig{TraceEvery: 1}
+// DefaultCampaignConfig traces every cell and batches the coupling — see
+// CampaignConfig.
+var DefaultCampaignConfig = CampaignConfig{TraceEvery: 1, Batch: true}
 
 // runObs builds the per-run cell tracker and flight recorder. Each run
 // gets fresh ones (runs share nothing mutable), sized for a campaign-run
@@ -114,6 +121,7 @@ func switchCells(ccfg CampaignConfig) []campaign.Cell {
 		cells, rec := ccfg.runObs()
 		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
 			Seed: rng.Uint64(), Traffic: tr, Cells: cells, Recorder: rec,
+			Batch: ccfg.Batch,
 		})
 		if err := rig.Run(horizon); err != nil {
 			return campaign.Detailed(err, rig.FailureDigest())
@@ -169,6 +177,7 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 			Seed:     rng.Uint64(),
 			Traffic:  tr,
 			Remote:   true,
+			Batch:    ccfg.Batch,
 			Cells:    cells,
 			Recorder: rec,
 			Reliable: &ipc.ReliableConfig{
@@ -219,7 +228,7 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 // policerCells is the UPC campaign: per run a seed-derived offered load
 // between 0.5× and 2× the contract, with the RTL policer and the GCRA
 // reference required to agree per cell.
-func policerCells(_ CampaignConfig) []campaign.Cell {
+func policerCells(ccfg CampaignConfig) []campaign.Cell {
 	return []campaign.Cell{{Experiment: "policer", Run: func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		const contractRate = 50e3 // cells/s
@@ -227,7 +236,8 @@ func policerCells(_ CampaignConfig) []campaign.Cell {
 		cells := uint64(30 + rng.Intn(31))
 		vc := atm.VC{VPI: 1, VCI: 10}
 		rig := coverify.NewPolicerRig(coverify.PolicerRigConfig{
-			Seed: rng.Uint64(),
+			Seed:  rng.Uint64(),
+			Batch: ccfg.Batch,
 			Contracts: []coverify.PolicerContract{
 				{VC: vc, PeakInterval: sim.FromSeconds(1 / contractRate), Tau: 2 * sim.Microsecond},
 			},
@@ -252,12 +262,13 @@ func policerCells(_ CampaignConfig) []campaign.Cell {
 // acctCells is the accounting campaign: the standardized conformance
 // vectors replayed ahead of a short seed-derived stochastic phase, with
 // every hardware counter required to match the reference meter.
-func acctCells(_ CampaignConfig) []campaign.Cell {
+func acctCells(ccfg CampaignConfig) []campaign.Cell {
 	return []campaign.Cell{{Experiment: "acct", Run: func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		vcs := []atm.VC{{VPI: 1, VCI: 10}, {VPI: 2, VCI: 20}}
 		cfg := coverify.AcctRigConfig{
 			Seed:   rng.Uint64(),
+			Batch:  ccfg.Batch,
 			VCs:    vcs,
 			Tariff: atm.Tariff{CellsPerUnit: 10},
 			Sources: []coverify.AcctSource{

@@ -33,6 +33,10 @@ import (
 // mutable state. A zero Factory (nil Obs) elaborates uninstrumented rigs.
 type Factory struct {
 	Obs *obs.Run
+	// Batch routes every coupling the factory elaborates through the
+	// δ-window batched path (cosim.InterfaceProcess.Batch). Rigs whose
+	// coupling is not batch-capable ignore it.
+	Batch bool
 }
 
 // obsRun is the observability sink installed by Observe. The package-level
@@ -49,11 +53,20 @@ var obsRun *obs.Run
 // disable.
 func Observe(run *obs.Run) { obsRun = run }
 
+// batchOn is the package-level coupling-batching default for the E*
+// harness wrappers, on unless the castanet -batch flag clears it.
+var batchOn = true
+
+// Batching sets whether package-level E* calls elaborate their rigs on
+// the batched coupling path (the castanet -batch flag).
+func Batching(on bool) { batchOn = on }
+
 // observed copies the factory's sink into a rig configuration.
 func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig {
 	cfg.Metrics = f.Obs.Reg()
 	cfg.Trace = f.Obs.Trace()
 	cfg.Cells = f.Obs.CellTrace()
+	cfg.Batch = f.Batch
 	return cfg
 }
 
@@ -106,7 +119,9 @@ type E1Result struct {
 }
 
 // E1 runs the §2 benchmark workload against the package-level sink.
-func E1(cells uint64, seed uint64) E1Result { return Factory{Obs: obsRun}.E1(cells, seed) }
+func E1(cells uint64, seed uint64) E1Result {
+	return Factory{Obs: obsRun, Batch: batchOn}.E1(cells, seed)
+}
 
 // E1 runs the §2 benchmark workload: cells through the 4-port switch with
 // one global control unit, once in the co-verification environment and
@@ -183,7 +198,9 @@ type E2Result struct {
 // cycle — the "incorporating the HW-clock into the OPNET interface model"
 // that §3.2 rejects — showing the message blow-up the timing windows
 // avoid.
-func E2(cells uint64, seed uint64) E2Result { return Factory{Obs: obsRun}.E2(cells, seed) }
+func E2(cells uint64, seed uint64) E2Result {
+	return Factory{Obs: obsRun, Batch: batchOn}.E2(cells, seed)
+}
 
 // E2 is the sweep against the factory's sink.
 func (f Factory) E2(cells uint64, seed uint64) E2Result {
@@ -265,7 +282,9 @@ type E3Result struct {
 }
 
 // E3 measures the event accounting against the package-level sink.
-func E3(cells uint64, seed uint64) E3Result { return Factory{Obs: obsRun}.E3(cells, seed) }
+func E3(cells uint64, seed uint64) E3Result {
+	return Factory{Obs: obsRun, Batch: batchOn}.E3(cells, seed)
+}
 
 // E3 measures the two engines' event counts for the same traffic (Fig. 4
 // and §3.2: mapping one abstract cell event onto 53+ bit-level clock
@@ -328,7 +347,9 @@ type E4Result struct {
 // durations (stimulus memory depths): longer hardware activity cycles
 // amortize the per-cycle SCSI software activity, raising the real-time
 // fraction — the trade the §3.3 memory configuration governs.
-func E4(cells uint64, seed uint64) E4Result { return Factory{Obs: obsRun}.E4(cells, seed) }
+func E4(cells uint64, seed uint64) E4Result {
+	return Factory{Obs: obsRun, Batch: batchOn}.E4(cells, seed)
+}
 
 // E4 is the board sweep against the factory's sink.
 func (f Factory) E4(cells uint64, seed uint64) E4Result {
@@ -381,7 +402,7 @@ type E5Result struct {
 // E5 runs the paper's case study: the accounting unit verified against
 // its algorithmic reference under mixed stochastic traffic, an MPEG
 // trace, and the standardized conformance vectors.
-func E5(seed uint64) E5Result { return Factory{Obs: obsRun}.E5(seed) }
+func E5(seed uint64) E5Result { return Factory{Obs: obsRun, Batch: batchOn}.E5(seed) }
 
 // E5 is the case study against the factory's sink.
 func (f Factory) E5(seed uint64) E5Result {
@@ -400,6 +421,7 @@ func (f Factory) E5(seed uint64) E5Result {
 	}
 	cfg.Metrics = f.Obs.Reg()
 	cfg.Trace = f.Obs.Trace()
+	cfg.Batch = f.Batch
 	rig := coverify.NewAcctRig(cfg)
 
 	// Conformance vectors replayed ahead of the stochastic phase.

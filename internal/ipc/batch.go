@@ -1,0 +1,183 @@
+package ipc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Batch framing. The conservative protocol proves that every message up
+// to the declared lookahead δ_j is safe to deliver, so the coupling may
+// ship a whole δ-window of envelopes in one write instead of paying a
+// syscall, a frame encode and several allocations per cell — the same
+// economics SCE-MI-style co-emulation transactors exploit by batching
+// messages across the link. The layout, big endian:
+//
+//	0xCA59: magic(2) count(4) bodyLen(4) crc32(4) body(bodyLen)
+//
+// body is the concatenation of count standard sub-frames, each in the
+// 0xCA57/0xCA58 single-message layout (sub-frames carry their own length
+// fields, so the body is self-delimiting), protected as a unit by one
+// CRC-32 (IEEE) — trace IDs, kinds and stamps travel unchanged inside
+// their sub-frames. A batch never nests.
+//
+// Peers that predate batching reject the 0xCA59 magic as ErrBadFrame, so
+// a batch can only travel on a link whose both ends enabled it; streams
+// that never batch stay byte-identical to the pre-batch format.
+const (
+	magicBatch       = 0xCA59 // legacy magic + 2: the batch frame layout
+	batchHeaderBytes = 2 + 4 + 4 + 4
+	// MaxBatchBytes bounds the batch body; it guards the decoder against
+	// corrupt length fields the same way MaxData guards sub-frames.
+	MaxBatchBytes = 1 << 24
+)
+
+// encBuf is a pooled encode buffer. The pool holds *encBuf (not []byte)
+// so Get/Put never allocate for the interface conversion, keeping the
+// steady-state batched encode path at zero allocations per call.
+type encBuf struct{ b []byte }
+
+var encPool = sync.Pool{New: func() interface{} { return new(encBuf) }}
+
+// bodyPool recycles batch decode buffers. Sub-frame payloads are copied
+// out during the parse, so the body buffer is free the moment DecodeBatch
+// returns.
+var bodyPool = sync.Pool{New: func() interface{} { return new(encBuf) }}
+
+// putHeader writes m's single-frame header into buf and returns its
+// length (headerBytes or tracedHeaderBytes). buf must hold
+// tracedHeaderBytes.
+func putHeader(buf []byte, m Message) int {
+	binary.BigEndian.PutUint16(buf[2:], uint16(m.Kind))
+	binary.BigEndian.PutUint64(buf[4:], uint64(m.Time))
+	if m.Trace != 0 {
+		binary.BigEndian.PutUint16(buf[0:], magicTraced)
+		binary.BigEndian.PutUint64(buf[12:], m.Trace)
+		binary.BigEndian.PutUint32(buf[20:], uint32(len(m.Data)))
+		return tracedHeaderBytes
+	}
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(m.Data)))
+	return headerBytes
+}
+
+// appendFrame appends m in standard single-frame wire format.
+func appendFrame(dst []byte, m Message) ([]byte, error) {
+	if len(m.Data) > MaxData {
+		return nil, fmt.Errorf("ipc: payload %d exceeds limit", len(m.Data))
+	}
+	var hdr [tracedHeaderBytes]byte
+	n := putHeader(hdr[:], m)
+	dst = append(dst, hdr[:n]...)
+	return append(dst, m.Data...), nil
+}
+
+// EncodeBatch writes msgs as one 0xCA59 batch frame in a single Write.
+// The encode buffer comes from a pool, so the steady-state path performs
+// no allocations; msgs is not retained. An empty batch is an error — the
+// caller's flush logic, not the wire, decides that there is nothing to
+// say.
+func EncodeBatch(w io.Writer, msgs []Message) error {
+	if len(msgs) == 0 {
+		return fmt.Errorf("ipc: empty batch")
+	}
+	eb := encPool.Get().(*encBuf)
+	buf := eb.b[:0]
+	var zero [batchHeaderBytes]byte
+	buf = append(buf, zero[:]...)
+	var err error
+	for _, m := range msgs {
+		if buf, err = appendFrame(buf, m); err != nil {
+			eb.b = buf[:0]
+			encPool.Put(eb)
+			return err
+		}
+	}
+	body := buf[batchHeaderBytes:]
+	if len(body) > MaxBatchBytes {
+		eb.b = buf[:0]
+		encPool.Put(eb)
+		return fmt.Errorf("ipc: batch body %d exceeds limit", len(body))
+	}
+	binary.BigEndian.PutUint16(buf[0:], magicBatch)
+	binary.BigEndian.PutUint32(buf[2:], uint32(len(msgs)))
+	binary.BigEndian.PutUint32(buf[6:], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[10:], crc32.ChecksumIEEE(body))
+	_, err = w.Write(buf)
+	eb.b = buf[:0]
+	encPool.Put(eb)
+	return err
+}
+
+// DecodeBatch reads the remainder of a batch frame after its magic has
+// been consumed, verifying the CRC before any sub-frame is parsed. Every
+// inconsistency inside a CRC-valid body — truncated sub-frame, trailing
+// bytes, nested batch — is corruption and reports ErrBadFrame.
+func decodeBatchBody(r io.Reader) ([]Message, error) {
+	var hdr [batchHeaderBytes - 2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(hdr[0:])
+	bodyLen := binary.BigEndian.Uint32(hdr[4:])
+	sum := binary.BigEndian.Uint32(hdr[8:])
+	if bodyLen > MaxBatchBytes {
+		return nil, fmt.Errorf("%w: batch body length %d", ErrBadFrame, bodyLen)
+	}
+	// Every sub-frame is at least a bare legacy header, which bounds the
+	// count a body of this size can hold.
+	if count == 0 || uint64(count)*headerBytes > uint64(bodyLen) {
+		return nil, fmt.Errorf("%w: batch count %d for body %d", ErrBadFrame, count, bodyLen)
+	}
+	bb := bodyPool.Get().(*encBuf)
+	defer func() { bodyPool.Put(bb) }()
+	if cap(bb.b) < int(bodyLen) {
+		bb.b = make([]byte, bodyLen)
+	}
+	body := bb.b[:bodyLen]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: batch crc mismatch", ErrBadFrame)
+	}
+	br := bytes.NewReader(body)
+	msgs := make([]Message, 0, count)
+	for i := uint32(0); i < count; i++ {
+		m, err := Decode(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch sub-frame %d: %v", ErrBadFrame, i, err)
+		}
+		msgs = append(msgs, m)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, br.Len())
+	}
+	return msgs, nil
+}
+
+// DecodeAny reads one frame from r: a single message (either layout)
+// arrives as a one-element slice, a 0xCA59 batch as all its sub-messages
+// in order. It is the receive-side dual of Encode/EncodeBatch sharing one
+// stream.
+func DecodeAny(r io.Reader) ([]Message, error) {
+	var mg [2]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return nil, err
+	}
+	switch binary.BigEndian.Uint16(mg[:]) {
+	case magicBatch:
+		return decodeBatchBody(r)
+	case magic, magicTraced:
+		m, err := decodeSingleBody(r, binary.BigEndian.Uint16(mg[:]))
+		if err != nil {
+			return nil, err
+		}
+		return []Message{m}, nil
+	default:
+		return nil, ErrBadFrame
+	}
+}

@@ -92,6 +92,89 @@ func TestTracedZeroRejected(t *testing.T) {
 	}
 }
 
+// tracedFrame is a frame captured from the 0xCA58 traced wire format:
+// kind 8 (KindUser), time 777, trace 0x2A, payload DE AD.
+var tracedFrame = []byte{
+	0xCA, 0x58, // magic
+	0x00, 0x08, // kind
+	0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x09, // time
+	0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x2A, // trace
+	0x00, 0x00, 0x00, 0x02, // len
+	0xDE, 0xAD,
+}
+
+// batchFrame is a captured 0xCA59 batch of the two fixtures above: count
+// 2, a 46-byte body (legacyFrame then tracedFrame) under one CRC-32.
+var batchFrame = append(append([]byte{
+	0xCA, 0x59, // batch magic
+	0x00, 0x00, 0x00, 0x02, // count
+	0x00, 0x00, 0x00, 0x2E, // body length
+	0xD1, 0x0C, 0x47, 0x3C, // crc32 (IEEE) of body
+}, legacyFrame...), tracedFrame...)
+
+// TestDecodeTracedFixture: a hard-coded 0xCA58 frame decodes unchanged —
+// batching must not have disturbed the traced single-frame layout.
+func TestDecodeTracedFixture(t *testing.T) {
+	m, err := Decode(bytes.NewReader(tracedFrame))
+	if err != nil {
+		t.Fatalf("traced fixture rejected: %v", err)
+	}
+	if m.Kind != KindUser || m.Time != sim.Time(777) || m.Trace != 0x2A || !bytes.Equal(m.Data, []byte{0xDE, 0xAD}) {
+		t.Errorf("traced fixture decoded wrong: %v", m)
+	}
+}
+
+// TestDecodeBatchFixture: a hard-coded 0xCA59 batch carrying one legacy
+// and one traced sub-frame decodes into both messages in order, each
+// bit-identical to its single-frame decoding.
+func TestDecodeBatchFixture(t *testing.T) {
+	msgs, err := DecodeAny(bytes.NewReader(batchFrame))
+	if err != nil {
+		t.Fatalf("batch fixture rejected: %v", err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("batch fixture decoded to %d messages, want 2", len(msgs))
+	}
+	if m := msgs[0]; m.Kind != KindUser || m.Time != sim.Time(12345) || m.Trace != 0 || string(m.Data) != "cell" {
+		t.Errorf("batch sub-frame 0 decoded wrong: %v", m)
+	}
+	if m := msgs[1]; m.Kind != KindUser || m.Time != sim.Time(777) || m.Trace != 0x2A || !bytes.Equal(m.Data, []byte{0xDE, 0xAD}) {
+		t.Errorf("batch sub-frame 1 decoded wrong: %v", m)
+	}
+}
+
+// TestEncodeBatchMatchesFixture pins the batch layout bit-exactly:
+// encoding the two fixture messages must reproduce the captured frame.
+func TestEncodeBatchMatchesFixture(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Kind: KindUser, Time: 12345, Data: []byte("cell")},
+		{Kind: KindUser, Time: 777, Trace: 0x2A, Data: []byte{0xDE, 0xAD}},
+	}
+	if err := EncodeBatch(&buf, msgs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), batchFrame) {
+		t.Errorf("batch encoding diverged from the captured layout:\n got %x\nwant %x",
+			buf.Bytes(), batchFrame)
+	}
+}
+
+// TestDecodeAnySingleFixtures: the shared-stream decoder returns
+// hard-coded single frames of both legacy layouts as one-element units —
+// peers that never batch see the pre-batch protocol unchanged.
+func TestDecodeAnySingleFixtures(t *testing.T) {
+	for name, frame := range map[string][]byte{"legacy": legacyFrame, "traced": tracedFrame} {
+		msgs, err := DecodeAny(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%s fixture rejected by DecodeAny: %v", name, err)
+		}
+		if len(msgs) != 1 {
+			t.Errorf("%s fixture decoded to %d messages, want 1", name, len(msgs))
+		}
+	}
+}
+
 // TestEnvelopeCarriesTrace: the reliability envelope encodes the inner
 // message with Encode, so the trace ID crosses a faulty link inside the
 // checksummed body and comes back out of openEnvelope intact.

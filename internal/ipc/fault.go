@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"errors"
 	"sync"
 
 	"castanet/internal/obs"
@@ -8,20 +9,23 @@ import (
 )
 
 // DirFaults configures the fault processes of one link direction. Rates
-// are probabilities per message, drawn from the transport's seeded RNG, so
-// a given (seed, traffic) pair always produces the same fault pattern —
-// channel-fault campaigns are reproducible the same way device-fault
-// campaigns are.
+// are probabilities per unit (a single message or a whole batch), drawn
+// from the transport's seeded RNG, so a given (seed, traffic) pair always
+// produces the same fault pattern — channel-fault campaigns are
+// reproducible the same way device-fault campaigns are.
 type DirFaults struct {
-	// Drop is the probability a message is silently discarded.
+	// Drop is the probability a unit is silently discarded. A dropped
+	// batch loses every sub-frame at once, exactly like a lost 0xCA59
+	// frame on the wire.
 	Drop float64
-	// Dup is the probability a message is delivered twice.
+	// Dup is the probability a unit is delivered twice.
 	Dup float64
-	// Corrupt is the probability one payload bit is flipped. The corrupted
-	// copy is a clone; the sender's buffer (and hence any retransmission)
-	// is never touched.
+	// Corrupt is the probability one payload bit is flipped in one
+	// randomly chosen sub-frame of the unit. The corrupted copy is a
+	// clone; the sender's buffer (and hence any retransmission) is never
+	// touched.
 	Corrupt float64
-	// Delay is the probability a message is held back and released after
+	// Delay is the probability a unit is held back and released after
 	// 1..DelaySlots later operations on the same direction — deterministic
 	// reordering measured in operations, not wall-clock.
 	Delay float64
@@ -29,7 +33,7 @@ type DirFaults struct {
 	DelaySlots int
 	// PartitionAfter opens a partition window once that many operations
 	// have occurred on this direction; 0 means never. During the window
-	// every message is swallowed.
+	// every unit is swallowed.
 	PartitionAfter uint64
 	// PartitionFor is the window length in operations; 0 with
 	// PartitionAfter > 0 means the partition never heals.
@@ -45,7 +49,9 @@ type FaultConfig struct {
 	Recv DirFaults
 }
 
-// FaultStats counts injected faults, for campaign reporting.
+// FaultStats counts injected faults, for campaign reporting. Each count
+// is per fault event: one dropped batch is one Dropped, however many
+// sub-frames it carried.
 type FaultStats struct {
 	Dropped     uint64
 	Duplicated  uint64
@@ -60,9 +66,9 @@ type faultObs struct {
 	dropped, duplicated, corrupted, delayed, partitioned *obs.Counter
 }
 
-// held is a delayed message waiting for its release operation.
+// held is a delayed unit waiting for its release operation.
 type held struct {
-	m   Message
+	u   []Message
 	due uint64
 }
 
@@ -74,11 +80,14 @@ type dirState struct {
 	held []held
 }
 
-// FaultTransport wraps a Transport and injects link faults — message
-// drop, duplication, payload corruption, bounded delay/reorder, and
-// partition — deterministically from a seeded RNG. It extends the fault
-// philosophy of package faultsim from device defects to channel defects:
-// the coupling link itself becomes a first-class failure domain.
+// FaultTransport wraps a Transport and injects link faults — unit drop,
+// duplication, payload corruption, bounded delay/reorder, and partition —
+// deterministically from a seeded RNG. It extends the fault philosophy of
+// package faultsim from device defects to channel defects: the coupling
+// link itself becomes a first-class failure domain. Faults act on wire
+// units: a batch is dropped, duplicated, delayed or partitioned whole
+// (that is how a 0xCA59 frame fails on a real link), while corruption
+// flips a bit inside one randomly chosen sub-frame.
 type FaultTransport struct {
 	inner Transport
 
@@ -86,6 +95,9 @@ type FaultTransport struct {
 	send   dirState
 	recvMu sync.Mutex
 	recv   dirState
+	// pending is the unread tail of the unit Recv is consuming; inbound
+	// faults apply per unit, before the first sub-message is popped.
+	pending []Message
 
 	statMu sync.Mutex
 	stats  FaultStats
@@ -196,41 +208,66 @@ func corrupt(m Message, rng *sim.RNG) Message {
 	return m
 }
 
-// takeDue pops the first held message whose release operation has come.
-func (s *dirState) takeDue() (Message, bool) {
+// corruptUnit flips one bit in one randomly chosen sub-frame of u. The
+// unit slice is owned by the fault machinery; the chosen message's
+// payload is cloned before mutation.
+func corruptUnit(u []Message, rng *sim.RNG) {
+	i := 0
+	if len(u) > 1 {
+		i = rng.Intn(len(u))
+	}
+	u[i] = corrupt(u[i], rng)
+}
+
+// takeDue pops the first held unit whose release operation has come.
+func (s *dirState) takeDue() ([]Message, bool) {
 	for i, h := range s.held {
 		if h.due <= s.ops {
 			s.held = append(s.held[:i], s.held[i+1:]...)
-			return h.m, true
+			return h.u, true
 		}
 	}
-	return Message{}, false
+	return nil, false
 }
 
-// takeAny pops any held message — the final drain when the link closes.
-func (s *dirState) takeAny() (Message, bool) {
+// takeAny pops any held unit — the final drain when the link closes.
+func (s *dirState) takeAny() ([]Message, bool) {
 	if len(s.held) == 0 {
-		return Message{}, false
+		return nil, false
 	}
-	m := s.held[0].m
+	u := s.held[0].u
 	s.held = s.held[1:]
-	return m, true
+	return u, true
 }
 
-// Send implements Transport, running the outbound fault processes.
-func (f *FaultTransport) Send(m Message) error {
+// innerSend ships one unit on the wrapped transport, preserving the unit
+// boundary: a multi-message unit requires a batch-capable inner.
+func (f *FaultTransport) innerSend(u []Message) error {
+	if len(u) == 1 {
+		return f.inner.Send(u[0])
+	}
+	bt, ok := f.inner.(BatchTransport)
+	if !ok {
+		return errors.New("ipc: fault inner transport cannot carry batches")
+	}
+	return bt.SendBatch(u)
+}
+
+// sendUnit runs the outbound fault processes on a unit the transport
+// owns (callers copy before handing it over if they retain it).
+func (f *FaultTransport) sendUnit(u []Message) error {
 	f.sendMu.Lock()
 	defer f.sendMu.Unlock()
 	s := &f.send
 	s.ops++
-	// Release delayed messages whose slot has come before the new one, so
-	// a held frame overtaken by later traffic appears reordered.
+	// Release delayed units whose slot has come before the new one, so a
+	// held frame overtaken by later traffic appears reordered.
 	for {
 		h, ok := s.takeDue()
 		if !ok {
 			break
 		}
-		if err := f.inner.Send(h); err != nil {
+		if err := f.innerSend(h); err != nil {
 			return err
 		}
 	}
@@ -244,44 +281,70 @@ func (f *FaultTransport) Send(m Message) error {
 		return nil
 	}
 	if c.Corrupt > 0 && s.rng.Bool(c.Corrupt) {
-		m = corrupt(m, s.rng)
+		corruptUnit(u, s.rng)
 		f.bump(func(st *FaultStats) { st.Corrupted++ }).corrupted.Inc()
 	}
 	if c.Delay > 0 && s.rng.Bool(c.Delay) {
-		s.held = append(s.held, held{m: m, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
+		s.held = append(s.held, held{u: u, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
 		f.bump(func(st *FaultStats) { st.Delayed++ }).delayed.Inc()
 		return nil
 	}
-	if err := f.inner.Send(m); err != nil {
+	if err := f.innerSend(u); err != nil {
 		return err
 	}
 	if c.Dup > 0 && s.rng.Bool(c.Dup) {
 		f.bump(func(st *FaultStats) { st.Duplicated++ }).duplicated.Inc()
-		return f.inner.Send(m)
+		return f.innerSend(u)
 	}
 	return nil
 }
 
-// Recv implements Transport, running the inbound fault processes. A
-// dropped inbound message makes Recv read the next one — from the
-// caller's view the message simply never arrived.
-func (f *FaultTransport) Recv() (Message, error) {
-	f.recvMu.Lock()
-	defer f.recvMu.Unlock()
+// Send implements Transport, running the outbound fault processes.
+func (f *FaultTransport) Send(m Message) error {
+	return f.sendUnit([]Message{m})
+}
+
+// SendBatch implements BatchTransport. The slice is copied immediately
+// (it may sit in the delay line past the call), so the caller may reuse
+// it. Whole-batch drop/dup/delay/partition model frame-level link
+// failures; corruption hits one sub-frame.
+func (f *FaultTransport) SendBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return errors.New("ipc: empty batch")
+	}
+	u := make([]Message, len(msgs))
+	copy(u, msgs)
+	return f.sendUnit(u)
+}
+
+// recvUnit reads the next unit from the wrapped transport and runs the
+// inbound fault processes on it. A dropped inbound unit makes the read
+// continue with the next one — from the caller's view it simply never
+// arrived.
+func (f *FaultTransport) recvUnit() ([]Message, error) {
 	s := &f.recv
 	for {
 		s.ops++
-		if m, ok := s.takeDue(); ok {
-			return m, nil
+		if u, ok := s.takeDue(); ok {
+			return u, nil
 		}
-		m, err := f.inner.Recv()
+		var u []Message
+		var err error
+		if bt, ok := f.inner.(BatchTransport); ok {
+			u, err = bt.RecvBatch()
+		} else {
+			var m Message
+			if m, err = f.inner.Recv(); err == nil {
+				u = []Message{m}
+			}
+		}
 		if err != nil {
-			// Drain delayed messages before reporting closure, matching
-			// Pipe semantics.
+			// Drain delayed units before reporting closure, matching Pipe
+			// semantics.
 			if h, ok := s.takeAny(); ok {
 				return h, nil
 			}
-			return Message{}, err
+			return nil, err
 		}
 		if f.cut(s) {
 			f.bump(func(st *FaultStats) { st.Partitioned++ }).partitioned.Inc()
@@ -293,24 +356,54 @@ func (f *FaultTransport) Recv() (Message, error) {
 			continue
 		}
 		if c.Corrupt > 0 && s.rng.Bool(c.Corrupt) {
-			m = corrupt(m, s.rng)
+			corruptUnit(u, s.rng)
 			f.bump(func(st *FaultStats) { st.Corrupted++ }).corrupted.Inc()
 		}
 		if c.Delay > 0 && s.rng.Bool(c.Delay) {
-			s.held = append(s.held, held{m: m, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
+			s.held = append(s.held, held{u: u, due: s.ops + 1 + uint64(s.rng.Intn(c.DelaySlots))})
 			f.bump(func(st *FaultStats) { st.Delayed++ }).delayed.Inc()
 			continue
 		}
 		if c.Dup > 0 && s.rng.Bool(c.Dup) {
-			s.held = append(s.held, held{m: m, due: s.ops + 1})
+			s.held = append(s.held, held{u: u, due: s.ops + 1})
 			f.bump(func(st *FaultStats) { st.Duplicated++ }).duplicated.Inc()
 		}
-		return m, nil
+		return u, nil
 	}
 }
 
-// Close implements Transport. Outbound messages still sitting in the
-// delay line are flushed first: delay is reordering, not loss.
+// Recv implements Transport, popping one message at a time from the
+// inbound unit stream.
+func (f *FaultTransport) Recv() (Message, error) {
+	f.recvMu.Lock()
+	defer f.recvMu.Unlock()
+	if len(f.pending) == 0 {
+		u, err := f.recvUnit()
+		if err != nil {
+			return Message{}, err
+		}
+		f.pending = u
+	}
+	m := f.pending[0]
+	f.pending = f.pending[1:]
+	return m, nil
+}
+
+// RecvBatch implements BatchTransport. A unit partially consumed by Recv
+// yields its remaining messages first.
+func (f *FaultTransport) RecvBatch() ([]Message, error) {
+	f.recvMu.Lock()
+	defer f.recvMu.Unlock()
+	if len(f.pending) > 0 {
+		u := f.pending
+		f.pending = nil
+		return u, nil
+	}
+	return f.recvUnit()
+}
+
+// Close implements Transport. Outbound units still sitting in the delay
+// line are flushed first: delay is reordering, not loss.
 func (f *FaultTransport) Close() error {
 	f.sendMu.Lock()
 	for {
@@ -318,7 +411,7 @@ func (f *FaultTransport) Close() error {
 		if !ok {
 			break
 		}
-		if f.inner.Send(h) != nil {
+		if f.innerSend(h) != nil {
 			break
 		}
 	}

@@ -64,6 +64,82 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzBatch throws arbitrary byte streams at the shared-stream decoder
+// (single frames and 0xCA59 batches alike). The contract mirrors
+// FuzzDecode's: failures are typed, never panics; every accepted unit
+// must survive re-encoding — Encode for a single frame, EncodeBatch for
+// a batch — and decode back bit-exactly, i.e. Encode/Decode form a
+// bijection on the accepted set.
+func FuzzBatch(f *testing.F) {
+	// Boundary seeds: a valid two-message batch (legacy + traced
+	// sub-frames), a single-message batch, plain single frames on the
+	// same stream, and the interesting corruptions — truncated body, bad
+	// CRC, count/body mismatch, nested batch magic inside the body.
+	msgs := []Message{
+		{Kind: KindUser, Time: 12345, Data: []byte("cell")},
+		{Kind: KindUser, Time: 777, Trace: 0x2A, Data: []byte{0xDE, 0xAD}},
+	}
+	var batch bytes.Buffer
+	if err := EncodeBatch(&batch, msgs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch.Bytes())
+	var one bytes.Buffer
+	if err := EncodeBatch(&one, msgs[:1]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(one.Bytes())
+	var single bytes.Buffer
+	if err := Encode(&single, msgs[1]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(single.Bytes())
+	f.Add(batch.Bytes()[:batchHeaderBytes+3])
+	crcBad := append([]byte(nil), batch.Bytes()...)
+	crcBad[10] ^= 0x01
+	f.Add(crcBad)
+	countBad := append([]byte(nil), batch.Bytes()...)
+	binary.BigEndian.PutUint32(countBad[2:], 100)
+	f.Add(countBad)
+	nested := append([]byte(nil), batch.Bytes()...)
+	binary.BigEndian.PutUint16(nested[batchHeaderBytes:], magicBatch)
+	f.Add(nested)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeAny(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("DecodeAny returned untyped error %v (%T)", err, err)
+			}
+			return
+		}
+		if len(u) == 0 {
+			t.Fatal("DecodeAny accepted an empty unit")
+		}
+		var buf bytes.Buffer
+		if len(u) == 1 {
+			if err := Encode(&buf, u[0]); err != nil {
+				t.Fatalf("re-encode of decoded message failed: %v", err)
+			}
+		} else if err := EncodeBatch(&buf, u); err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		u2, err := DecodeAny(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded unit failed: %v", err)
+		}
+		if len(u2) != len(u) {
+			t.Fatalf("round trip changed the unit size: %d -> %d", len(u), len(u2))
+		}
+		for i := range u {
+			if u2[i].Kind != u[i].Kind || u2[i].Time != u[i].Time ||
+				u2[i].Trace != u[i].Trace || !bytes.Equal(u2[i].Data, u[i].Data) {
+				t.Fatalf("round trip changed message %d: %v -> %v", i, u[i], u2[i])
+			}
+		}
+	})
+}
+
 // FuzzOpenEnvelope drives the reliability envelope's unwrap path with
 // arbitrary KindRelData payloads. Corruption must always surface as
 // ErrBadFrame (the receive loop drops such frames and lets retransmission

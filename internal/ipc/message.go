@@ -84,18 +84,7 @@ func Encode(w io.Writer, m Message) error {
 		return fmt.Errorf("ipc: payload %d exceeds limit", len(m.Data))
 	}
 	var buf [tracedHeaderBytes]byte
-	hdr := buf[:headerBytes]
-	binary.BigEndian.PutUint16(buf[0:], magic)
-	binary.BigEndian.PutUint16(buf[2:], uint16(m.Kind))
-	binary.BigEndian.PutUint64(buf[4:], uint64(m.Time))
-	if m.Trace != 0 {
-		hdr = buf[:tracedHeaderBytes]
-		binary.BigEndian.PutUint16(buf[0:], magicTraced)
-		binary.BigEndian.PutUint64(buf[12:], m.Trace)
-		binary.BigEndian.PutUint32(buf[20:], uint32(len(m.Data)))
-	} else {
-		binary.BigEndian.PutUint32(buf[12:], uint32(len(m.Data)))
-	}
+	hdr := buf[:putHeader(buf[:], m)]
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -107,10 +96,31 @@ func Encode(w io.Writer, m Message) error {
 	return nil
 }
 
-// Decode reads one message from r, accepting both frame layouts.
+// Decode reads one message from r, accepting both single-frame layouts.
+// A 0xCA59 batch frame is a foreign stream to this single-message reader
+// and reports ErrBadFrame; batch-aware receivers use DecodeAny.
 func Decode(r io.Reader) (Message, error) {
+	var mg [2]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return Message{}, err
+	}
+	switch v := binary.BigEndian.Uint16(mg[:]); v {
+	case magic, magicTraced:
+		return decodeSingleBody(r, v)
+	default:
+		return Message{}, ErrBadFrame
+	}
+}
+
+// decodeSingleBody reads the remainder of a single-message frame after
+// its magic has been consumed.
+func decodeSingleBody(r io.Reader, mg uint16) (Message, error) {
 	var buf [tracedHeaderBytes]byte
-	if _, err := io.ReadFull(r, buf[:headerBytes]); err != nil {
+	hdr := buf[2:headerBytes]
+	if mg == magicTraced {
+		hdr = buf[2:tracedHeaderBytes]
+	}
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return Message{}, err
 	}
 	m := Message{
@@ -118,13 +128,7 @@ func Decode(r io.Reader) (Message, error) {
 		Time: sim.Time(binary.BigEndian.Uint64(buf[4:])),
 	}
 	var n uint32
-	switch binary.BigEndian.Uint16(buf[0:]) {
-	case magic:
-		n = binary.BigEndian.Uint32(buf[12:])
-	case magicTraced:
-		if _, err := io.ReadFull(r, buf[headerBytes:tracedHeaderBytes]); err != nil {
-			return Message{}, err
-		}
+	if mg == magicTraced {
 		m.Trace = binary.BigEndian.Uint64(buf[12:])
 		if m.Trace == 0 {
 			// A traced frame claiming "untraced" would not round-trip
@@ -132,8 +136,8 @@ func Decode(r io.Reader) (Message, error) {
 			return Message{}, fmt.Errorf("%w: traced frame with zero trace id", ErrBadFrame)
 		}
 		n = binary.BigEndian.Uint32(buf[20:])
-	default:
-		return Message{}, ErrBadFrame
+	} else {
+		n = binary.BigEndian.Uint32(buf[12:])
 	}
 	if n > MaxData {
 		return Message{}, fmt.Errorf("%w: length %d", ErrBadFrame, n)

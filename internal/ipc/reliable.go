@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"castanet/internal/obs"
+	"castanet/internal/sim"
 )
 
 // Reserved message kinds of the reliability envelope. They live below
@@ -17,8 +18,9 @@ import (
 // ordinary frames and the wire format stays unchanged: a stream without
 // these kinds is exactly the pre-envelope protocol.
 const (
-	// KindRelData wraps one application message: seq(4) crc32(4) followed
-	// by the inner message in standard wire format.
+	// KindRelData wraps one application unit: seq(4) crc32(4) followed by
+	// the inner frame in standard wire format — a single message or a
+	// whole 0xCA59 batch, so one acknowledgement covers the batch.
 	KindRelData Kind = 3
 	// KindRelAck acknowledges a data sequence number: seq(4) crc32(4).
 	// The CRC keeps a corrupted ack from masquerading as a different
@@ -60,7 +62,7 @@ type ReliableConfig struct {
 	// PeerTimeout is the silence interval after which the peer is declared
 	// lost (default 4 × Heartbeat).
 	PeerTimeout time.Duration
-	// RecvBuffer is the delivered-message queue depth (default 256).
+	// RecvBuffer is the delivered-unit queue depth (default 256).
 	RecvBuffer int
 }
 
@@ -90,7 +92,7 @@ func (c ReliableConfig) withDefaults() ReliableConfig {
 type ReliableStats struct {
 	Sent           uint64 // data frames sent first time
 	Retransmits    uint64
-	Delivered      uint64 // in-order data frames handed to Recv
+	Delivered      uint64 // in-order data messages handed to Recv
 	AcksSent       uint64
 	CorruptDropped uint64 // frames failing the CRC or envelope parse
 	DupDropped     uint64 // retransmit duplicates suppressed
@@ -112,13 +114,13 @@ const (
 )
 
 // ReliableTransport layers exactly-once, in-order delivery over a lossy
-// Transport: every application message travels in a CRC-protected
-// envelope with a sequence number, is acknowledged by the peer, and is
-// retransmitted with capped exponential backoff until acknowledged or the
-// retry budget runs out. Duplicates created by retransmission (or by the
-// link itself) are suppressed by sequence number. The sender is
-// stop-and-wait — one data frame in flight — which the strictly
-// alternating co-simulation protocol never notices.
+// Transport: every application unit — one message or one batch — travels
+// in a CRC-protected envelope with a sequence number, is acknowledged by
+// the peer, and is retransmitted with capped exponential backoff until
+// acknowledged or the retry budget runs out. Duplicates created by
+// retransmission (or by the link itself) are suppressed by sequence
+// number. The sender is stop-and-wait — one data frame in flight — which
+// the strictly alternating co-simulation protocol never notices.
 type ReliableTransport struct {
 	inner Transport
 	cfg   ReliableConfig
@@ -127,8 +129,11 @@ type ReliableTransport struct {
 	wmu    sync.Mutex // serializes inner.Send (acks/heartbeats interleave)
 	seq    uint32
 
-	recvq chan Message
+	recvq chan []Message
 	acks  chan uint32
+
+	recvMu  sync.Mutex
+	pending []Message // unread tail of the unit Recv is consuming
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -175,7 +180,7 @@ func NewReliable(inner Transport, cfg ReliableConfig) *ReliableTransport {
 	t := &ReliableTransport{
 		inner:     inner,
 		cfg:       cfg,
-		recvq:     make(chan Message, cfg.RecvBuffer),
+		recvq:     make(chan []Message, cfg.RecvBuffer),
 		acks:      make(chan uint32, 16),
 		done:      make(chan struct{}),
 		mode:      modeEnvelope,
@@ -272,23 +277,61 @@ func envelope(seq uint32, m Message) (Message, error) {
 	if err := Encode(&buf, m); err != nil {
 		return Message{}, err
 	}
-	b := buf.Bytes()
-	binary.BigEndian.PutUint32(b[0:], seq)
-	binary.BigEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:]))
-	return Message{Kind: KindRelData, Time: m.Time, Data: b}, nil
+	return sealEnvelope(seq, m.Time, buf.Bytes()), nil
 }
 
-// openEnvelope verifies and unwraps a KindRelData frame.
+// envelopeBatch wraps msgs in one KindRelData frame. A single message
+// travels in the plain single-frame layout (byte-identical to envelope);
+// more than one ride a 0xCA59 batch frame, so one sequence number and
+// one acknowledgement cover the whole batch. The messages are copied
+// into the envelope's own buffer, so the caller's slice is not retained
+// across retransmissions.
+func envelopeBatch(seq uint32, msgs []Message) (Message, error) {
+	if len(msgs) == 1 {
+		return envelope(seq, msgs[0])
+	}
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 8))
+	if err := EncodeBatch(&buf, msgs); err != nil {
+		return Message{}, err
+	}
+	return sealEnvelope(seq, msgs[len(msgs)-1].Time, buf.Bytes()), nil
+}
+
+// sealEnvelope fills in the seq and CRC of an envelope body whose first
+// 8 bytes were reserved.
+func sealEnvelope(seq uint32, stamp sim.Time, b []byte) Message {
+	binary.BigEndian.PutUint32(b[0:], seq)
+	binary.BigEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:]))
+	return Message{Kind: KindRelData, Time: stamp, Data: b}
+}
+
+// openEnvelope verifies and unwraps a KindRelData frame carrying a
+// single message (the pre-batch layout; FuzzOpenEnvelope exercises it).
 func openEnvelope(data []byte) (uint32, Message, error) {
+	seq, msgs, err := openEnvelopeMsgs(data)
+	if err != nil {
+		return seq, Message{}, err
+	}
+	if len(msgs) != 1 {
+		return seq, Message{}, fmt.Errorf("%w: envelope carries a batch", ErrBadFrame)
+	}
+	return seq, msgs[0], nil
+}
+
+// openEnvelopeMsgs verifies and unwraps a KindRelData frame into its
+// unit: a one-element slice for a single inner frame, all sub-messages
+// for an inner batch.
+func openEnvelopeMsgs(data []byte) (uint32, []Message, error) {
 	if len(data) < 8 {
-		return 0, Message{}, fmt.Errorf("%w: short envelope", ErrBadFrame)
+		return 0, nil, fmt.Errorf("%w: short envelope", ErrBadFrame)
 	}
 	seq := binary.BigEndian.Uint32(data[0:])
 	sum := binary.BigEndian.Uint32(data[4:])
 	if crc32.ChecksumIEEE(data[8:]) != sum {
-		return 0, Message{}, fmt.Errorf("%w: envelope crc mismatch", ErrBadFrame)
+		return 0, nil, fmt.Errorf("%w: envelope crc mismatch", ErrBadFrame)
 	}
-	m, err := Decode(bytes.NewReader(data[8:]))
+	msgs, err := DecodeAny(bytes.NewReader(data[8:]))
 	if err != nil && !errors.Is(err, ErrBadFrame) {
 		// A CRC-valid envelope around an undecodable inner frame (e.g. a
 		// truncated header surfacing as io.EOF) is still a corrupt frame;
@@ -296,30 +339,14 @@ func openEnvelope(data []byte) (uint32, Message, error) {
 		// as terminated.
 		err = fmt.Errorf("%w: inner frame: %v", ErrBadFrame, err)
 	}
-	return seq, m, err
+	return seq, msgs, err
 }
 
-// Send implements Transport. In envelope mode it blocks until the frame
-// is acknowledged, retransmitting with capped exponential backoff, and
-// returns a timeout error once the retry budget or the per-op deadline is
-// spent. In raw mode (negotiated with a plain peer) it passes through.
-func (t *ReliableTransport) Send(m Message) error {
-	if t.modeNow() != modeEnvelope {
-		return t.inner.Send(m)
-	}
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
-	select {
-	case <-t.done:
-		return t.termErr()
-	default:
-	}
-	t.seq++
-	seq := t.seq
-	frame, err := envelope(seq, m)
-	if err != nil {
-		return err
-	}
+// sendFrame transmits one sealed data frame, blocking until the peer
+// acknowledges seq, retransmitting with capped exponential backoff, and
+// returns a timeout error once the retry budget or the per-op deadline
+// is spent. Callers hold sendMu.
+func (t *ReliableTransport) sendFrame(frame Message, seq uint32) error {
 	var deadline <-chan time.Time
 	if t.cfg.OpDeadline > 0 {
 		dt := time.NewTimer(t.cfg.OpDeadline)
@@ -380,21 +407,105 @@ func (t *ReliableTransport) Send(m Message) error {
 	}
 }
 
-// Recv implements Transport: it delivers the next in-order application
-// message. After Close or peer loss it drains already-delivered messages
-// first, then reports the terminal error.
-func (t *ReliableTransport) Recv() (Message, error) {
+// Send implements Transport. In envelope mode it blocks until the frame
+// is acknowledged. In raw mode (negotiated with a plain peer) it passes
+// through.
+func (t *ReliableTransport) Send(m Message) error {
+	if t.modeNow() != modeEnvelope {
+		return t.inner.Send(m)
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
 	select {
-	case m := <-t.recvq:
-		return m, nil
+	case <-t.done:
+		return t.termErr()
+	default:
+	}
+	t.seq++
+	seq := t.seq
+	frame, err := envelope(seq, m)
+	if err != nil {
+		return err
+	}
+	return t.sendFrame(frame, seq)
+}
+
+// SendBatch implements BatchTransport: the whole batch rides in one
+// envelope, and the peer's single ack covers it, so a lossy link costs
+// at most one retransmission per δ-window instead of one per cell. The
+// caller's slice is not retained.
+func (t *ReliableTransport) SendBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return errors.New("ipc: empty batch")
+	}
+	if t.modeNow() != modeEnvelope {
+		bt, ok := t.inner.(BatchTransport)
+		if !ok {
+			return errors.New("ipc: inner transport cannot carry batches")
+		}
+		return bt.SendBatch(msgs)
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	select {
+	case <-t.done:
+		return t.termErr()
+	default:
+	}
+	t.seq++
+	seq := t.seq
+	frame, err := envelopeBatch(seq, msgs)
+	if err != nil {
+		return err
+	}
+	return t.sendFrame(frame, seq)
+}
+
+// recvUnit returns the next delivered unit. After Close or peer loss it
+// drains already-delivered units first, then reports the terminal error.
+func (t *ReliableTransport) recvUnit() ([]Message, error) {
+	select {
+	case u := <-t.recvq:
+		return u, nil
 	case <-t.done:
 		select {
-		case m := <-t.recvq:
-			return m, nil
+		case u := <-t.recvq:
+			return u, nil
 		default:
-			return Message{}, t.termErr()
+			return nil, t.termErr()
 		}
 	}
+}
+
+// Recv implements Transport: it delivers the next in-order application
+// message, popping one at a time from the delivered-unit stream.
+func (t *ReliableTransport) Recv() (Message, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if len(t.pending) == 0 {
+		u, err := t.recvUnit()
+		if err != nil {
+			return Message{}, err
+		}
+		t.pending = u
+	}
+	m := t.pending[0]
+	t.pending = t.pending[1:]
+	return m, nil
+}
+
+// RecvBatch implements BatchTransport, delivering the peer's next unit
+// whole. A unit partially consumed by Recv yields its remaining messages
+// first.
+func (t *ReliableTransport) RecvBatch() ([]Message, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if len(t.pending) > 0 {
+		u := t.pending
+		t.pending = nil
+		return u, nil
+	}
+	return t.recvUnit()
 }
 
 // Close implements Transport; it is idempotent and safe to call
@@ -413,20 +524,46 @@ func (t *ReliableTransport) sendAck(seq uint32) {
 	}
 }
 
-// readLoop owns inner.Recv: it verifies, deduplicates and acknowledges
-// data frames, routes acks to the sender, and refreshes the watchdog.
+// innerRecvUnit reads the next wire unit from the wrapped transport,
+// preserving a raw peer's batch boundaries when the inner is
+// batch-capable.
+func (t *ReliableTransport) innerRecvUnit() ([]Message, error) {
+	if bt, ok := t.inner.(BatchTransport); ok {
+		return bt.RecvBatch()
+	}
+	m, err := t.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return []Message{m}, nil
+}
+
+// readLoop owns the inner receive side: it verifies, deduplicates and
+// acknowledges data frames, routes acks to the sender, and refreshes the
+// watchdog. Envelope frames always travel alone, so a multi-message unit
+// can only come from a plain batching peer and passes through raw.
 func (t *ReliableTransport) readLoop() {
 	for {
-		m, err := t.inner.Recv()
+		u, err := t.innerRecvUnit()
 		if err != nil {
 			t.fail(err)
 			return
 		}
 		t.touch()
+		if len(u) != 1 {
+			t.decide(modeRaw)
+			select {
+			case t.recvq <- u:
+			case <-t.done:
+				return
+			}
+			continue
+		}
+		m := u[0]
 		switch m.Kind {
 		case KindRelData:
 			t.decide(modeEnvelope)
-			seq, inner, err := openEnvelope(m.Data)
+			seq, inner, err := openEnvelopeMsgs(m.Data)
 			if err != nil {
 				// Corrupt frames are not acknowledged: the sender
 				// retransmits, which is the recovery.
@@ -452,9 +589,10 @@ func (t *ReliableTransport) readLoop() {
 				continue
 			}
 			t.sendAck(seq)
+			n := uint64(len(inner))
 			select {
 			case t.recvq <- inner:
-				t.bump(func(s *ReliableStats) { s.Delivered++ }).delivered.Inc()
+				t.bump(func(s *ReliableStats) { s.Delivered += n }).delivered.Add(n)
 			case <-t.done:
 				return
 			}
@@ -476,7 +614,7 @@ func (t *ReliableTransport) readLoop() {
 			// the first frame) or a mixed stream — deliver as-is.
 			t.decide(modeRaw)
 			select {
-			case t.recvq <- m:
+			case t.recvq <- u:
 			case <-t.done:
 				return
 			}

@@ -17,19 +17,40 @@ type Transport interface {
 	Close() error
 }
 
-// pipeEnd is one side of an in-process transport built on buffered
-// channels — the default coupling when both engines live in one process.
-type pipeEnd struct {
-	out  chan<- Message
-	in   <-chan Message
-	done chan struct{}
-	once *sync.Once
+// BatchTransport is a Transport that can move a whole δ-window of
+// messages as one unit. SendBatch ships all messages in a single frame
+// (one write, one CRC); it must not retain the caller's slice, so
+// implementations that hold messages past the call copy them first.
+// RecvBatch returns the next unit exactly as the peer sent it: a batch
+// arrives whole and in order, a single Send arrives as a one-element
+// unit. Recv on a batch-capable transport pops messages one at a time
+// from the same stream, so mixing the two never loses data — only the
+// unit boundary.
+type BatchTransport interface {
+	Transport
+	SendBatch([]Message) error
+	RecvBatch() ([]Message, error)
 }
 
-// Pipe returns two connected in-process transports.
+// pipeEnd is one side of an in-process transport built on buffered
+// channels — the default coupling when both engines live in one process.
+// Units travel as slices so a batch crosses the channel whole, exactly
+// like a 0xCA59 frame crosses a socket.
+type pipeEnd struct {
+	out  chan<- []Message
+	in   <-chan []Message
+	done chan struct{}
+	once *sync.Once
+
+	rmu     sync.Mutex
+	pending []Message // unread tail of the unit Recv is consuming
+}
+
+// Pipe returns two connected in-process transports. Both ends implement
+// BatchTransport.
 func Pipe(buffer int) (a, b Transport) {
-	ab := make(chan Message, buffer)
-	ba := make(chan Message, buffer)
+	ab := make(chan []Message, buffer)
+	ba := make(chan []Message, buffer)
 	done := make(chan struct{})
 	once := &sync.Once{}
 	return &pipeEnd{out: ab, in: ba, done: done, once: once},
@@ -39,10 +60,11 @@ func Pipe(buffer int) (a, b Transport) {
 // ErrClosed is returned after Close.
 var ErrClosed = net.ErrClosed
 
-// Send implements Transport. The closed check takes priority: without it,
-// a Go select between the closed done channel and free buffer space picks
-// randomly, letting sends sneak through after Close.
-func (p *pipeEnd) Send(m Message) error {
+// sendUnit moves one unit across the pipe. The closed check takes
+// priority: without it, a Go select between the closed done channel and
+// free buffer space picks randomly, letting sends sneak through after
+// Close.
+func (p *pipeEnd) sendUnit(u []Message) error {
 	select {
 	case <-p.done:
 		return ErrClosed
@@ -51,25 +73,71 @@ func (p *pipeEnd) Send(m Message) error {
 	select {
 	case <-p.done:
 		return ErrClosed
-	case p.out <- m:
+	case p.out <- u:
 		return nil
 	}
 }
 
-// Recv implements Transport.
-func (p *pipeEnd) Recv() (Message, error) {
+// Send implements Transport.
+func (p *pipeEnd) Send(m Message) error {
+	return p.sendUnit([]Message{m})
+}
+
+// SendBatch implements BatchTransport. The slice is copied so the caller
+// may immediately reuse it.
+func (p *pipeEnd) SendBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return errors.New("ipc: empty batch")
+	}
+	u := make([]Message, len(msgs))
+	copy(u, msgs)
+	return p.sendUnit(u)
+}
+
+// recvUnit returns the next unit from the channel, draining anything
+// already queued before reporting closure.
+func (p *pipeEnd) recvUnit() ([]Message, error) {
 	select {
-	case m := <-p.in:
-		return m, nil
+	case u := <-p.in:
+		return u, nil
 	case <-p.done:
-		// Drain anything already queued before reporting closure.
 		select {
-		case m := <-p.in:
-			return m, nil
+		case u := <-p.in:
+			return u, nil
 		default:
-			return Message{}, ErrClosed
+			return nil, ErrClosed
 		}
 	}
+}
+
+// Recv implements Transport, popping one message at a time from the
+// incoming unit stream.
+func (p *pipeEnd) Recv() (Message, error) {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	if len(p.pending) == 0 {
+		u, err := p.recvUnit()
+		if err != nil {
+			return Message{}, err
+		}
+		p.pending = u
+	}
+	m := p.pending[0]
+	p.pending = p.pending[1:]
+	return m, nil
+}
+
+// RecvBatch implements BatchTransport. A unit partially consumed by Recv
+// yields its remaining messages first.
+func (p *pipeEnd) RecvBatch() ([]Message, error) {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	if len(p.pending) > 0 {
+		u := p.pending
+		p.pending = nil
+		return u, nil
+	}
+	return p.recvUnit()
 }
 
 // Close implements Transport; closing either end closes both.
@@ -88,9 +156,13 @@ type connTransport struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
+
+	rmu     sync.Mutex
+	pending []Message // unread tail of the batch Recv is consuming
 }
 
-// NewConn wraps an established connection.
+// NewConn wraps an established connection. The result implements
+// BatchTransport.
 func NewConn(c net.Conn) Transport {
 	return &connTransport{conn: c, bw: bufio.NewWriter(c), br: bufio.NewReader(c)}
 }
@@ -120,6 +192,21 @@ func (t *connTransport) Send(m Message) error {
 	return t.mapErr(t.bw.Flush())
 }
 
+// SendBatch implements BatchTransport: one 0xCA59 frame, one flush. The
+// pooled encode buffer inside EncodeBatch is copied into the bufio
+// writer synchronously, so msgs is never retained.
+func (t *connTransport) SendBatch(msgs []Message) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if err := EncodeBatch(t.bw, msgs); err != nil {
+		return t.mapErr(err)
+	}
+	return t.mapErr(t.bw.Flush())
+}
+
 // mapErr folds errors caused by a concurrent local Close into ErrClosed.
 func (t *connTransport) mapErr(err error) error {
 	if err == nil {
@@ -131,13 +218,39 @@ func (t *connTransport) mapErr(err error) error {
 	return err
 }
 
-// Recv implements Transport.
+// Recv implements Transport. Batch frames arriving on the stream are
+// consumed one sub-message at a time.
 func (t *connTransport) Recv() (Message, error) {
-	m, err := Decode(t.br)
-	if err != nil {
-		return Message{}, t.mapErr(err)
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	if len(t.pending) == 0 {
+		u, err := DecodeAny(t.br)
+		if err != nil {
+			return Message{}, t.mapErr(err)
+		}
+		t.pending = u
 	}
+	m := t.pending[0]
+	t.pending = t.pending[1:]
 	return m, nil
+}
+
+// RecvBatch implements BatchTransport, returning the next frame's
+// messages as one unit. A frame partially consumed by Recv yields its
+// remaining messages first.
+func (t *connTransport) RecvBatch() ([]Message, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	if len(t.pending) > 0 {
+		u := t.pending
+		t.pending = nil
+		return u, nil
+	}
+	u, err := DecodeAny(t.br)
+	if err != nil {
+		return nil, t.mapErr(err)
+	}
+	return u, nil
 }
 
 // Close implements Transport. It is idempotent and safe to call
