@@ -3,7 +3,7 @@ GO ?= go
 # raises it to minutes (make fuzz FUZZTIME=5m).
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke fuzz
+.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke crash-resume-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -38,6 +38,12 @@ campaign-smoke:
 		"$$tmp/castanet" -campaign faults -runs 10 -shards 4 -seed 7 && \
 		"$$tmp/castanet" -campaign switch -runs 8 -shards 2 -seed 1 -failfast
 	$(GO) test -race -count=1 -run 'TestCommandLineTools/castanet-serve-telemetry' .
+
+# Durability smoke: run a reference campaign, SIGKILL a checkpointed run
+# of the same spec mid-flight, resume it, and require the resumed digest
+# file to be byte-identical to the uninterrupted reference.
+crash-resume-smoke:
+	sh scripts/crash_resume_smoke.sh
 
 # Coverage-guided fuzzing of the ipc frame, batch-frame, and envelope
 # decoders; seed corpora live in internal/ipc/testdata/fuzz/.

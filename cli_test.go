@@ -315,12 +315,67 @@ func TestCommandLineTools(t *testing.T) {
 		}
 	})
 
+	t.Run("castanet-campaign-checkpoint-resume", func(t *testing.T) {
+		// A checkpointed campaign that ran to completion resumes without
+		// re-executing anything and reproduces a byte-identical digest file.
+		ck := filepath.Join(bin, "campaign.ckpt")
+		refDigest := filepath.Join(bin, "digest.ref")
+		resDigest := filepath.Join(bin, "digest.res")
+		args := []string{"-campaign", "switch", "-runs", "8", "-shards", "2", "-seed", "1",
+			"-checkpoint", ck}
+		out, err := exec.Command(filepath.Join(bin, "castanet"),
+			append(args, "-digest", refDigest)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("checkpointed run: %v\n%s", err, out)
+		}
+		if _, err := os.Stat(ck); err != nil {
+			t.Fatalf("checkpoint file missing: %v", err)
+		}
+
+		out, err = exec.Command(filepath.Join(bin, "castanet"),
+			append(args, "-resume", "-digest", resDigest)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("resume: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "completed=8 failed=0 skipped=0") {
+			t.Errorf("resumed summary wrong:\n%s", out)
+		}
+		ref, err := os.ReadFile(refDigest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := os.ReadFile(resDigest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ref) != string(res) {
+			t.Errorf("resumed digest differs:\n-- reference --\n%s-- resumed --\n%s", ref, res)
+		}
+
+		// A checkpoint from a different campaign spec must be rejected.
+		out, err = exec.Command(filepath.Join(bin, "castanet"),
+			"-campaign", "switch", "-runs", "8", "-shards", "2", "-seed", "2",
+			"-checkpoint", ck, "-resume").CombinedOutput()
+		if err == nil {
+			t.Fatalf("mismatched checkpoint accepted:\n%s", out)
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Errorf("mismatched checkpoint: exit status = %v, want 2", err)
+		}
+		if !strings.Contains(string(out), "different campaign") {
+			t.Errorf("mismatch diagnostic missing:\n%s", out)
+		}
+	})
+
 	t.Run("castanet-campaign-bad-flags", func(t *testing.T) {
 		for name, args := range map[string][]string{
-			"unknown name":    {"-campaign", "nope"},
-			"zero runs":       {"-campaign", "switch", "-runs", "0"},
-			"negative shards": {"-campaign", "switch", "-shards", "-1"},
-			"replay range":    {"-campaign", "switch", "-runs", "4", "-replay", "4"},
+			"unknown name":         {"-campaign", "nope"},
+			"zero runs":            {"-campaign", "switch", "-runs", "0"},
+			"negative shards":      {"-campaign", "switch", "-shards", "-1"},
+			"replay range":         {"-campaign", "switch", "-runs", "4", "-replay", "4"},
+			"resume no checkpoint": {"-campaign", "switch", "-resume"},
+			"negative retries":     {"-campaign", "switch", "-retries", "-1"},
+			"negative run timeout": {"-campaign", "switch", "-run-timeout", "-1s"},
 		} {
 			out, err := exec.Command(filepath.Join(bin, "castanet"), args...).CombinedOutput()
 			if err == nil {

@@ -33,6 +33,17 @@
 // their cell waterfall and flight-recorder dump; -replay re-executes
 // exactly one run of the matrix by index. Exit status is 2 for flag
 // errors, 1 when a campaign (or replayed run) fails, 0 otherwise.
+//
+// Long campaigns survive flaky infrastructure: -run-timeout bounds each
+// run's wall clock (a hung coupling becomes a typed timeout failure, not
+// a stuck worker), -retries re-executes runs that failed with a
+// retryable infrastructure error (verification mismatches are never
+// retried), and a cell that exhausts its retries repeatedly is
+// quarantined — skipped for the rest of the campaign and called out in
+// the digest (-no-quarantine opts out). -checkpoint FILE persists
+// progress every -checkpoint-every runs and on SIGINT/SIGTERM; -resume
+// continues from the file and produces a digest byte-identical to an
+// uninterrupted run (-digest FILE writes it for diffing).
 package main
 
 import (
@@ -43,6 +54,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"castanet/internal/campaign"
 	"castanet/internal/experiments"
@@ -97,6 +110,14 @@ func run() int {
 		replay   = flag.Int64("replay", -1, "campaign: replay this single run index from a failure digest")
 		failfast = flag.Bool("failfast", false, "campaign: cancel remaining runs after the first failure")
 		batch    = flag.Bool("batch", true, "coalesce coupling messages per δ-window into batch frames (0xCA59)")
+
+		runTimeout = flag.Duration("run-timeout", 0, "campaign: per-run wall-clock deadline (0 = none); a hung run fails with a typed timeout")
+		retries    = flag.Int("retries", 0, "campaign: retry budget per run for retryable infrastructure failures")
+		checkpoint = flag.String("checkpoint", "", "campaign: persist progress to this file for crash/resume")
+		ckEvery    = flag.Int("checkpoint-every", 0, "campaign: checkpoint after this many committed runs (0 = default 64)")
+		resume     = flag.Bool("resume", false, "campaign: resume from -checkpoint instead of starting over")
+		noQuar     = flag.Bool("no-quarantine", false, "campaign: never quarantine cells whose infrastructure keeps dying")
+		digest     = flag.String("digest", "", "campaign: write the deterministic digest file here (byte-identical across shard counts and resume)")
 	)
 	flag.Parse()
 
@@ -111,7 +132,10 @@ func run() int {
 			name: *camp, runs: *runs, shards: *shards, seed: *seed,
 			replay: *replay, failfast: *failfast,
 			metrics: *metrics, trace: *trace, serve: *serve, traceCells: *traceN,
-			batch: *batch,
+			batch:      *batch,
+			runTimeout: *runTimeout, retries: *retries,
+			checkpoint: *checkpoint, checkpointEvery: *ckEvery, resume: *resume,
+			noQuarantine: *noQuar, digest: *digest,
 		})
 	}
 
@@ -196,7 +220,20 @@ type campaignOpts struct {
 	serve      string
 	traceCells int
 	batch      bool
+
+	runTimeout      time.Duration
+	retries         int
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	noQuarantine    bool
+	digest          string
 }
+
+// defaultQuarantineAfter is the CLI's quarantine threshold: a cell whose
+// runs exhaust their retries this many times in a row is declared dead
+// infrastructure and skipped. -no-quarantine opts out.
+const defaultQuarantineAfter = 3
 
 // runCampaign executes (or replays one run of) a named campaign matrix.
 func runCampaign(o campaignOpts) int {
@@ -216,10 +253,26 @@ func runCampaign(o campaignOpts) int {
 	if replay >= int64(runs) {
 		return badFlags("-replay index %d out of range (campaign has %d runs)", replay, runs)
 	}
+	if o.runTimeout < 0 {
+		return badFlags("-run-timeout must be non-negative (got %v)", o.runTimeout)
+	}
+	if o.retries < 0 {
+		return badFlags("-retries must be non-negative (got %d)", o.retries)
+	}
+	if o.checkpointEvery < 0 {
+		return badFlags("-checkpoint-every must be non-negative (got %d)", o.checkpointEvery)
+	}
+	if o.resume && o.checkpoint == "" {
+		return badFlags("-resume requires -checkpoint FILE")
+	}
 
 	var obsRun *obs.Run
 	if metrics != "" || trace != "" || o.serve != "" {
 		obsRun = obs.NewRun(obs.DefaultTraceCap)
+	}
+	quarantineAfter := defaultQuarantineAfter
+	if o.noQuarantine {
+		quarantineAfter = 0
 	}
 	spec := campaign.Spec{
 		Name:     name,
@@ -229,6 +282,13 @@ func runCampaign(o campaignOpts) int {
 		FailFast: o.failfast,
 		Matrix:   matrix,
 		Obs:      obsRun,
+		Policy: campaign.Policy{
+			RunTimeout:      o.runTimeout,
+			Retries:         o.retries,
+			QuarantineAfter: quarantineAfter,
+		},
+		Checkpoint:      o.checkpoint,
+		CheckpointEvery: o.checkpointEvery,
 	}
 
 	if o.serve != "" {
@@ -242,9 +302,10 @@ func runCampaign(o campaignOpts) int {
 		spec.OnResult = func(campaign.Result) { srv.Beat() }
 	}
 
-	// Ctrl-C cancels in-flight couplings and still prints the partial
+	// Ctrl-C or SIGTERM cancels in-flight couplings, writes a final
+	// checkpoint when one is configured, and still prints the partial
 	// summary, so a long campaign interrupted at run 900 is not wasted.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	if replay >= 0 {
@@ -263,12 +324,23 @@ func runCampaign(o campaignOpts) int {
 		return 0
 	}
 
-	sum, err := campaign.Execute(ctx, spec)
+	var sum *campaign.Summary
+	if o.resume {
+		sum, err = campaign.Resume(ctx, spec)
+	} else {
+		sum, err = campaign.Execute(ctx, spec)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
 		return 2
 	}
 	sum.WriteReport(os.Stdout)
+	if o.digest != "" {
+		if err := writeDigestFile(o.digest, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+			return 1
+		}
+	}
 	if obsRun != nil {
 		if err := writeRunArtifacts(obsRun, metrics, trace); err != nil {
 			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
@@ -279,6 +351,21 @@ func runCampaign(o campaignOpts) int {
 		return 1
 	}
 	return 0
+}
+
+// writeDigestFile saves the deterministic campaign digest, the file two
+// executions of the same spec (including one interrupted and resumed) can
+// be diffed by.
+func writeDigestFile(path string, sum *campaign.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteDigest(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeRunArtifacts saves the metrics exposition and the Chrome trace.

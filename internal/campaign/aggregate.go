@@ -92,6 +92,17 @@ func (s Stat) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// aggFromStats rebuilds a shard aggregate from its checkpointed summary;
+// the Stat fields are exactly the statAgg fields, so the round trip is
+// lossless.
+func aggFromStats(ss []Stat) *agg {
+	a := newAgg()
+	for _, s := range ss {
+		a.stats[s.Name] = &statAgg{count: s.Count, sum: s.Sum, min: s.Min, max: s.Max}
+	}
+	return a
+}
+
 // summary flattens the table, sorted by name for stable reports.
 func (a *agg) summary() []Stat {
 	out := make([]Stat, 0, len(a.stats))
@@ -112,6 +123,9 @@ func publishSummary(reg *obs.Registry, sum *Summary) {
 	reg.Gauge("campaign.completed").Set(float64(sum.Completed))
 	reg.Gauge("campaign.failed").Set(float64(sum.Failed))
 	reg.Gauge("campaign.skipped").Set(float64(sum.Skipped))
+	reg.Gauge("campaign.quarantined").Set(float64(sum.Quarantined))
+	reg.Gauge("campaign.retried").Set(float64(sum.Retried))
+	reg.Gauge("campaign.gaveup").Set(float64(sum.GaveUp))
 	reg.Gauge("campaign.shards").Set(float64(sum.Shards))
 	for _, s := range sum.Stats {
 		reg.Gauge("campaign.stat." + s.Name + ".mean").Set(s.Mean())

@@ -17,6 +17,13 @@
 //     work list and failure stream ascend by index, and the final digest
 //     is an index-ordered merge — byte-identical for any shard count.
 //
+// On top of that sits the durability layer (Policy, Spec.Checkpoint):
+// per-run deadlines reap hung rigs into typed timeouts, infra-class
+// failures retry with seed-derived backoff, dead cells quarantine, and a
+// CRC-guarded checkpoint file lets Resume continue a killed campaign from
+// its per-shard watermarks — with a digest byte-identical to the
+// uninterrupted run, which the package's property tests enforce.
+//
 // Every run builds its own engine stack (scheduler, HDL kernel,
 // transports) through its RunFunc; runs share nothing mutable, which the
 // package's -race tests enforce.
@@ -26,8 +33,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"castanet/internal/cosim"
@@ -66,6 +76,11 @@ type Run struct {
 	Seed  uint64 // sim.DeriveSeed(campaign seed, Index)
 	Shard int
 	Cell  Cell
+	// Deadline is the supervision policy's per-run wall-clock budget, 0
+	// when unsupervised. Rigs thread it into their coupling watchdog
+	// config so a hung transport trips inside the run, before the
+	// supervisor has to reap the whole attempt from outside.
+	Deadline time.Duration
 
 	agg   *agg
 	reg   *obs.Registry
@@ -81,6 +96,17 @@ func (r *Run) RNG() *sim.RNG { return sim.NewRNG(r.Seed) }
 // into the registry histogram "campaign.stat.<name>".
 func (r *Run) Observe(stat string, v float64) {
 	r.agg.observe(stat, v)
+	if r.reg != nil {
+		r.reg.Histogram("campaign.stat."+stat, histBounds...).Observe(v)
+	}
+}
+
+// ObserveWall records a wall-clock-dependent measurement — retry counts,
+// latencies, anything scheduling can perturb. It feeds the registry
+// histogram for live telemetry but stays out of the campaign aggregate,
+// which must remain a pure function of the spec so the digest file is
+// byte-identical across shard counts and crash/resume boundaries.
+func (r *Run) ObserveWall(stat string, v float64) {
 	if r.reg != nil {
 		r.reg.Histogram("campaign.stat."+stat, histBounds...).Observe(v)
 	}
@@ -113,23 +139,40 @@ type Spec struct {
 	DigestMax int
 	// Matrix is the experiment × fault-profile cell list.
 	Matrix []Cell
+	// Policy supervises each run: per-run deadline, classified bounded
+	// retry, cell quarantine. The zero value disables supervision.
+	Policy Policy
+	// Checkpoint, when non-empty, is the durable checkpoint file: written
+	// atomically every CheckpointEvery committed runs, on cancellation,
+	// and at campaign end. Resume continues a campaign from it.
+	Checkpoint string
+	// CheckpointEvery is the commit cadence between checkpoint writes
+	// (default 64).
+	CheckpointEvery int
 	// Obs, when non-nil, receives campaign metrics — per-shard labelled
-	// counters campaign.runs.shardK / campaign.failures.shardK, stat
-	// histograms, end-of-campaign stat gauges — and a campaign-level trace
-	// with one track per worker. Campaign trace timestamps are wall time
-	// (µs), not simulated time: each run restarts its own simulation
-	// clocks, so wall time is the only axis shared by all runs.
+	// counters campaign.runs.shardK / campaign.failures.shardK /
+	// campaign.retries.shardK / campaign.gaveup.shardK, stat histograms,
+	// end-of-campaign stat gauges, checkpoint write counters — and a
+	// campaign-level trace with one track per worker. Campaign trace
+	// timestamps are wall time (µs), not simulated time: each run restarts
+	// its own simulation clocks, so wall time is the only axis shared by
+	// all runs.
 	Obs *obs.Run
 	// OnResult, when non-nil, is invoked serially (in completion order,
 	// not index order) with every finished run's Result, including its
-	// SetValue payload. Callers needing index order can slot results by
-	// Result.Index.
+	// SetValue payload. Quarantine-skipped runs are delivered with
+	// Err == ErrQuarantined. Callers needing index order can slot results
+	// by Result.Index.
 	OnResult func(Result)
 }
 
 // ErrSpec classifies campaign parameter errors, so the CLI can map them to
 // usage-and-exit-2 like any other flag validation failure.
 var ErrSpec = errors.New("campaign: invalid spec")
+
+// ErrQuarantined marks the Result of a run skipped because its matrix
+// cell was quarantined.
+var ErrQuarantined = errors.New("campaign: cell quarantined")
 
 func (s *Spec) validate() error {
 	switch {
@@ -141,6 +184,16 @@ func (s *Spec) validate() error {
 		return fmt.Errorf("%w: empty matrix", ErrSpec)
 	case s.DigestMax < 0:
 		return fmt.Errorf("%w: digest max = %d, want >= 0", ErrSpec, s.DigestMax)
+	case s.Policy.RunTimeout < 0:
+		return fmt.Errorf("%w: run timeout = %v, want >= 0", ErrSpec, s.Policy.RunTimeout)
+	case s.Policy.Retries < 0:
+		return fmt.Errorf("%w: retries = %d, want >= 0", ErrSpec, s.Policy.Retries)
+	case s.Policy.RetryBase < 0, s.Policy.RetryCap < 0:
+		return fmt.Errorf("%w: negative retry backoff", ErrSpec)
+	case s.Policy.QuarantineAfter < 0:
+		return fmt.Errorf("%w: quarantine after = %d, want >= 0", ErrSpec, s.Policy.QuarantineAfter)
+	case s.CheckpointEvery < 0:
+		return fmt.Errorf("%w: checkpoint every = %d, want >= 0", ErrSpec, s.CheckpointEvery)
 	}
 	return nil
 }
@@ -159,6 +212,13 @@ func (s *Spec) digestMax() int {
 	return 16
 }
 
+func (s *Spec) checkpointEvery() int {
+	if s.CheckpointEvery > 0 {
+		return s.CheckpointEvery
+	}
+	return 64
+}
+
 // cellFor returns the matrix cell of run index i.
 func (s *Spec) cellFor(i uint64) Cell { return s.Matrix[i%uint64(len(s.Matrix))] }
 
@@ -171,6 +231,9 @@ type Result struct {
 	Err   error
 	Value any
 	Wall  time.Duration
+	// Attempts is how many times the run executed (1 without retries; 0
+	// for a quarantine-skipped run).
+	Attempts int
 }
 
 // Failure is one digest entry.
@@ -184,6 +247,9 @@ type Failure struct {
 	// but deliberately kept out of Digest(), whose lines must stay
 	// one-per-failure and byte-identical across shard counts.
 	Detail string
+	// label caches the rendered Label of a failure restored from a
+	// checkpoint, whose live error value did not survive the crash.
+	label string
 }
 
 // Detailer is implemented by errors carrying a multi-line triage detail
@@ -219,6 +285,9 @@ func Detailed(err error, detail string) error {
 // timing-dependent detail), anything else prints its error text, which
 // sources are required to keep deterministic.
 func (f Failure) Label() string {
+	if f.label != "" {
+		return f.label
+	}
 	var ce *cosim.CouplingError
 	if errors.As(f.Err, &ce) {
 		return fmt.Sprintf("coupling/%s/%s", ce.Class, ce.Op)
@@ -229,14 +298,77 @@ func (f Failure) Label() string {
 	return f.Err.Error()
 }
 
-// shardState accumulates one worker's output; workers never share state
-// while running, the engine merges shard states in shard order afterwards.
+// heldAgg is a committed run's aggregate and digest entry waiting for the
+// run's final quarantine classification: with a board active, a run's
+// stats only merge into the shard aggregate — and its failure only claims
+// a bounded digest slot — once the board's frontier proves the run is not
+// retroactively quarantined. The queue drains in push order — the shard's
+// index order — so the float64 merge order and the digest retention both
+// stay pure functions of the spec.
+type heldAgg struct {
+	cell  int
+	ord   uint64
+	index uint64
+	agg   *agg     // nil when the run observed nothing
+	fail  *Failure // nil when the run passed
+}
+
+// shardState accumulates one worker's output. The mutex orders the
+// worker's commits against checkpoint snapshots; workers never touch each
+// other's state.
 type shardState struct {
-	agg       *agg
-	failures  []Failure // ascending by index, bounded by digestMax
-	failTotal int
-	completed int
-	skipped   int
+	mu          sync.Mutex
+	agg         *agg
+	held        []heldAgg
+	failures    []Failure // ascending by index, bounded by digestMax
+	failTotal   int
+	completed   int
+	skipped     int
+	quarantined int
+	retried     int
+	gaveUp      int
+	// done is the shard's runs-completed watermark: the first done indices
+	// of the shard's work list are committed (counted, checkpointed, never
+	// re-run). Cancelled runs never commit, so the prefix stays contiguous
+	// and a resume continues at index shard + done*shards.
+	done int
+}
+
+// drainHeldLocked consumes the prefix of the held queue whose quarantine
+// classification is final, merging surviving aggregates and retaining
+// surviving failures up to digestMax. Callers hold st.mu.
+func (st *shardState) drainHeldLocked(q *quarantine, digestMax int) {
+	for len(st.held) > 0 {
+		h := st.held[0]
+		final, drop := q.finality(h.cell, h.ord, false)
+		if !final {
+			return
+		}
+		if !drop {
+			if h.agg != nil {
+				st.agg.merge(h.agg)
+			}
+			if h.fail != nil && len(st.failures) < digestMax {
+				st.failures = append(st.failures, *h.fail)
+			}
+		}
+		st.held = st.held[1:]
+	}
+}
+
+// engine is one campaign execution: spec, effective shard count, per-shard
+// states, the optional quarantine board, and the checkpoint plumbing.
+type engine struct {
+	spec   *Spec
+	shards int
+	states []*shardState
+	board  *quarantine
+
+	ckCh      chan struct{} // nil without a checkpoint path
+	ckEvery   int
+	committed atomic.Uint64
+	ckMu      sync.Mutex
+	ckErr     error
 }
 
 // Execute runs the campaign and blocks until every worker has drained or
@@ -246,9 +378,56 @@ func Execute(ctx context.Context, spec Spec) (*Summary, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	return execute(ctx, spec, nil)
+}
+
+// Resume continues the campaign from Spec.Checkpoint: it validates the
+// file's spec fingerprint, restores the per-shard watermarks, aggregates
+// and failure lists, and executes only the runs past each watermark. The
+// shard count is taken from the checkpoint (per-shard float sums only
+// merge deterministically at a fixed shard count), so the final digest
+// and aggregate report are byte-identical to an uninterrupted run. A
+// missing checkpoint file degrades to a fresh Execute.
+func Resume(ctx context.Context, spec Spec) (*Summary, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Checkpoint == "" {
+		return nil, fmt.Errorf("%w: resume requires a checkpoint path", ErrSpec)
+	}
+	ck, err := loadCheckpoint(spec.Checkpoint)
+	if errors.Is(err, os.ErrNotExist) {
+		return execute(ctx, spec, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	spec.Shards = ck.shards
+	if got := specFingerprint(&spec, ck.shards); got != ck.fingerprint {
+		return nil, fmt.Errorf("%w: %s belongs to a different campaign (file fingerprint %016x, this spec %016x)",
+			ErrCheckpoint, spec.Checkpoint, ck.fingerprint, got)
+	}
+	return execute(ctx, spec, ck)
+}
+
+func execute(ctx context.Context, spec Spec, resume *checkpointState) (*Summary, error) {
 	shards := spec.shardCount()
 	if shards > spec.Runs {
 		shards = spec.Runs
+	}
+	if resume != nil {
+		shards = resume.shards
+	}
+	e := &engine{spec: &spec, shards: shards, ckEvery: spec.checkpointEvery()}
+	e.states = make([]*shardState, shards)
+	for s := range e.states {
+		e.states[s] = &shardState{agg: newAgg()}
+	}
+	if spec.Policy.QuarantineAfter > 0 {
+		e.board = newQuarantine(len(spec.Matrix), spec.Policy.QuarantineAfter)
+	}
+	if resume != nil {
+		e.restore(resume)
 	}
 	epoch := time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
@@ -270,15 +449,25 @@ func Execute(ctx context.Context, spec Spec) (*Summary, error) {
 		close(collectorDone)
 	}
 
-	states := make([]*shardState, shards)
+	var ckStop chan struct{}
+	ckDone := make(chan struct{})
+	if spec.Checkpoint != "" {
+		e.ckCh = make(chan struct{}, 1)
+		ckStop = make(chan struct{})
+		go func() {
+			defer close(ckDone)
+			e.checkpointLoop(runCtx, ckStop)
+		}()
+	} else {
+		close(ckDone)
+	}
+
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		st := &shardState{agg: newAgg()}
-		states[s] = st
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			runShard(runCtx, cancel, &spec, shard, shards, st, results, epoch)
+			e.runShard(runCtx, cancel, shard, results, epoch)
 		}(s)
 	}
 	wg.Wait()
@@ -286,92 +475,401 @@ func Execute(ctx context.Context, spec Spec) (*Summary, error) {
 		close(results)
 	}
 	<-collectorDone
+	if ckStop != nil {
+		close(ckStop)
+	}
+	<-ckDone
 
-	sum := &Summary{
-		Name:     spec.Name,
-		Seed:     spec.Seed,
-		Runs:     spec.Runs,
-		Shards:   shards,
-		FailFast: spec.FailFast,
-		Wall:     time.Since(epoch),
+	sum := e.summarize(epoch)
+	if spec.Checkpoint != "" {
+		// The final write covers every commit the summary covers, so
+		// resuming a finished campaign reproduces the identical summary
+		// without executing a run.
+		e.writeCheckpoint()
 	}
-	merged := newAgg()
-	var lists [][]Failure
-	for _, st := range states {
-		merged.merge(st.agg)
-		sum.Completed += st.completed
-		sum.Failed += st.failTotal
-		sum.Skipped += st.skipped
-		lists = append(lists, st.failures)
-	}
-	sum.Stats = merged.summary()
-	sum.Failures = mergeFailures(lists, spec.digestMax())
+	e.ckMu.Lock()
+	sum.CheckpointErr = e.ckErr
+	e.ckMu.Unlock()
 	publishSummary(spec.Obs.Reg(), sum)
 	return sum, nil
 }
 
 // runShard executes the shard's statically assigned indices in ascending
-// order.
-func runShard(ctx context.Context, cancel context.CancelFunc, spec *Spec,
-	shard, shards int, st *shardState, results chan<- Result, epoch time.Time) {
+// order, starting past the resume watermark.
+func (e *engine) runShard(ctx context.Context, cancel context.CancelFunc,
+	shard int, results chan<- Result, epoch time.Time) {
 
+	spec := e.spec
+	st := e.states[shard]
 	reg := spec.Obs.Reg()
 	tr := spec.Obs.Trace()
 	track := obs.TrackWorker(shard)
 	runsC := reg.ShardCounter("campaign.runs", shard)
 	failsC := reg.ShardCounter("campaign.failures", shard)
+	retriesC := reg.ShardCounter("campaign.retries", shard)
+	gaveupC := reg.ShardCounter("campaign.gaveup", shard)
 	wallPS := func() int64 { return time.Since(epoch).Nanoseconds() * 1000 }
+	cells := uint64(len(spec.Matrix))
+	digestMax := spec.digestMax()
 
-	for i := uint64(shard); i < uint64(spec.Runs); i += uint64(shards) {
+	first := uint64(shard) + uint64(st.done)*uint64(e.shards)
+	for i := first; i < uint64(spec.Runs); i += uint64(e.shards) {
 		if ctx.Err() != nil {
+			st.mu.Lock()
 			st.skipped++
+			st.mu.Unlock()
 			continue
 		}
 		cell := spec.cellFor(i)
-		r := &Run{Index: i, Seed: sim.DeriveSeed(spec.Seed, i), Shard: shard,
-			Cell: cell, agg: st.agg, reg: reg}
+		cellIdx := int(i % cells)
+		ord := i / cells
+		seed := sim.DeriveSeed(spec.Seed, i)
+		if e.board.skip(cellIdx, ord) {
+			st.mu.Lock()
+			st.quarantined++
+			st.done++
+			st.mu.Unlock()
+			e.afterCommit()
+			if results != nil {
+				results <- Result{Index: i, Seed: seed, Cell: cell, Shard: shard, Err: ErrQuarantined}
+			}
+			continue
+		}
+		proto := Run{Index: i, Seed: seed, Shard: shard, Cell: cell}
 		tr.Begin(track, cell.Name(), wallPS())
-		start := time.Now()
-		err := runOne(ctx, cell.Run, r)
-		wall := time.Since(start)
+		started := time.Now()
+		out := spec.Policy.supervise(ctx, cell.Run, proto, reg, retriesC, gaveupC)
+		wall := time.Since(started)
 		tr.End(track, cell.Name(), wallPS())
 		runsC.Inc()
-		switch {
-		case err == nil:
-			st.completed++
-		case ctx.Err() != nil:
+
+		if out.err != nil && ctx.Err() != nil {
 			// The run was torn down by cancellation; its error is an
-			// artifact of the teardown, not a finding.
+			// artifact of the teardown, not a finding. It never commits,
+			// so a resume re-executes it.
+			st.mu.Lock()
 			st.skipped++
-		default:
-			failsC.Inc()
-			st.failTotal++
-			if len(st.failures) < spec.digestMax() {
-				f := Failure{Index: i, Seed: r.Seed, Cell: cell.Name(), Err: err}
+			st.mu.Unlock()
+		} else {
+			cls := e.board.record(cellIdx, ord, i, out.gaveUp, out.err != nil)
+			quarantined := cls == classQuarantined
+			var fail *Failure
+			st.mu.Lock()
+			switch {
+			case quarantined:
+				st.quarantined++
+			case out.err == nil:
+				st.completed++
+			default:
+				failsC.Inc()
+				st.failTotal++
+				f := Failure{Index: i, Seed: seed, Cell: cell.Name(), Err: out.err}
 				var det Detailer
-				if errors.As(err, &det) {
+				if errors.As(out.err, &det) {
 					f.Detail = det.FailureDetail()
 				}
-				st.failures = append(st.failures, f)
+				if e.board == nil {
+					if len(st.failures) < digestMax {
+						st.failures = append(st.failures, f)
+					}
+				} else {
+					// Digest retention is decided when the board finalizes
+					// the run, not now: a raced failure must not claim one
+					// of the bounded slots it would never get serially.
+					fail = &f
+				}
 			}
-			tr.Emit(track, "fail:"+cell.Name(), wallPS())
-			if spec.FailFast {
-				cancel()
+			if !quarantined {
+				if e.board == nil {
+					if out.agg != nil {
+						st.agg.merge(out.agg)
+					}
+				} else if out.agg != nil || fail != nil {
+					st.held = append(st.held, heldAgg{cell: cellIdx, ord: ord, index: i,
+						agg: out.agg, fail: fail})
+				}
 			}
+			st.retried += out.attempts - 1
+			if out.gaveUp {
+				st.gaveUp++
+			}
+			st.done++
+			st.drainHeldLocked(e.board, digestMax)
+			st.mu.Unlock()
+			if out.err != nil && !quarantined {
+				tr.Emit(track, "fail:"+cell.Name(), wallPS())
+				if spec.FailFast {
+					cancel()
+				}
+			}
+			e.afterCommit()
 		}
 		if results != nil {
-			results <- Result{Index: i, Seed: r.Seed, Cell: cell, Shard: shard,
-				Err: err, Value: r.value, Wall: wall}
+			results <- Result{Index: i, Seed: seed, Cell: cell, Shard: shard,
+				Err: out.err, Value: out.value, Wall: wall, Attempts: out.attempts}
 		}
 	}
 }
 
+// afterCommit ticks the checkpoint cadence.
+func (e *engine) afterCommit() {
+	if e.ckCh == nil {
+		return
+	}
+	if n := e.committed.Add(1); n%uint64(e.ckEvery) == 0 {
+		select {
+		case e.ckCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkpointLoop writes checkpoints on cadence signals and flushes once
+// on cancellation (the SIGINT/SIGTERM path), then waits for the final
+// write issued by execute after the workers drain.
+func (e *engine) checkpointLoop(ctx context.Context, stop <-chan struct{}) {
+	for {
+		select {
+		case <-e.ckCh:
+			e.writeCheckpoint()
+		case <-ctx.Done():
+			e.writeCheckpoint()
+			<-stop
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+// writeCheckpoint snapshots the engine and saves it atomically. Failures
+// are retained for the summary instead of aborting the campaign: losing
+// durability is an operational warning, not a verification result.
+func (e *engine) writeCheckpoint() {
+	ck := e.snapshotState()
+	err := saveCheckpoint(e.spec.Checkpoint, ck)
+	e.ckMu.Lock()
+	e.ckErr = err
+	e.ckMu.Unlock()
+	if reg := e.spec.Obs.Reg(); reg != nil && err == nil {
+		reg.Counter("campaign.checkpoint.writes").Inc()
+		reg.Gauge("campaign.checkpoint.last_unix").Set(float64(time.Now().Unix()))
+		var covered int
+		for _, s := range ck.snaps {
+			covered += s.done
+		}
+		reg.Gauge("campaign.checkpoint.runs_covered").Set(float64(covered))
+	}
+}
+
+// snapshotState copies the committed state under the shard locks, then
+// the board. Ordering matters: commits record to the board before they
+// advance the watermark, so snapshotting states first guarantees every
+// watermarked run is present in the board copy; the converse surplus
+// (board outcomes past a watermark) is idempotently re-recorded on
+// resume.
+func (e *engine) snapshotState() *checkpointState {
+	ck := &checkpointState{
+		fingerprint: specFingerprint(e.spec, e.shards),
+		seed:        e.spec.Seed,
+		runs:        e.spec.Runs,
+		shards:      e.shards,
+		matrixLen:   len(e.spec.Matrix),
+		hasBoard:    e.board != nil,
+	}
+	for _, st := range e.states {
+		st.mu.Lock()
+		snap := ckShard{
+			done: st.done, completed: st.completed, failTotal: st.failTotal,
+			quarantined: st.quarantined, retried: st.retried, gaveUp: st.gaveUp,
+			stats: st.agg.summary(),
+		}
+		for _, f := range st.failures {
+			snap.failures = append(snap.failures, ckFailure{index: f.Index, seed: f.Seed,
+				cell: f.Cell, label: f.Label(), detail: f.Detail})
+		}
+		for _, h := range st.held {
+			ch := ckHeld{index: h.index}
+			if h.agg != nil {
+				ch.stats = h.agg.summary()
+			}
+			if h.fail != nil {
+				ch.fail = &ckFailure{index: h.fail.Index, seed: h.fail.Seed,
+					cell: h.fail.Cell, label: h.fail.Label(), detail: h.fail.Detail}
+			}
+			snap.held = append(snap.held, ch)
+		}
+		st.mu.Unlock()
+		ck.snaps = append(ck.snaps, snap)
+	}
+	if e.board != nil {
+		e.board.mu.Lock()
+		for i := range e.board.cells {
+			c := &e.board.cells[i]
+			cc := ckCell{decided: c.decided, consec: c.consec, chainFirst: c.chainFirst,
+				quarantined: c.quarantined, e: c.e, firstFail: c.firstFail}
+			for ord, p := range c.pending {
+				cc.pending = append(cc.pending, ckPending{ord: ord, index: p.index,
+					failed: p.failed, gaveUp: p.gaveUp})
+			}
+			ck.board = append(ck.board, cc)
+		}
+		e.board.mu.Unlock()
+	}
+	return ck
+}
+
+// restore loads a checkpoint into the engine before the workers start.
+func (e *engine) restore(ck *checkpointState) {
+	cells := uint64(len(e.spec.Matrix))
+	var total uint64
+	for s, snap := range ck.snaps {
+		if s >= len(e.states) {
+			break
+		}
+		st := e.states[s]
+		st.done = snap.done
+		st.completed = snap.completed
+		st.failTotal = snap.failTotal
+		st.quarantined = snap.quarantined
+		st.retried = snap.retried
+		st.gaveUp = snap.gaveUp
+		st.agg = aggFromStats(snap.stats)
+		for _, f := range snap.failures {
+			st.failures = append(st.failures, Failure{Index: f.index, Seed: f.seed,
+				Cell: f.cell, Detail: f.detail, label: f.label})
+		}
+		for _, h := range snap.held {
+			ha := heldAgg{cell: int(h.index % cells), ord: h.index / cells, index: h.index}
+			if len(h.stats) > 0 {
+				ha.agg = aggFromStats(h.stats)
+			}
+			if h.fail != nil {
+				ha.fail = &Failure{Index: h.fail.index, Seed: h.fail.seed,
+					Cell: h.fail.cell, Detail: h.fail.detail, label: h.fail.label}
+			}
+			st.held = append(st.held, ha)
+		}
+		total += uint64(snap.done)
+	}
+	if e.board != nil && ck.hasBoard {
+		for i, cc := range ck.board {
+			if i >= len(e.board.cells) {
+				break
+			}
+			c := &e.board.cells[i]
+			c.decided, c.consec, c.chainFirst = cc.decided, cc.consec, cc.chainFirst
+			c.quarantined, c.e, c.firstFail = cc.quarantined, cc.e, cc.firstFail
+			for _, p := range cc.pending {
+				c.pending[p.ord] = pendingOutcome{index: p.index, failed: p.failed, gaveUp: p.gaveUp}
+			}
+		}
+	}
+	e.committed.Store(total)
+}
+
+// summarize normalizes the quarantine board's raced runs, drains the held
+// aggregates, and merges the shard states in shard order.
+func (e *engine) summarize(epoch time.Time) *Summary {
+	spec := e.spec
+	sum := &Summary{
+		Name:     spec.Name,
+		Seed:     spec.Seed,
+		Runs:     spec.Runs,
+		Shards:   e.shards,
+		FailFast: spec.FailFast,
+		Wall:     time.Since(epoch),
+	}
+	e.normalizeQuarantine(sum)
+	merged := newAgg()
+	var lists [][]Failure
+	for _, st := range e.states {
+		st.mu.Lock()
+		st.drainHeldLocked(e.board, spec.digestMax())
+		merged.merge(st.agg)
+		// Held leftovers exist only when cancellation left frontier gaps;
+		// their stats and failures count toward this (inherently partial)
+		// summary but stay queued so the checkpoint resumes them exactly.
+		fl := st.failures
+		for _, h := range st.held {
+			if _, drop := e.board.finality(h.cell, h.ord, true); !drop {
+				if h.agg != nil {
+					merged.merge(h.agg)
+				}
+				if h.fail != nil {
+					fl = append(fl[:len(fl):len(fl)], *h.fail)
+				}
+			}
+		}
+		sum.Completed += st.completed
+		sum.Failed += st.failTotal
+		sum.Skipped += st.skipped
+		sum.Quarantined += st.quarantined
+		sum.Retried += st.retried
+		sum.GaveUp += st.gaveUp
+		lists = append(lists, fl)
+		st.mu.Unlock()
+	}
+	sum.Stats = merged.summary()
+	sum.Failures = mergeFailures(lists, spec.digestMax())
+	return sum
+}
+
+// normalizeQuarantine reclassifies runs that raced ahead of a quarantine
+// declaration: they executed and committed as ordinary outcomes, but a
+// serial execution would have skipped them, so the summary must count
+// them as quarantined and drop their digest entries. The set of such runs
+// — cell ordinals >= e — is a pure function of the deterministic per-run
+// outcomes, so the normalized counts and digest are shard-count and
+// crash/resume invariant.
+func (e *engine) normalizeQuarantine(sum *Summary) {
+	if e.board == nil {
+		return
+	}
+	L := uint64(len(e.spec.Matrix))
+	type raced struct {
+		index  uint64
+		failed bool
+	}
+	var relabel []raced
+	e.board.mu.Lock()
+	for ci := range e.board.cells {
+		c := &e.board.cells[ci]
+		if !c.quarantined {
+			continue
+		}
+		for _, p := range c.pending {
+			relabel = append(relabel, raced{index: p.index, failed: p.failed})
+		}
+		c.pending = make(map[uint64]pendingOutcome)
+		sum.Quarantines = append(sum.Quarantines, QuarantinedCell{
+			Cell:      e.spec.Matrix[ci].Name(),
+			FirstFail: c.firstFail,
+			FromRun:   c.e*L + uint64(ci),
+		})
+	}
+	e.board.mu.Unlock()
+	for _, r := range relabel {
+		st := e.states[int(r.index%uint64(e.shards))]
+		st.mu.Lock()
+		if r.failed {
+			st.failTotal--
+		} else {
+			st.completed--
+		}
+		st.quarantined++
+		st.mu.Unlock()
+	}
+}
+
 // runOne executes the run with panic containment: a panicking rig fails
-// its own run instead of killing the campaign's worker pool.
+// its own run instead of killing the campaign's worker pool, and the
+// recovered stack rides the failure as its triage detail.
 func runOne(ctx context.Context, fn RunFunc, r *Run) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("campaign: run panicked: %v", p)
+			err = Detailed(fmt.Errorf("campaign: run panicked: %v", p),
+				"panic stack:\n"+string(debug.Stack()))
 		}
 	}()
 	return fn(ctx, r)
@@ -403,8 +901,10 @@ func mergeFailures(lists [][]Failure, max int) []Failure {
 
 // Replay executes exactly the single run a digest line names, serially on
 // the calling goroutine, and returns its result. The run reconstructs the
-// identical (seed, cell) pair the campaign used, so a digest failure
-// reproduces bit-exactly without executing any run around it.
+// identical (seed, cell) pair the campaign used and executes under the
+// same supervision policy — same per-run deadline, same retry budget —
+// so a digest line from a timed-out run replays to the same typed
+// timeout.
 func Replay(ctx context.Context, spec Spec, index uint64) (Result, error) {
 	if err := spec.validate(); err != nil {
 		return Result{}, err
@@ -413,20 +913,22 @@ func Replay(ctx context.Context, spec Spec, index uint64) (Result, error) {
 		return Result{}, fmt.Errorf("%w: replay index %d outside 0..%d", ErrSpec, index, spec.Runs-1)
 	}
 	cell := spec.cellFor(index)
-	r := &Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell,
-		agg: newAgg(), reg: spec.Obs.Reg()}
+	reg := spec.Obs.Reg()
+	proto := Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell}
 	start := time.Now()
-	err := runOne(ctx, cell.Run, r)
-	return Result{Index: index, Seed: r.Seed, Cell: cell, Err: err,
-		Value: r.value, Wall: time.Since(start)}, nil
+	out := spec.Policy.supervise(ctx, cell.Run, proto, reg,
+		reg.ShardCounter("campaign.retries", 0), reg.ShardCounter("campaign.gaveup", 0))
+	return Result{Index: index, Seed: proto.Seed, Cell: cell, Err: out.err,
+		Value: out.value, Wall: time.Since(start), Attempts: out.attempts}, nil
 }
 
 // OnCancel arranges teardown for an in-flight run: stop is invoked once if
 // ctx is cancelled before the returned release function is called. Sources
-// bracket a blocking rig run with it so fail-fast cancellation closes the
-// rig's coupling transport, turning the blocked run into a typed coupling
-// error instead of letting it outlive the campaign. release blocks until
-// the watcher goroutine has exited, so no goroutine leaks past the run.
+// bracket a blocking rig run with it so fail-fast cancellation (or the
+// supervision deadline, which cancels the run's context) closes the rig's
+// coupling transport, turning the blocked run into a typed coupling error
+// instead of letting it outlive the campaign. release blocks until the
+// watcher goroutine has exited, so no goroutine leaks past the run.
 func OnCancel(ctx context.Context, stop func()) (release func()) {
 	done := make(chan struct{})
 	exited := make(chan struct{})

@@ -187,29 +187,53 @@ func TestFailFastCancellation(t *testing.T) {
 	assertNoCampaignGoroutines(t)
 }
 
-// assertNoCampaignGoroutines scans goroutine stacks for leaked campaign
-// frames, retrying briefly since exiting goroutines unwind asynchronously.
-func assertNoCampaignGoroutines(t *testing.T) {
+// waitUntil polls cond on a ticker until it holds or the deadline timer
+// fires — no clock-comparison spinning, one blocking select per poll, so
+// it stays cheap and honest under CI load.
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool, report func() string) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	var stacks string
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for {
-		buf := make([]byte, 1<<20)
-		stacks = string(buf[:runtime.Stack(buf, true)])
-		leaked := false
-		for _, frame := range []string{"campaign.runShard", "campaign.OnCancel", "campaign.Execute.func"} {
-			if strings.Contains(stacks, frame) {
-				leaked = true
-			}
-		}
-		if !leaked {
+		if cond() {
 			return
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("campaign goroutines leaked after Execute returned:\n%s", stacks)
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			if cond() {
+				return
+			}
+			t.Fatalf("condition not reached within %v: %s", timeout, report())
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// assertNoCampaignGoroutines scans goroutine stacks for leaked campaign
+// frames, waiting briefly since exiting goroutines unwind asynchronously.
+func assertNoCampaignGoroutines(t *testing.T) {
+	t.Helper()
+	var stacks string
+	leakFrames := []string{
+		"campaign.(*engine).runShard",
+		"campaign.(*engine).checkpointLoop",
+		"campaign.OnCancel",
+		"campaign.execute.func",
+	}
+	waitUntil(t, 2*time.Second, func() bool {
+		buf := make([]byte, 1<<20)
+		stacks = string(buf[:runtime.Stack(buf, true)])
+		for _, frame := range leakFrames {
+			if strings.Contains(stacks, frame) {
+				return false
+			}
+		}
+		return true
+	}, func() string {
+		return "campaign goroutines leaked after Execute returned:\n" + stacks
+	})
 }
 
 // TestContextCancelMidCampaign: external cancellation (a user's Ctrl-C)

@@ -1,0 +1,67 @@
+package campaign
+
+import "testing"
+
+func fs(indices ...uint64) []Failure {
+	out := make([]Failure, 0, len(indices))
+	for _, i := range indices {
+		out = append(out, Failure{Index: i})
+	}
+	return out
+}
+
+func indicesOf(fl []Failure) []uint64 {
+	out := make([]uint64, 0, len(fl))
+	for _, f := range fl {
+		out = append(out, f.Index)
+	}
+	return out
+}
+
+func assertIndices(t *testing.T, got []Failure, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", indicesOf(got), want)
+	}
+	for i, f := range got {
+		if f.Index != want[i] {
+			t.Fatalf("merged %v, want %v", indicesOf(got), want)
+		}
+	}
+}
+
+func TestMergeFailuresInterleaves(t *testing.T) {
+	got := mergeFailures([][]Failure{fs(0, 4, 8), fs(1, 5), fs(2, 3, 9)}, 16)
+	assertIndices(t, got, 0, 1, 2, 3, 4, 5, 8, 9)
+}
+
+// TestMergeFailuresTruncatesAtMax: truncation keeps exactly the first max
+// by global index order, not per-shard prefixes.
+func TestMergeFailuresTruncatesAtMax(t *testing.T) {
+	got := mergeFailures([][]Failure{fs(0, 2, 4, 6), fs(1, 3, 5, 7)}, 5)
+	assertIndices(t, got, 0, 1, 2, 3, 4)
+
+	// Exactly at the bound: nothing dropped.
+	got = mergeFailures([][]Failure{fs(0, 2), fs(1, 3)}, 4)
+	assertIndices(t, got, 0, 1, 2, 3)
+
+	if got := mergeFailures([][]Failure{fs(9)}, 0); len(got) != 0 {
+		t.Fatalf("max=0 retained %v", indicesOf(got))
+	}
+}
+
+func TestMergeFailuresEmptyLists(t *testing.T) {
+	if got := mergeFailures(nil, 8); len(got) != 0 {
+		t.Fatalf("no lists: got %v", indicesOf(got))
+	}
+	if got := mergeFailures([][]Failure{nil, {}, nil}, 8); len(got) != 0 {
+		t.Fatalf("all-empty lists: got %v", indicesOf(got))
+	}
+	got := mergeFailures([][]Failure{nil, fs(3, 6), nil}, 8)
+	assertIndices(t, got, 3, 6)
+}
+
+func TestMergeFailuresSingleShardPassthrough(t *testing.T) {
+	got := mergeFailures([][]Failure{fs(1, 4, 6, 9)}, 16)
+	assertIndices(t, got, 1, 4, 6, 9)
+}

@@ -1,0 +1,154 @@
+package campaign
+
+import "sync"
+
+// The quarantine board decides, deterministically, which runs of a matrix
+// cell are skipped once the cell's infrastructure looks dead. Determinism
+// is the hard part: "M consecutive give-ups" is trivially racy when the
+// cell's runs execute on different shards, so the board never consumes an
+// outcome out of order. Each cell keeps a frontier over its own ordinal
+// sequence (run index / matrix length): outcomes recorded ahead of the
+// frontier wait in a pending set, and the frontier only advances through
+// contiguous ordinals. The quarantine point e — the first ordinal at
+// which QuarantineAfter consecutive preceding ordinals all exhausted
+// their retries — is therefore a pure function of the per-index outcomes,
+// identical for any shard count and any crash/resume point.
+//
+// Runs with ordinal >= e that raced ahead of the declaration stay in the
+// pending set; the engine reclassifies them as quarantined when it
+// summarizes (and their held aggregates are dropped), so the final counts
+// and digest match a serial execution that never raced at all.
+
+// runClass is the board's post-run classification of an executed run.
+type runClass int
+
+const (
+	classCounted     runClass = iota // counts as completed/failed as usual
+	classQuarantined                 // falls at or past the quarantine point
+)
+
+// pendingOutcome is one executed-but-not-yet-frontier-consumed run.
+type pendingOutcome struct {
+	index  uint64
+	failed bool
+	gaveUp bool
+}
+
+// cellBoard is one matrix cell's frontier state.
+type cellBoard struct {
+	decided     uint64 // ordinals < decided are consumed
+	consec      int    // consecutive gave-up ordinals ending at decided-1
+	chainFirst  uint64 // run index of the first give-up in the open chain
+	quarantined bool
+	e           uint64 // quarantine point: ordinals >= e are skipped
+	firstFail   uint64 // run index of the give-up that opened the fatal chain
+	pending     map[uint64]pendingOutcome
+}
+
+// quarantine is the campaign-wide board, one cellBoard per matrix cell.
+type quarantine struct {
+	mu    sync.Mutex
+	after int
+	cells []cellBoard
+}
+
+func newQuarantine(cells, after int) *quarantine {
+	q := &quarantine{after: after, cells: make([]cellBoard, cells)}
+	for i := range q.cells {
+		q.cells[i].pending = make(map[uint64]pendingOutcome)
+	}
+	return q
+}
+
+// skip reports whether the run at the cell's ordinal is quarantined and
+// must not execute. Nil-safe so the engine can call it unconditionally.
+func (q *quarantine) skip(cell int, ord uint64) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c := &q.cells[cell]
+	return c.quarantined && ord >= c.e
+}
+
+// record files one executed run's outcome and returns its classification.
+// Re-records of already-consumed or already-pending ordinals are ignored,
+// which makes the commit idempotent across a crash/resume boundary.
+func (q *quarantine) record(cell int, ord, index uint64, gaveUp, failed bool) runClass {
+	if q == nil {
+		return classCounted
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c := &q.cells[cell]
+	if c.quarantined && ord >= c.e {
+		return classQuarantined
+	}
+	if ord < c.decided {
+		return classCounted
+	}
+	if _, dup := c.pending[ord]; !dup {
+		c.pending[ord] = pendingOutcome{index: index, failed: failed, gaveUp: gaveUp}
+		q.advance(c)
+	}
+	if c.quarantined && ord >= c.e {
+		// This very record completed the fatal chain (or raced past it);
+		// pull it back out so only summarize-time reclassification sees
+		// the survivors.
+		delete(c.pending, ord)
+		return classQuarantined
+	}
+	return classCounted
+}
+
+// advance consumes contiguous pending ordinals at the frontier, tracking
+// the open give-up chain and declaring quarantine when it reaches after.
+// Any non-give-up outcome — success or a real verification failure —
+// breaks the chain: quarantine is about dead infrastructure, not about
+// failing designs.
+func (q *quarantine) advance(c *cellBoard) {
+	for !c.quarantined {
+		o, ok := c.pending[c.decided]
+		if !ok {
+			return
+		}
+		delete(c.pending, c.decided)
+		if o.gaveUp {
+			if c.consec == 0 {
+				c.chainFirst = o.index
+			}
+			c.consec++
+		} else {
+			c.consec = 0
+		}
+		c.decided++
+		if c.consec >= q.after {
+			c.quarantined = true
+			c.e = c.decided
+			c.firstFail = c.chainFirst
+		}
+	}
+}
+
+// finality reports whether the run at (cell, ord) has a final
+// classification yet, and if so whether it must be dropped as
+// quarantined. With force, an undecided ordinal (possible only after a
+// cancelled campaign left frontier gaps) resolves to its current best
+// classification.
+func (q *quarantine) finality(cell int, ord uint64, force bool) (final, drop bool) {
+	if q == nil {
+		return true, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c := &q.cells[cell]
+	switch {
+	case c.quarantined && ord >= c.e:
+		return true, true
+	case ord < c.decided:
+		return true, false
+	default:
+		return force, false
+	}
+}

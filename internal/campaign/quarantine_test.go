@@ -1,0 +1,279 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"castanet/internal/cosim"
+)
+
+// fastRetries keeps supervised tests quick: real retry classification,
+// negligible backoff.
+func fastRetries(quarantineAfter int) Policy {
+	return Policy{
+		Retries:         1,
+		RetryBase:       time.Microsecond,
+		RetryCap:        time.Microsecond,
+		QuarantineAfter: quarantineAfter,
+	}
+}
+
+// deadInfraMatrix pairs a healthy cell with one whose infrastructure is
+// permanently down: every run fails with a retryable coupling timeout and
+// exhausts its retry budget.
+func deadInfraMatrix() []Cell {
+	good := func(ctx context.Context, r *Run) error {
+		r.Observe("draw", float64(r.RNG().Uint64()%1000))
+		return nil
+	}
+	bad := func(ctx context.Context, r *Run) error {
+		return &cosim.CouplingError{Class: cosim.ClassTimeout, Op: "connect",
+			Err: errors.New("rig never came up")}
+	}
+	return []Cell{
+		{Experiment: "synth", Run: good},
+		{Experiment: "synth", Fault: "dead", Run: bad},
+	}
+}
+
+// TestQuarantineDeterministicAcrossShards: with QuarantineAfter=3, the
+// dead cell burns exactly 3 counted failures (its first three ordinals),
+// then every later ordinal is quarantined — with identical counts and a
+// byte-identical digest at any shard count, even though high shard counts
+// race many dead-cell runs past the declaration point.
+func TestQuarantineDeterministicAcrossShards(t *testing.T) {
+	run := func(shards int) *Summary {
+		sum, err := Execute(context.Background(), Spec{
+			Name:   "quarantine",
+			Seed:   5,
+			Runs:   40,
+			Shards: shards,
+			Matrix: deadInfraMatrix(),
+			Policy: fastRetries(3),
+		})
+		if err != nil {
+			t.Fatalf("Execute(shards=%d): %v", shards, err)
+		}
+		return sum
+	}
+
+	ref := run(1)
+	// 20 dead-cell runs: ordinals 0,1,2 (indices 1,3,5) give up and count
+	// as failures, declaring quarantine at ordinal 3 = run index 7; the
+	// remaining 17 are quarantined. The 20 good runs all complete.
+	if ref.Completed != 20 || ref.Failed != 3 || ref.Quarantined != 17 ||
+		ref.GaveUp != 3 || ref.Retried != 3 {
+		t.Fatalf("serial reference: completed=%d failed=%d quarantined=%d gaveup=%d retried=%d, want 20/3/17/3/3",
+			ref.Completed, ref.Failed, ref.Quarantined, ref.GaveUp, ref.Retried)
+	}
+	wantHeader := "quarantined cell=synth/dead first-fail=000001 from-run=000007\n"
+	if !strings.HasPrefix(ref.Digest(), wantHeader) {
+		t.Fatalf("digest header:\n%s\nwant prefix: %s", ref.Digest(), wantHeader)
+	}
+	if len(ref.Quarantines) != 1 || ref.Quarantines[0].Cell != "synth/dead" {
+		t.Fatalf("quarantines: %+v", ref.Quarantines)
+	}
+
+	for _, shards := range []int{4, 8} {
+		got := run(shards)
+		if got.Digest() != ref.Digest() {
+			t.Errorf("digest differs between 1 and %d shards:\n-- 1 shard --\n%s-- %d shards --\n%s",
+				shards, ref.Digest(), shards, got.Digest())
+		}
+		if got.Completed != ref.Completed || got.Failed != ref.Failed ||
+			got.Quarantined != ref.Quarantined {
+			t.Errorf("shards=%d: completed/failed/quarantined = %d/%d/%d, want %d/%d/%d",
+				shards, got.Completed, got.Failed, got.Quarantined,
+				ref.Completed, ref.Failed, ref.Quarantined)
+		}
+		if len(got.Stats) != len(ref.Stats) {
+			t.Fatalf("shards=%d: stat count %d, want %d", shards, len(got.Stats), len(ref.Stats))
+		}
+		for i, s := range got.Stats {
+			if s != ref.Stats[i] {
+				t.Errorf("shards=%d: stat %q: got %+v, want %+v", shards, ref.Stats[i].Name, s, ref.Stats[i])
+			}
+		}
+	}
+}
+
+// TestQuarantineChainBreaksOnRealFailure: a verification failure (not
+// retryable, not a give-up) resets the consecutive-give-up chain, so a
+// cell that mixes infra timeouts with real mismatches is never
+// quarantined — mismatches are the product, not noise.
+func TestQuarantineChainBreaksOnRealFailure(t *testing.T) {
+	good := func(ctx context.Context, r *Run) error { return nil }
+	flaky := func(ctx context.Context, r *Run) error {
+		if (r.Index/2)%3 == 2 {
+			return errors.New("scoreboard mismatch") // real failure: breaks the chain
+		}
+		return &cosim.CouplingError{Class: cosim.ClassTimeout, Op: "recv",
+			Err: errors.New("stalled")}
+	}
+	sum, err := Execute(context.Background(), Spec{
+		Name:      "chain-reset",
+		Seed:      6,
+		Runs:      40,
+		Shards:    4,
+		DigestMax: 40,
+		Matrix: []Cell{
+			{Experiment: "synth", Run: good},
+			{Experiment: "synth", Fault: "flaky", Run: flaky},
+		},
+		Policy: fastRetries(3),
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// Ordinal pattern g,g,mismatch repeating: consec never reaches 3.
+	if sum.Quarantined != 0 || len(sum.Quarantines) != 0 {
+		t.Errorf("quarantined %d runs (%+v), want none", sum.Quarantined, sum.Quarantines)
+	}
+	if sum.Failed != 20 || sum.Completed != 20 {
+		t.Errorf("failed=%d completed=%d, want 20/20", sum.Failed, sum.Completed)
+	}
+	if sum.GaveUp != 14 || sum.Retried != 14 {
+		t.Errorf("gaveup=%d retried=%d, want 14/14", sum.GaveUp, sum.Retried)
+	}
+}
+
+// TestQuarantineOptOut: QuarantineAfter=0 disables the board entirely;
+// the dead cell just keeps failing.
+func TestQuarantineOptOut(t *testing.T) {
+	sum, err := Execute(context.Background(), Spec{
+		Name:   "no-quarantine",
+		Seed:   5,
+		Runs:   40,
+		Shards: 4,
+		Matrix: deadInfraMatrix(),
+		Policy: fastRetries(0),
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if sum.Quarantined != 0 || sum.Failed != 20 || sum.Completed != 20 {
+		t.Errorf("quarantined=%d failed=%d completed=%d, want 0/20/20",
+			sum.Quarantined, sum.Failed, sum.Completed)
+	}
+}
+
+// TestQuarantineResumeDeterministic combines both durability mechanisms:
+// a checkpointed, quarantining campaign interrupted mid-flight resumes to
+// the identical digest — including the quarantine header — and counts.
+func TestQuarantineResumeDeterministic(t *testing.T) {
+	base := Spec{
+		Name:   "quarantine-resume",
+		Seed:   5,
+		Runs:   40,
+		Shards: 4,
+		Matrix: deadInfraMatrix(),
+		Policy: fastRetries(3),
+	}
+	ref, err := Execute(context.Background(), base)
+	if err != nil {
+		t.Fatalf("reference Execute: %v", err)
+	}
+	if ref.Quarantined == 0 {
+		t.Fatal("reference quarantined nothing; test is vacuous")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	interrupted := base
+	interrupted.Checkpoint = filepath.Join(t.TempDir(), "campaign.ckpt")
+	interrupted.CheckpointEvery = 2
+	interrupted.OnResult = interruptAfter(12, cancel)
+	partial, err := Execute(ctx, interrupted)
+	cancel()
+	if err != nil {
+		t.Fatalf("interrupted Execute: %v", err)
+	}
+	if partial.Skipped == 0 {
+		t.Fatal("interruption skipped nothing; test is vacuous")
+	}
+
+	resumed := base
+	resumed.Checkpoint = interrupted.Checkpoint
+	res, err := Resume(context.Background(), resumed)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	assertSameSummary(t, res, ref, "quarantine-resume")
+}
+
+// TestQuarantineBoardFrontier unit-tests the board: out-of-order records
+// wait at the frontier, the chain declares exactly at QuarantineAfter
+// consecutive give-ups, and raced records past the point reclassify.
+func TestQuarantineBoardFrontier(t *testing.T) {
+	q := newQuarantine(3, 3)
+
+	// Out-of-order: ordinal 2 arrives first and must wait.
+	if cls := q.record(0, 2, 4, true, true); cls != classCounted {
+		t.Fatalf("early record classified %v", cls)
+	}
+	if final, _ := q.finality(0, 2, false); final {
+		t.Fatal("ordinal 2 final before 0 and 1 arrived")
+	}
+	// Ordinals 0 and 1 arrive; consuming them reaches ordinal 2 and the
+	// chain of three give-ups declares quarantine from ordinal 3.
+	q.record(0, 0, 0, true, true)
+	if cls := q.record(0, 1, 2, true, true); cls != classCounted {
+		t.Fatalf("chain-completing record classified %v", cls)
+	}
+	if !q.skip(0, 3) {
+		t.Fatal("ordinal 3 not skipped after declaration")
+	}
+	if q.skip(0, 2) {
+		t.Fatal("ordinal 2 (pre-declaration) wrongly skipped")
+	}
+	c := &q.cells[0]
+	if !c.quarantined || c.e != 3 || c.firstFail != 0 {
+		t.Fatalf("cell 0 board: %+v, want e=3 firstFail=0", *c)
+	}
+	// A raced execution past the point reclassifies as quarantined; a
+	// crash/resume re-record of a consumed ordinal stays counted.
+	if cls := q.record(0, 7, 14, true, true); cls != classQuarantined {
+		t.Fatalf("raced record classified %v", cls)
+	}
+	if cls := q.record(0, 1, 2, true, true); cls != classCounted {
+		t.Fatalf("resume re-record classified %v", cls)
+	}
+	if final, drop := q.finality(0, 9, false); !final || !drop {
+		t.Fatalf("finality past point = (%v,%v), want (true,true)", final, drop)
+	}
+
+	// Cell 1: a non-give-up outcome resets the chain mid-way.
+	q.record(1, 0, 1, true, true)
+	q.record(1, 1, 3, true, true)
+	q.record(1, 2, 5, false, true) // real failure: chain breaks
+	q.record(1, 3, 7, true, true)
+	q.record(1, 4, 9, true, true)
+	if q.cells[1].quarantined {
+		t.Fatal("cell 1 quarantined despite chain reset")
+	}
+	if cls := q.record(1, 5, 11, true, true); cls != classCounted {
+		t.Fatalf("third consecutive give-up classified %v", cls)
+	}
+	if c := &q.cells[1]; !c.quarantined || c.e != 6 || c.firstFail != 7 {
+		t.Fatalf("cell 1 board: %+v, want e=6 firstFail=7", *c)
+	}
+	// Past the declared point, finality is (true, true) with or without
+	// force.
+	if final, drop := q.finality(1, 8, false); !final || !drop {
+		t.Fatalf("finality past cell 1's point = (%v,%v), want (true,true)", final, drop)
+	}
+
+	// Cell 2 has a frontier gap (ordinal 1 recorded, 0 missing — only a
+	// cancelled campaign leaves this shape): undecided until forced, and
+	// the forced classification keeps the run.
+	q.record(2, 1, 5, true, true)
+	if final, _ := q.finality(2, 1, false); final {
+		t.Fatal("gapped ordinal reported final without force")
+	}
+	if final, drop := q.finality(2, 1, true); !final || drop {
+		t.Fatalf("forced finality on gapped ordinal = (%v,%v), want (true,false)", final, drop)
+	}
+}

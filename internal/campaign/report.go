@@ -7,6 +7,15 @@ import (
 	"time"
 )
 
+// QuarantinedCell is one digest-header entry: a matrix cell the campaign
+// stopped scheduling because runs in QuarantineAfter consecutive cell
+// ordinals exhausted their retry budgets.
+type QuarantinedCell struct {
+	Cell      string
+	FirstFail uint64 // run index of the give-up that opened the fatal chain
+	FromRun   uint64 // first run index the quarantine skips
+}
+
 // Summary is the end-of-campaign report.
 type Summary struct {
 	Name     string
@@ -15,30 +24,68 @@ type Summary struct {
 	Shards   int
 	FailFast bool
 
-	Completed int
-	Failed    int // total failures, not truncated to the digest
-	Skipped   int // runs cancelled before or during teardown
-	Wall      time.Duration
+	Completed   int
+	Failed      int // total failures, not truncated to the digest
+	Skipped     int // runs cancelled before or during teardown
+	Quarantined int // runs skipped (or reclassified) by cell quarantine
+	Retried     int // extra attempts spent on transient infra failures
+	GaveUp      int // runs whose final failure was still transient
+	Wall        time.Duration
 
-	Stats    []Stat    // sorted by name
-	Failures []Failure // first DigestMax failures, ascending by run index
+	Stats       []Stat    // sorted by name
+	Failures    []Failure // first DigestMax failures, ascending by run index
+	Quarantines []QuarantinedCell
+	// CheckpointErr is the last checkpoint write failure, nil when
+	// durability worked (or was not requested). It is an operational
+	// warning and deliberately does not affect Clean.
+	CheckpointErr error
 }
 
 // Clean reports whether every run completed verified.
-func (s *Summary) Clean() bool { return s.Failed == 0 && s.Skipped == 0 }
+func (s *Summary) Clean() bool {
+	return s.Failed == 0 && s.Skipped == 0 && s.Quarantined == 0
+}
 
-// Digest renders the canonical failure digest: one line per retained
-// failure, ascending by run index. Everything in it — indices, derived
-// seeds, cell names, failure labels — is a pure function of the campaign
-// spec, so the digest is byte-identical across shard counts; wall-clock
-// figures deliberately never appear.
+// Digest renders the canonical failure digest: quarantine header lines,
+// then one line per retained failure, ascending by run index. Everything
+// in it — indices, derived seeds, cell names, failure labels — is a pure
+// function of the campaign spec, so the digest is byte-identical across
+// shard counts and across crash/resume boundaries; wall-clock figures
+// deliberately never appear.
 func (s *Summary) Digest() string {
 	var b strings.Builder
+	for _, q := range s.Quarantines {
+		fmt.Fprintf(&b, "quarantined cell=%s first-fail=%06d from-run=%06d\n",
+			q.Cell, q.FirstFail, q.FromRun)
+	}
 	for _, f := range s.Failures {
 		fmt.Fprintf(&b, "run=%06d seed=0x%016x cell=%s fail=%s\n",
 			f.Index, f.Seed, f.Cell, f.Label())
 	}
 	return b.String()
+}
+
+// WriteDigest writes the deterministic campaign digest file: identity,
+// outcome counts, aggregate stats and the failure digest — and nothing
+// wall-clock or scheduling dependent, so two executions of the same spec
+// (including one interrupted and resumed) produce byte-identical files.
+func (s *Summary) WriteDigest(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "campaign %s seed=%d runs=%d shards=%d\n",
+		s.Name, s.Seed, s.Runs, s.Shards); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "completed=%d failed=%d quarantined=%d\n",
+		s.Completed, s.Failed, s.Quarantined); err != nil {
+		return err
+	}
+	for _, st := range s.Stats {
+		if _, err := fmt.Fprintf(w, "stat %s n=%d sum=%g min=%g max=%g\n",
+			st.Name, st.Count, st.Sum, st.Min, st.Max); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, s.Digest())
+	return err
 }
 
 // ReplayArgs returns the castanet argument string that reproduces failure
@@ -59,9 +106,20 @@ func (s *Summary) WriteReport(w io.Writer) error {
 		s.Name, s.Runs, s.Shards, s.Wall.Round(time.Millisecond), rate); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "  completed=%d failed=%d skipped=%d failfast=%v seed=%d\n",
-		s.Completed, s.Failed, s.Skipped, s.FailFast, s.Seed); err != nil {
+	if _, err := fmt.Fprintf(w, "  completed=%d failed=%d skipped=%d quarantined=%d retried=%d gaveup=%d failfast=%v seed=%d\n",
+		s.Completed, s.Failed, s.Skipped, s.Quarantined, s.Retried, s.GaveUp, s.FailFast, s.Seed); err != nil {
 		return err
+	}
+	for _, q := range s.Quarantines {
+		if _, err := fmt.Fprintf(w, "  quarantined cell=%s first-fail=%06d from-run=%06d\n",
+			q.Cell, q.FirstFail, q.FromRun); err != nil {
+			return err
+		}
+	}
+	if s.CheckpointErr != nil {
+		if _, err := fmt.Fprintf(w, "  warning: checkpoint write failed: %v\n", s.CheckpointErr); err != nil {
+			return err
+		}
 	}
 	for _, st := range s.Stats {
 		if _, err := fmt.Fprintf(w, "  stat %-18s n=%-7d mean=%-12.6g min=%-12.6g max=%.6g\n",

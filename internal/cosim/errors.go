@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -112,4 +113,46 @@ func IsTransient(err error) bool {
 	}
 	c := Classify(err)
 	return c == ClassTimeout || c == ClassClosed
+}
+
+// Retryable reports whether a failed run may be re-attempted by a
+// supervisor: the failure came from the infrastructure (a hung or torn
+// link), not from the design under verification. A verification mismatch
+// is the product, not noise, so ClassCorrupt, ClassProtocol and every
+// untyped error are final. Errors can override the classification by
+// implementing Retryable() bool (see MarkRetryable).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var r interface{ Retryable() bool }
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ce *CouplingError
+	if errors.As(err, &ce) {
+		return ce.Class == ClassTimeout || ce.Class == ClassClosed
+	}
+	return false
+}
+
+// retryableError brands an error infra-transient for Retryable while
+// leaving errors.Is/As identity and text untouched.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string   { return e.err.Error() }
+func (e *retryableError) Unwrap() error   { return e.err }
+func (e *retryableError) Retryable() bool { return true }
+
+// MarkRetryable wraps err so Retryable reports true for it, for
+// infrastructure failures that carry no CouplingError type of their own.
+// A nil err passes through.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
 }

@@ -1,0 +1,65 @@
+package cosim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"castanet/internal/ipc"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"timeout", &CouplingError{Class: ClassTimeout, Op: "recv", Err: ipc.ErrTimeout}, true},
+		{"closed", &CouplingError{Class: ClassClosed, Op: "send", Err: ipc.ErrClosed}, true},
+		{"corrupt", &CouplingError{Class: ClassCorrupt, Op: "recv", Err: ipc.ErrBadFrame}, false},
+		{"protocol", &CouplingError{Class: ClassProtocol, Op: "entity", Err: errors.New("undeclared kind")}, false},
+		{"deadline", context.DeadlineExceeded, true},
+		{"wrapped deadline", fmt.Errorf("run: %w", context.DeadlineExceeded), true},
+		{"cancel", context.Canceled, false},
+		{"untyped mismatch", errors.New("acct mismatch: 3 != 4"), false},
+		{"raw eof", io.EOF, false}, // untyped transport leak: final, a rig must type it
+		{"marked", MarkRetryable(errors.New("worker evicted")), true},
+		{"wrapped marked", fmt.Errorf("campaign: %w", MarkRetryable(io.EOF)), true},
+		{"wrapped coupling", fmt.Errorf("rig: %w", &CouplingError{Class: ClassTimeout, Op: "run", Err: ipc.ErrTimeout}), true},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMarkRetryableKeepsIdentity(t *testing.T) {
+	base := errors.New("boom")
+	m := MarkRetryable(base)
+	if !errors.Is(m, base) {
+		t.Fatal("MarkRetryable broke errors.Is identity")
+	}
+	if m.Error() != base.Error() {
+		t.Fatalf("MarkRetryable changed text: %q", m.Error())
+	}
+	if MarkRetryable(nil) != nil {
+		t.Fatal("MarkRetryable(nil) != nil")
+	}
+}
+
+func TestRetryableNeverRetriesMismatchEvenWhenTransientLooking(t *testing.T) {
+	// IsTransient consults Classify for untyped errors; Retryable must
+	// not, so an untyped error that merely *looks* like a link failure to
+	// Classify is still final for the retry budget.
+	err := io.ErrUnexpectedEOF
+	if !IsTransient(err) {
+		t.Skip("Classify semantics changed; update this test")
+	}
+	if Retryable(err) {
+		t.Fatal("untyped io.ErrUnexpectedEOF must not be Retryable")
+	}
+}

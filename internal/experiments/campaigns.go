@@ -121,7 +121,7 @@ func switchCells(ccfg CampaignConfig) []campaign.Cell {
 		cells, rec := ccfg.runObs()
 		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
 			Seed: rng.Uint64(), Traffic: tr, Cells: cells, Recorder: rec,
-			Batch: ccfg.Batch,
+			Batch: ccfg.Batch, Deadline: r.Deadline,
 		})
 		if err := rig.Run(horizon); err != nil {
 			return campaign.Detailed(err, rig.FailureDigest())
@@ -180,6 +180,10 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 			Batch:    ccfg.Batch,
 			Cells:    cells,
 			Recorder: rec,
+			// The supervision deadline arms the coupling watchdogs too, so
+			// a hung transport trips inside the run as a typed coupling
+			// error before the supervisor has to reap the whole attempt.
+			Deadline: r.Deadline,
 			Reliable: &ipc.ReliableConfig{
 				MaxRetries: 20,
 				RetryBase:  time.Millisecond,
@@ -215,7 +219,10 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 			return fmt.Errorf("partitioned link completed instead of aborting")
 		}
 		r.Observe("cells", float64(rig.Offered))
-		r.Observe("retransmits", float64(rig.RelClient.Stats().Retransmits))
+		// Retransmit counts depend on wall-clock retry timers, not on the
+		// run's seed, so they go to telemetry only — putting them in the
+		// aggregate would break digest determinism.
+		r.ObserveWall("retransmits", float64(rig.RelClient.Stats().Retransmits))
 		if !rig.Cmp.Clean() {
 			return campaign.Detailed(
 				fmt.Errorf("degraded link leaked into the verdict: %s", rig.Cmp.Summary()),
