@@ -3,7 +3,7 @@ GO ?= go
 # raises it to minutes (make fuzz FUZZTIME=5m).
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke crash-resume-smoke fuzz
+.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -38,6 +38,19 @@ campaign-smoke:
 		"$$tmp/castanet" -campaign faults -runs 10 -shards 4 -seed 7 && \
 		"$$tmp/castanet" -campaign switch -runs 8 -shards 2 -seed 1 -failfast
 	$(GO) test -race -count=1 -run 'TestCommandLineTools/castanet-serve-telemetry' .
+
+# Functional-coverage smoke: the reference campaigns must meet the
+# per-group coverage floors committed in COVER_FLOOR.json — the CI
+# contract that keeps the instrumented bins actually exercised. The
+# parameters here are the ones the floors were measured at; runs are
+# seed-deterministic, so a miss means the instrumentation or the
+# stimulus changed, not noise.
+cover-smoke:
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+		$(GO) build -o "$$tmp/castanet" ./cmd/castanet && \
+		"$$tmp/castanet" -campaign switch -runs 16 -shards 2 -seed 1 -cover-floor COVER_FLOOR.json && \
+		"$$tmp/castanet" -campaign policer -runs 8 -shards 2 -seed 2 -cover-floor COVER_FLOOR.json && \
+		"$$tmp/castanet" -campaign acct -runs 6 -shards 2 -seed 3 -cover-floor COVER_FLOOR.json
 
 # Durability smoke: run a reference campaign, SIGKILL a checkpointed run
 # of the same spec mid-flight, resume it, and require the resumed digest

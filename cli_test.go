@@ -210,7 +210,7 @@ func TestCommandLineTools(t *testing.T) {
 		// stream JSON progress lines.
 		cmd := exec.Command(filepath.Join(bin, "castanet"),
 			"-campaign", "switch", "-runs", "600", "-shards", "2", "-seed", "1",
-			"-serve", "127.0.0.1:0")
+			"-coverage", "-serve", "127.0.0.1:0")
 		stderr, err := cmd.StderrPipe()
 		if err != nil {
 			t.Fatal(err)
@@ -301,7 +301,124 @@ func TestCommandLineTools(t *testing.T) {
 			t.Errorf("/snapshot = %q (err %v), want a JSON progress line", snap, err)
 		}
 
+		// The campaign runs with -coverage, so /coverage must fill with
+		// the instrumented groups as runs commit, and the cover bins must
+		// surface in the /metrics exposition too.
+		var cov struct {
+			Groups []struct {
+				Group  string  `json:"group"`
+				Hit    int     `json:"hit"`
+				Total  int     `json:"total"`
+				Ratio  float64 `json:"ratio"`
+				Points []struct {
+					Name string `json:"name"`
+					Bins []struct {
+						Label string `json:"bin"`
+						Hits  uint64 `json:"hits"`
+					} `json:"bins"`
+				} `json:"points"`
+			} `json:"groups"`
+		}
+		for {
+			body, err := get("/coverage")
+			if err == nil {
+				if jerr := json.Unmarshal([]byte(body), &cov); jerr != nil {
+					t.Fatalf("/coverage is not JSON: %v\n%s", jerr, body)
+				}
+				if len(cov.Groups) >= 5 {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("/coverage never filled; last: %d groups", len(cov.Groups))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		seen := map[string]bool{}
+		for _, g := range cov.Groups {
+			seen[g.Group] = true
+			if g.Total == 0 || len(g.Points) == 0 {
+				t.Errorf("/coverage group %q has no bins: %+v", g.Group, g)
+			}
+			if g.Ratio < 0 || g.Ratio > 1 {
+				t.Errorf("/coverage group %q ratio out of range: %g", g.Group, g.Ratio)
+			}
+		}
+		for _, want := range []string{
+			"cosim.coupling", "cosim.sync", "coverify.cell_header", "coverify.cmp", "dut.queue",
+		} {
+			if !seen[want] {
+				t.Errorf("/coverage missing group %q (have %v)", want, seen)
+			}
+		}
+		m, err := get("/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(m, "castanet_cover_bin_total{group=") ||
+			!strings.Contains(m, "castanet_cover_group_ratio{group=") {
+			t.Errorf("/metrics missing cover bin families after coverage filled:\n%s", m)
+		}
+
 		cmd.Process.Kill()
+	})
+
+	t.Run("castanet-campaign-coverage", func(t *testing.T) {
+		// -coverage appends the functional-coverage table to the operator
+		// report and the full bin listing after it.
+		out, err := exec.Command(filepath.Join(bin, "castanet"),
+			"-campaign", "switch", "-runs", "16", "-shards", "2", "-seed", "1",
+			"-coverage").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{
+			"  cover cosim.coupling",
+			"  cover cosim.sync",
+			"  cover coverify.cell_header",
+			"  cover coverify.cmp",
+			"  cover dut.queue",
+			"group dut.queue",
+			"  drop ",
+			"  out_depth_outcome ",
+		} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("coverage output missing %q:\n%s", want, out)
+			}
+		}
+
+		// Determinism at the CLI boundary: a second identical invocation
+		// reproduces the coverage listing byte-for-byte.
+		out2, err := exec.Command(filepath.Join(bin, "castanet"),
+			"-campaign", "switch", "-runs", "16", "-shards", "2", "-seed", "1",
+			"-coverage").CombinedOutput()
+		if err != nil {
+			t.Fatalf("second run: %v\n%s", err, out2)
+		}
+		cut := func(b []byte) string {
+			s := string(b)
+			if i := strings.Index(s, "group "); i >= 0 {
+				return s[i:]
+			}
+			return ""
+		}
+		if c1, c2 := cut(out), cut(out2); c1 == "" || c1 != c2 {
+			t.Errorf("coverage listing not deterministic:\n-- first --\n%s-- second --\n%s", c1, c2)
+		}
+	})
+
+	t.Run("castanet-experiment-coverage", func(t *testing.T) {
+		// -coverage on a single experiment prints the bins hit by that run.
+		out, err := exec.Command(filepath.Join(bin, "castanet"),
+			"-experiment", "e1", "-cells", "200", "-coverage").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"group coverify.cell_header", "group dut.queue", "group cosim.sync"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("experiment coverage missing %q:\n%s", want, out)
+			}
+		}
 	})
 
 	t.Run("castanet-campaign-replay", func(t *testing.T) {
@@ -376,6 +493,7 @@ func TestCommandLineTools(t *testing.T) {
 			"resume no checkpoint": {"-campaign", "switch", "-resume"},
 			"negative retries":     {"-campaign", "switch", "-retries", "-1"},
 			"negative run timeout": {"-campaign", "switch", "-run-timeout", "-1s"},
+			"floor no campaign":    {"-experiment", "e1", "-cover-floor", "COVER_FLOOR.json"},
 		} {
 			out, err := exec.Command(filepath.Join(bin, "castanet"), args...).CombinedOutput()
 			if err == nil {

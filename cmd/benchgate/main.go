@@ -16,6 +16,10 @@
 //     than the tolerance plus a ±0.5 rounding epsilon — allocation
 //     counts are deterministic, so this catches a lost pooling path
 //     exactly;
+//   - enabled_overhead_frac figures (the observability layer's enabled
+//     vs disabled hot-path cost, from BENCH_obs.json) must not drift
+//     above the baseline by more than an absolute 0.05 — the baselines
+//     sit near zero, so a relative bound would gate noise, not cost;
 //
 // Absolute ns/op and cells/sec figures are printed for context but never
 // gated. Exit status: 0 clean, 1 regression, 2 usage/parse error.
@@ -106,15 +110,26 @@ func flatten(prefix string, v any, out map[string]float64) {
 // allocEpsilon absorbs ±0.5 of rounding in integer allocs/op figures.
 const allocEpsilon = 0.5
 
+// fracEpsilon is the absolute drift allowed on enabled_overhead_frac
+// figures: overhead fractions hover around zero (a few percent either
+// way), so a relative tolerance is meaningless — 0.05 means "the enabled
+// observability path may not get 5 points of the hot path more expensive
+// than the committed baseline".
+const fracEpsilon = 0.05
+
 // gate classifies a flattened key: "higher" figures (speedups) fail when
 // they fall below the baseline, "lower" figures (allocation counts) fail
-// when they rise above it, "info" figures are printed unjudged.
+// when they rise above it, "absdrift" figures (overhead fractions) fail
+// when they exceed the baseline by fracEpsilon, "info" figures are
+// printed unjudged.
 func gate(key string) string {
 	switch {
 	case strings.HasPrefix(key, "speedup_"):
 		return "higher"
 	case strings.Contains(key, "allocs_per"):
 		return "lower"
+	case strings.Contains(key, "enabled_overhead_frac"):
+		return "absdrift"
 	default:
 		return "info"
 	}
@@ -159,6 +174,13 @@ func compare(base, cur map[string]float64, tol float64, out io.Writer) int {
 			}
 		case "lower":
 			if c > b*(1+tol)+allocEpsilon {
+				verdict = "REGRESSION"
+				regressions++
+			} else {
+				verdict = "ok"
+			}
+		case "absdrift":
+			if c > b+fracEpsilon {
 				verdict = "REGRESSION"
 				regressions++
 			} else {

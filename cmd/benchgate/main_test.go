@@ -108,6 +108,52 @@ func TestGateImprovementPasses(t *testing.T) {
 	}
 }
 
+// obsReport builds a BENCH_obs.json-shaped report with the given
+// overhead fractions.
+func obsReport(t *testing.T, dir, name string, hdlFrac, coverFrac float64) string {
+	t.Helper()
+	doc := `{
+  "hdl_step": {"off_ns_op": 165, "on_ns_op": ` + f(165*(1+hdlFrac)) + `, "enabled_overhead_frac": ` + f(hdlFrac) + `},
+  "cover_path": {"off_ns_op": 159, "on_ns_op": ` + f(159*(1+coverFrac)) + `, "enabled_overhead_frac": ` + f(coverFrac) + `},
+  "nil_handle_ns_op": 0,
+  "nil_cover_ns_op": 0
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsOverheadDrift pins the observability-overhead contract:
+// enabled_overhead_frac figures gate on absolute drift (baseline + 0.05),
+// because the baselines hover near zero and a relative tolerance would be
+// meaningless there.
+func TestGateFailsOverheadDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := obsReport(t, dir, "base.json", 0.01, 0.14)
+	cur := obsReport(t, dir, "cur.json", 0.01, 0.22)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("overhead drift 0.14 -> 0.22: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "cover_path.enabled_overhead_frac") {
+		t.Fatalf("output does not name the drifted figure:\n%s", out)
+	}
+}
+
+// TestGateToleratesOverheadJitter proves the absolute epsilon absorbs
+// measurement noise on near-zero fractions — a swing that would be a
+// huge relative change but a small absolute one passes.
+func TestGateToleratesOverheadJitter(t *testing.T) {
+	dir := t.TempDir()
+	base := obsReport(t, dir, "base.json", 0.01, 0.14)
+	cur := obsReport(t, dir, "cur.json", 0.04, 0.17)
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("overhead jitter within epsilon: exit %d, want 0", code)
+	}
+}
+
 // TestGateUsageErrors pins the exit-2 contract for missing inputs.
 func TestGateUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"castanet/internal/obs"
+)
+
+// coverFloorFile maps campaign name -> cover group -> minimum hit-bin
+// ratio (0..1). The committed COVER_FLOOR.json at the repo root is the
+// CI contract: make cover-smoke runs the campaigns against it.
+type coverFloorFile map[string]map[string]float64
+
+// checkCoverFloor verifies a campaign's merged coverage against the
+// floors committed for it. Every group listed in the campaign's section
+// must exist in the snapshot and reach its minimum ratio; a missing
+// section, a missing group, or an unmet floor is an error.
+func checkCoverFloor(path, campaign string, snaps []obs.CoverGroupSnap) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("cover floor: %w", err)
+	}
+	var floors coverFloorFile
+	if err := json.Unmarshal(raw, &floors); err != nil {
+		return fmt.Errorf("cover floor %s: %w", path, err)
+	}
+	want, ok := floors[campaign]
+	if !ok {
+		return fmt.Errorf("cover floor %s: no section for campaign %q", path, campaign)
+	}
+	byName := make(map[string]obs.CoverGroupSnap, len(snaps))
+	for _, g := range snaps {
+		byName[g.Name] = g
+	}
+	groups := make([]string, 0, len(want))
+	for name := range want {
+		groups = append(groups, name)
+	}
+	sort.Strings(groups)
+	var unmet []string
+	for _, name := range groups {
+		g, ok := byName[name]
+		if !ok {
+			unmet = append(unmet, fmt.Sprintf("%s: group not instrumented (floor %.2f)", name, want[name]))
+			continue
+		}
+		if r := g.Ratio(); r < want[name] {
+			hit, total := g.Covered()
+			unmet = append(unmet, fmt.Sprintf("%s: %d/%d bins (%.1f%%) below floor %.1f%%",
+				name, hit, total, 100*r, 100*want[name]))
+		}
+	}
+	if len(unmet) > 0 {
+		return fmt.Errorf("coverage floor not met for campaign %q:\n  %s",
+			campaign, strings.Join(unmet, "\n  "))
+	}
+	return nil
+}

@@ -44,6 +44,14 @@
 // progress every -checkpoint-every runs and on SIGINT/SIGTERM; -resume
 // continues from the file and produces a digest byte-identical to an
 // uninterrupted run (-digest FILE writes it for diffing).
+//
+// -coverage collects functional coverage (named bin groups: cell-header
+// fields, queue-depth bands, drop causes, UPC actions, sync-window
+// extremes) and prints the per-group report; with -campaign the merged
+// bins also land in the digest's coverage: section and, under -serve, at
+// /coverage. -cover-floor FILE additionally enforces the per-group
+// minimum ratios committed for the campaign (see COVER_FLOOR.json);
+// an unmet floor exits 1.
 package main
 
 import (
@@ -118,6 +126,8 @@ func run() int {
 		resume     = flag.Bool("resume", false, "campaign: resume from -checkpoint instead of starting over")
 		noQuar     = flag.Bool("no-quarantine", false, "campaign: never quarantine cells whose infrastructure keeps dying")
 		digest     = flag.String("digest", "", "campaign: write the deterministic digest file here (byte-identical across shard counts and resume)")
+		coverage   = flag.Bool("coverage", false, "collect functional coverage and print the per-group bin report")
+		coverFloor = flag.String("cover-floor", "", "campaign: enforce the per-group coverage floors committed in this JSON file (implies -coverage; unmet floors exit 1)")
 	)
 	flag.Parse()
 
@@ -136,7 +146,11 @@ func run() int {
 			runTimeout: *runTimeout, retries: *retries,
 			checkpoint: *checkpoint, checkpointEvery: *ckEvery, resume: *resume,
 			noQuarantine: *noQuar, digest: *digest,
+			coverage: *coverage || *coverFloor != "", coverFloor: *coverFloor,
 		})
+	}
+	if *coverFloor != "" {
+		return badFlags("-cover-floor requires -campaign")
 	}
 
 	// Validate the experiment selection before any work starts.
@@ -164,7 +178,7 @@ func run() int {
 	// Observability is run-scoped: one registry and one trace ring shared
 	// by every selected experiment.
 	var run *obs.Run
-	if *metrics != "" || *trace != "" || *serve != "" {
+	if *metrics != "" || *trace != "" || *serve != "" || *coverage {
 		run = obs.NewRun(obs.DefaultTraceCap)
 		if *traceN > 0 {
 			run.Cells = obs.NewCellTracker(*traceN, 0)
@@ -195,6 +209,9 @@ func run() int {
 			return 1
 		}
 		run.Reg().WriteReport(os.Stdout)
+		if *coverage {
+			obs.WriteCoverText(os.Stdout, run.CoverReg().Snapshot())
+		}
 	}
 	return 0
 }
@@ -228,6 +245,8 @@ type campaignOpts struct {
 	resume          bool
 	noQuarantine    bool
 	digest          string
+	coverage        bool
+	coverFloor      string
 }
 
 // defaultQuarantineAfter is the CLI's quarantine threshold: a cell whose
@@ -289,6 +308,7 @@ func runCampaign(o campaignOpts) int {
 		},
 		Checkpoint:      o.checkpoint,
 		CheckpointEvery: o.checkpointEvery,
+		Coverage:        o.coverage,
 	}
 
 	if o.serve != "" {
@@ -335,6 +355,9 @@ func runCampaign(o campaignOpts) int {
 		return 2
 	}
 	sum.WriteReport(os.Stdout)
+	if o.coverage {
+		obs.WriteCoverText(os.Stdout, sum.Coverage)
+	}
 	if o.digest != "" {
 		if err := writeDigestFile(o.digest, sum); err != nil {
 			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
@@ -346,6 +369,13 @@ func runCampaign(o campaignOpts) int {
 			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
 			return 1
 		}
+	}
+	if o.coverFloor != "" {
+		if err := checkCoverFloor(o.coverFloor, name, sum.Coverage); err != nil {
+			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+			return 1
+		}
+		fmt.Printf("coverage floor met (%s)\n", o.coverFloor)
 	}
 	if !sum.Clean() {
 		return 1

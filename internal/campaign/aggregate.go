@@ -47,10 +47,16 @@ func (s *statAgg) merge(b *statAgg) {
 	s.sum += b.sum
 }
 
-// agg is one shard's stat table. Workers own their agg exclusively while
-// running; no locking is needed until the engine merges them.
+// agg is one shard's stat table plus its accumulated functional-coverage
+// snapshot. Workers own their agg exclusively while running; no locking
+// is needed until the engine merges them.
 type agg struct {
 	stats map[string]*statAgg
+	// cover is the bin-wise sum of the committed runs' coverage
+	// snapshots. Unlike the float64 stat sums, the integer bin merge is
+	// fully order-independent, so coverage is byte-identical at any
+	// shard count by construction.
+	cover []obs.CoverGroupSnap
 }
 
 func newAgg() *agg { return &agg{stats: make(map[string]*statAgg)} }
@@ -73,6 +79,7 @@ func (a *agg) merge(b *agg) {
 		}
 		s.merge(bs)
 	}
+	a.cover = obs.MergeCover(a.cover, b.cover)
 }
 
 // Stat is one aggregated campaign statistic.

@@ -82,9 +82,11 @@ type Run struct {
 	// supervisor has to reap the whole attempt from outside.
 	Deadline time.Duration
 
-	agg   *agg
-	reg   *obs.Registry
-	value any
+	agg      *agg
+	reg      *obs.Registry
+	cover    *obs.CoverRegistry // fresh per attempt when coverage is on
+	coverage bool
+	value    any
 }
 
 // RNG returns a fresh generator over the run's derived stream. Every call
@@ -111,6 +113,15 @@ func (r *Run) ObserveWall(stat string, v float64) {
 		r.reg.Histogram("campaign.stat."+stat, histBounds...).Observe(v)
 	}
 }
+
+// Cover returns the run's functional-coverage registry: a fresh registry
+// per attempt when Spec.Coverage is on, nil otherwise (every obs cover
+// handle is nil-safe, so rigs instrument unconditionally). The final
+// attempt's snapshot rides the campaign aggregate through the same
+// held-queue/quarantine machinery as the stats, so the digest's
+// coverage section is byte-identical at any shard count and across
+// kill/resume.
+func (r *Run) Cover() *obs.CoverRegistry { return r.cover }
 
 // SetValue attaches a payload to the run's Result for Spec.OnResult
 // collectors. Without a collector the payload is dropped when the run
@@ -149,6 +160,13 @@ type Spec struct {
 	// CheckpointEvery is the commit cadence between checkpoint writes
 	// (default 64).
 	CheckpointEvery int
+	// Coverage collects functional coverage: every run gets a fresh
+	// obs.CoverRegistry (Run.Cover), the final attempt's snapshot merges
+	// bin-wise into the campaign aggregate, and the digest gains a
+	// deterministic coverage: section. The flag is part of the checkpoint
+	// fingerprint — a resume must collect (or not collect) coverage
+	// exactly as the checkpointed campaign did.
+	Coverage bool
 	// Obs, when non-nil, receives campaign metrics — per-shard labelled
 	// counters campaign.runs.shardK / campaign.failures.shardK /
 	// campaign.retries.shardK / campaign.gaveup.shardK, stat histograms,
@@ -504,6 +522,7 @@ func (e *engine) runShard(ctx context.Context, cancel context.CancelFunc,
 	reg := spec.Obs.Reg()
 	tr := spec.Obs.Trace()
 	track := obs.TrackWorker(shard)
+	coverMirror := spec.Obs.CoverReg()
 	runsC := reg.ShardCounter("campaign.runs", shard)
 	failsC := reg.ShardCounter("campaign.failures", shard)
 	retriesC := reg.ShardCounter("campaign.retries", shard)
@@ -535,13 +554,20 @@ func (e *engine) runShard(ctx context.Context, cancel context.CancelFunc,
 			}
 			continue
 		}
-		proto := Run{Index: i, Seed: seed, Shard: shard, Cell: cell}
+		proto := Run{Index: i, Seed: seed, Shard: shard, Cell: cell, coverage: spec.Coverage}
 		tr.Begin(track, cell.Name(), wallPS())
 		started := time.Now()
 		out := spec.Policy.supervise(ctx, cell.Run, proto, reg, retriesC, gaveupC)
 		wall := time.Since(started)
 		tr.End(track, cell.Name(), wallPS())
 		runsC.Inc()
+		if out.agg != nil {
+			// Live telemetry mirror: /coverage tracks closure while the
+			// campaign runs. Absorb order is scheduling-dependent, which is
+			// fine here — the deterministic artifact is the aggregate's
+			// cover, committed under the held-queue discipline below.
+			coverMirror.Absorb(out.agg.cover)
+		}
 
 		if out.err != nil && ctx.Err() != nil {
 			// The run was torn down by cancellation; its error is an
@@ -682,7 +708,7 @@ func (e *engine) snapshotState() *checkpointState {
 		snap := ckShard{
 			done: st.done, completed: st.completed, failTotal: st.failTotal,
 			quarantined: st.quarantined, retried: st.retried, gaveUp: st.gaveUp,
-			stats: st.agg.summary(),
+			stats: st.agg.summary(), cover: st.agg.cover,
 		}
 		for _, f := range st.failures {
 			snap.failures = append(snap.failures, ckFailure{index: f.Index, seed: f.Seed,
@@ -692,6 +718,7 @@ func (e *engine) snapshotState() *checkpointState {
 			ch := ckHeld{index: h.index}
 			if h.agg != nil {
 				ch.stats = h.agg.summary()
+				ch.cover = h.agg.cover
 			}
 			if h.fail != nil {
 				ch.fail = &ckFailure{index: h.fail.Index, seed: h.fail.Seed,
@@ -735,14 +762,16 @@ func (e *engine) restore(ck *checkpointState) {
 		st.retried = snap.retried
 		st.gaveUp = snap.gaveUp
 		st.agg = aggFromStats(snap.stats)
+		st.agg.cover = snap.cover
 		for _, f := range snap.failures {
 			st.failures = append(st.failures, Failure{Index: f.index, Seed: f.seed,
 				Cell: f.cell, Detail: f.detail, label: f.label})
 		}
 		for _, h := range snap.held {
 			ha := heldAgg{cell: int(h.index % cells), ord: h.index / cells, index: h.index}
-			if len(h.stats) > 0 {
+			if len(h.stats) > 0 || len(h.cover) > 0 {
 				ha.agg = aggFromStats(h.stats)
+				ha.agg.cover = h.cover
 			}
 			if h.fail != nil {
 				ha.fail = &Failure{Index: h.fail.index, Seed: h.fail.seed,
@@ -811,6 +840,7 @@ func (e *engine) summarize(epoch time.Time) *Summary {
 		st.mu.Unlock()
 	}
 	sum.Stats = merged.summary()
+	sum.Coverage = merged.cover
 	sum.Failures = mergeFailures(lists, spec.digestMax())
 	return sum
 }
@@ -914,7 +944,7 @@ func Replay(ctx context.Context, spec Spec, index uint64) (Result, error) {
 	}
 	cell := spec.cellFor(index)
 	reg := spec.Obs.Reg()
-	proto := Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell}
+	proto := Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell, coverage: spec.Coverage}
 	start := time.Now()
 	out := spec.Policy.supervise(ctx, cell.Run, proto, reg,
 		reg.ShardCounter("campaign.retries", 0), reg.ShardCounter("campaign.gaveup", 0))

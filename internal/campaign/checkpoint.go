@@ -9,6 +9,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"castanet/internal/obs"
 )
 
 // ErrCheckpoint classifies checkpoint-file problems: corruption, version
@@ -19,12 +21,15 @@ var ErrCheckpoint = errors.New("campaign: bad checkpoint")
 // Checkpoint file layout (all integers big-endian):
 //
 //	offset 0   magic  "CKPT"
-//	offset 4   u16    version (1)
+//	offset 4   u16    version (2)
 //	offset 6   u32    CRC-32 (IEEE) of the payload
 //	offset 10  u32    payload length
 //	offset 14  payload
 //
-// Payload v1 (strings are u32 length + bytes; f64 is IEEE-754 bits):
+// Payload v2 (strings are u32 length + bytes; f64 is IEEE-754 bits).
+// v2 adds a coverage block after each stats block — to the shard
+// snapshot and to every held entry; v1 files (no coverage) are rejected
+// by version, not silently misread:
 //
 //	u64 spec fingerprint          u64 seed
 //	u64 runs                      u32 shards (effective)
@@ -34,15 +39,18 @@ var ErrCheckpoint = errors.New("campaign: bad checkpoint")
 //	  u64 failTotal               u64 quarantined
 //	  u64 retried                 u64 gaveUp
 //	  u32 nstats × {str name, u64 count, f64 sum, f64 min, f64 max}
+//	  u32 ngroups × {str group, u32 npoints ×
+//	    {str point, u32 nbins × {str bin, u64 hits}}}
 //	  u32 nfail  × {u64 index, u64 seed, str cell, str label, str detail}
-//	  u32 nheld  × {u64 index, u8 hasFail, [fail as above], u32 nstats × {...}}
+//	  u32 nheld  × {u64 index, u8 hasFail, [fail as above],
+//	    u32 nstats × {...}, u32 ngroups × {...}}
 //	board (when present): u32 ncells ×
 //	  {u64 decided, u64 consec, u64 chainFirst, u8 quarantined,
 //	   u64 e, u64 firstFail,
 //	   u32 npending × {u64 ord, u64 index, u8 failed, u8 gaveUp}}
 const (
 	ckptMagic   = "CKPT"
-	ckptVersion = 1
+	ckptVersion = 2
 )
 
 // ckFailure is one persisted digest entry. The label is materialized at
@@ -60,6 +68,7 @@ type ckHeld struct {
 	index uint64
 	fail  *ckFailure
 	stats []Stat
+	cover []obs.CoverGroupSnap
 }
 
 // ckShard is one shard's persisted snapshot.
@@ -67,6 +76,7 @@ type ckShard struct {
 	done, completed, failTotal   int
 	quarantined, retried, gaveUp int
 	stats                        []Stat
+	cover                        []obs.CoverGroupSnap
 	failures                     []ckFailure
 	held                         []ckHeld
 }
@@ -100,13 +110,16 @@ type checkpointState struct {
 // specFingerprint hashes everything the resumed campaign must agree on:
 // identity, seed, run count, effective shard count (per-shard float sums
 // only merge deterministically at a fixed shard count), digest bound,
-// supervision policy, and the matrix cell names in order.
+// supervision policy, the coverage flag (a resume must collect coverage
+// exactly as the checkpointed campaign did, or the merged section would
+// be partial), and the matrix cell names in order.
 func specFingerprint(s *Spec, shards int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "ckpt-v1|%s|%d|%d|%d|%d|%v|%d|%v|%v|%d|",
+	fmt.Fprintf(h, "ckpt-v2|%s|%d|%d|%d|%d|%v|%d|%v|%v|%d|cov=%v|",
 		s.Name, s.Seed, s.Runs, shards, s.digestMax(),
 		s.Policy.RunTimeout, s.Policy.Retries,
-		s.Policy.retryBase(), s.Policy.retryCap(), s.Policy.QuarantineAfter)
+		s.Policy.retryBase(), s.Policy.retryCap(), s.Policy.QuarantineAfter,
+		s.Coverage)
 	for _, c := range s.Matrix {
 		fmt.Fprintf(h, "%s|", c.Name())
 	}
@@ -142,6 +155,22 @@ func (e *ckEnc) stats(ss []Stat) {
 		e.f64(s.Sum)
 		e.f64(s.Min)
 		e.f64(s.Max)
+	}
+}
+
+func (e *ckEnc) cover(gs []obs.CoverGroupSnap) {
+	e.u32(uint32(len(gs)))
+	for _, g := range gs {
+		e.str(g.Name)
+		e.u32(uint32(len(g.Points)))
+		for _, p := range g.Points {
+			e.str(p.Name)
+			e.u32(uint32(len(p.Bins)))
+			for _, b := range p.Bins {
+				e.str(b.Label)
+				e.u64(b.Hits)
+			}
+		}
 	}
 }
 
@@ -215,6 +244,28 @@ func (d *ckDec) stats() []Stat {
 	return out
 }
 
+func (d *ckDec) cover() []obs.CoverGroupSnap {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]obs.CoverGroupSnap, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		g := obs.CoverGroupSnap{Name: d.str()}
+		np := d.count()
+		for j := 0; j < np && d.err == nil; j++ {
+			p := obs.CoverPointSnap{Name: d.str()}
+			nb := d.count()
+			for k := 0; k < nb && d.err == nil; k++ {
+				p.Bins = append(p.Bins, obs.CoverBin{Label: d.str(), Hits: d.u64()})
+			}
+			g.Points = append(g.Points, p)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
 func (d *ckDec) failure() ckFailure {
 	return ckFailure{index: d.u64(), seed: d.u64(),
 		cell: d.str(), label: d.str(), detail: d.str()}
@@ -236,6 +287,7 @@ func encodeCheckpoint(ck *checkpointState) []byte {
 		e.u64(uint64(s.retried))
 		e.u64(uint64(s.gaveUp))
 		e.stats(s.stats)
+		e.cover(s.cover)
 		e.u32(uint32(len(s.failures)))
 		for _, f := range s.failures {
 			e.failure(f)
@@ -248,6 +300,7 @@ func encodeCheckpoint(ck *checkpointState) []byte {
 				e.failure(*h.fail)
 			}
 			e.stats(h.stats)
+			e.cover(h.cover)
 		}
 	}
 	if ck.hasBoard {
@@ -297,6 +350,7 @@ func decodeCheckpoint(payload []byte) (*checkpointState, error) {
 			gaveUp:      int(d.u64()),
 			stats:       d.stats(),
 		}
+		snap.cover = d.cover()
 		nfail := d.count()
 		for i := 0; i < nfail && d.err == nil; i++ {
 			snap.failures = append(snap.failures, d.failure())
@@ -309,6 +363,7 @@ func decodeCheckpoint(payload []byte) (*checkpointState, error) {
 				h.fail = &f
 			}
 			h.stats = d.stats()
+			h.cover = d.cover()
 			snap.held = append(snap.held, h)
 		}
 		ck.snaps = append(ck.snaps, snap)

@@ -1,0 +1,238 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"castanet/internal/obs"
+)
+
+// coverMatrix is the synthetic stand-in for instrumented rigs: every bin
+// hit derives only from the run's seed, the contract the real rigs honour.
+// One enumerated point, one range point and one cross, spread over two
+// groups so the merge path exercises group-level union too.
+func coverMatrix() []Cell {
+	run := func(ctx context.Context, r *Run) error {
+		rng := r.RNG()
+		c := r.Cover()
+		verdict := c.Group("synth.cmp").Point("verdict", "match", "mismatch")
+		depth := c.Group("synth.queue").Range("depth", 0, 2, 8)
+		outcome := c.Group("synth.queue").Cross("band_outcome",
+			[]string{"low", "high"}, []string{"accept", "drop"})
+		for i := 0; i < 4; i++ {
+			v := rng.Uint64()
+			if v%5 == 0 {
+				verdict.Hit("mismatch")
+			} else {
+				verdict.Hit("match")
+			}
+			depth.Observe(int64(v % 12))
+			band, out := "low", "accept"
+			if v%12 >= 6 {
+				band = "high"
+			}
+			if v%7 == 0 {
+				out = "drop"
+			}
+			outcome.Hit(band, out)
+		}
+		r.Observe("draw", float64(rng.Uint64()%1000))
+		return nil
+	}
+	return []Cell{
+		{Experiment: "synth", Run: run},
+		{Experiment: "synth", Fault: "noise", Run: run},
+	}
+}
+
+// digestBody renders the full digest file minus its header line, which
+// records the shard count and therefore legitimately differs between
+// shard configurations. Everything below it must be byte-identical.
+func digestBody(t *testing.T, sum *Summary) string {
+	t.Helper()
+	var b strings.Builder
+	if err := sum.WriteDigest(&b); err != nil {
+		t.Fatalf("WriteDigest: %v", err)
+	}
+	_, body, ok := strings.Cut(b.String(), "\n")
+	if !ok {
+		t.Fatalf("digest has no header line:\n%s", b.String())
+	}
+	return body
+}
+
+// coverageSection extracts just the coverage: block from a digest body.
+func coverageSection(t *testing.T, sum *Summary) string {
+	t.Helper()
+	body := digestBody(t, sum)
+	i := strings.Index(body, "coverage:")
+	if i < 0 {
+		t.Fatalf("digest has no coverage section:\n%s", body)
+	}
+	section := body[i:]
+	if j := strings.Index(section, "\nrun="); j >= 0 {
+		section = section[:j+1]
+	}
+	return section
+}
+
+func executeCover(t *testing.T, shards int) *Summary {
+	t.Helper()
+	sum, err := Execute(context.Background(), Spec{
+		Name:     "cover-prop",
+		Seed:     42,
+		Runs:     120,
+		Shards:   shards,
+		Matrix:   coverMatrix(),
+		Coverage: true,
+	})
+	if err != nil {
+		t.Fatalf("Execute(shards=%d): %v", shards, err)
+	}
+	return sum
+}
+
+// TestCoverageSectionDeterministicAcrossShards is the tentpole merge
+// property: the digest's coverage section — integer bin sums in a fixed
+// sort order — must be byte-identical no matter how many shards the
+// campaign fanned across.
+func TestCoverageSectionDeterministicAcrossShards(t *testing.T) {
+	ref := executeCover(t, 1)
+	refSection := coverageSection(t, ref)
+	if !strings.Contains(refSection, "coverage: groups=2") {
+		t.Fatalf("reference coverage section malformed:\n%s", refSection)
+	}
+	if !strings.Contains(refSection, "cover point=synth.queue.band_outcome") {
+		t.Fatalf("cross point missing from section:\n%s", refSection)
+	}
+	refBody := digestBody(t, ref)
+	for _, shards := range []int{2, 5} {
+		got := executeCover(t, shards)
+		if s := coverageSection(t, got); s != refSection {
+			t.Errorf("coverage section differs between 1 and %d shards:\n-- 1 shard --\n%s-- %d shards --\n%s",
+				shards, refSection, shards, s)
+		}
+		if b := digestBody(t, got); b != refBody {
+			t.Errorf("digest body differs between 1 and %d shards", shards)
+		}
+	}
+}
+
+// TestCoverageCheckpointResumeDeterministic extends the durability
+// property to coverage: interrupt a checkpointed campaign mid-flight,
+// resume it, and the merged coverage — and with it the whole digest body
+// — is byte-identical to an uninterrupted run.
+func TestCoverageCheckpointResumeDeterministic(t *testing.T) {
+	for _, shards := range []int{2, 5} {
+		base := Spec{
+			Name:     "cover-ckpt",
+			Seed:     7,
+			Runs:     120,
+			Shards:   shards,
+			Matrix:   coverMatrix(),
+			Coverage: true,
+		}
+		ref, err := Execute(context.Background(), base)
+		if err != nil {
+			t.Fatalf("shards=%d: reference Execute: %v", shards, err)
+		}
+
+		ck := filepath.Join(t.TempDir(), "campaign.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		interrupted := base
+		interrupted.Checkpoint = ck
+		interrupted.CheckpointEvery = 8
+		interrupted.OnResult = interruptAfter(40, cancel)
+		partial, err := Execute(ctx, interrupted)
+		cancel()
+		if err != nil {
+			t.Fatalf("shards=%d: interrupted Execute: %v", shards, err)
+		}
+		if partial.Skipped == 0 {
+			t.Fatalf("shards=%d: interruption skipped nothing; property is vacuous", shards)
+		}
+		if _, err := os.Stat(ck); err != nil {
+			t.Fatalf("shards=%d: no checkpoint written: %v", shards, err)
+		}
+
+		resumed := base
+		resumed.Checkpoint = ck
+		res, err := Resume(context.Background(), resumed)
+		if err != nil {
+			t.Fatalf("shards=%d: Resume: %v", shards, err)
+		}
+		if res.Skipped != 0 {
+			t.Errorf("shards=%d: resumed run skipped %d runs", shards, res.Skipped)
+		}
+		if got, want := digestBody(t, res), digestBody(t, ref); got != want {
+			t.Errorf("shards=%d: resumed digest body differs:\n-- resumed --\n%s-- reference --\n%s",
+				shards, got, want)
+		}
+		assertSameSummary(t, res, ref, fmt.Sprintf("cover shards=%d", shards))
+	}
+}
+
+// TestCoverageOffStaysInvisible pins the opt-in contract: without
+// Spec.Coverage the run hands rigs a nil registry (every hit a no-op),
+// the summary carries no snapshot, and the digest gains no section.
+func TestCoverageOffStaysInvisible(t *testing.T) {
+	sawNil := false
+	matrix := coverMatrix()
+	inner := matrix[0].Run
+	matrix[0].Run = func(ctx context.Context, r *Run) error {
+		if r.Cover() == nil {
+			sawNil = true
+		}
+		return inner(ctx, r)
+	}
+	sum, err := Execute(context.Background(), Spec{
+		Name:   "cover-off",
+		Seed:   3,
+		Runs:   40,
+		Shards: 2,
+		Matrix: matrix,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !sawNil {
+		t.Error("coverage off: Run.Cover() was never nil")
+	}
+	if len(sum.Coverage) != 0 {
+		t.Errorf("coverage off: summary carries %d cover groups", len(sum.Coverage))
+	}
+	var b strings.Builder
+	if err := sum.WriteDigest(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "coverage:") {
+		t.Errorf("coverage off: digest grew a coverage section:\n%s", b.String())
+	}
+}
+
+// TestCoverageAbsorbedIntoLiveRegistry checks the telemetry mirror: a
+// registry wired through Spec.Obs-style absorption reflects the same bin
+// totals the summary reports.
+func TestCoverageAbsorbedIntoLiveRegistry(t *testing.T) {
+	sum := executeCover(t, 2)
+	mirror := obs.NewCoverRegistry()
+	mirror.Absorb(sum.Coverage)
+	live := mirror.Snapshot()
+	if len(live) != len(sum.Coverage) {
+		t.Fatalf("mirror groups = %d, want %d", len(live), len(sum.Coverage))
+	}
+	for i, g := range sum.Coverage {
+		for j, p := range g.Points {
+			for k, bin := range p.Bins {
+				if got := live[i].Points[j].Bins[k]; got != bin {
+					t.Fatalf("mirror bin %s.%s[%d] = %+v, want %+v",
+						g.Name, p.Name, k, got, bin)
+				}
+			}
+		}
+	}
+}

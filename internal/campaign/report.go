@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"castanet/internal/obs"
 )
 
 // QuarantinedCell is one digest-header entry: a matrix cell the campaign
@@ -32,8 +34,14 @@ type Summary struct {
 	GaveUp      int // runs whose final failure was still transient
 	Wall        time.Duration
 
-	Stats       []Stat    // sorted by name
-	Failures    []Failure // first DigestMax failures, ascending by run index
+	Stats    []Stat    // sorted by name
+	Failures []Failure // first DigestMax failures, ascending by run index
+	// Coverage is the campaign's merged functional-coverage snapshot
+	// (empty unless Spec.Coverage): groups and points sorted by name,
+	// bins in definition order, hit counts summed bin-wise over every
+	// committed run — a pure function of the spec, independent of shard
+	// count and crash/resume boundaries.
+	Coverage    []obs.CoverGroupSnap
 	Quarantines []QuarantinedCell
 	// CheckpointErr is the last checkpoint write failure, nil when
 	// durability worked (or was not requested). It is an operational
@@ -84,8 +92,46 @@ func (s *Summary) WriteDigest(w io.Writer) error {
 			return err
 		}
 	}
+	if err := s.writeCoverageSection(w); err != nil {
+		return err
+	}
 	_, err := io.WriteString(w, s.Digest())
 	return err
+}
+
+// writeCoverageSection renders the digest's coverage: section — one
+// header, one group line with the hit-bin percentage, and one point line
+// listing every bin's hit count. All figures derive from integer bin sums
+// in a fixed sort order, so the section is byte-identical at any shard
+// count and across kill/resume (the package's property tests enforce it).
+func (s *Summary) writeCoverageSection(w io.Writer) error {
+	if len(s.Coverage) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "coverage: groups=%d\n", len(s.Coverage)); err != nil {
+		return err
+	}
+	for _, g := range s.Coverage {
+		hit, total := g.Covered()
+		if _, err := fmt.Fprintf(w, "cover group=%s hit=%d total=%d pct=%.1f\n",
+			g.Name, hit, total, 100*g.Ratio()); err != nil {
+			return err
+		}
+		for _, p := range g.Points {
+			if _, err := fmt.Fprintf(w, "cover point=%s.%s", g.Name, p.Name); err != nil {
+				return err
+			}
+			for _, b := range p.Bins {
+				if _, err := fmt.Fprintf(w, " %s=%d", b.Label, b.Hits); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ReplayArgs returns the castanet argument string that reproduces failure
@@ -124,6 +170,13 @@ func (s *Summary) WriteReport(w io.Writer) error {
 	for _, st := range s.Stats {
 		if _, err := fmt.Fprintf(w, "  stat %-18s n=%-7d mean=%-12.6g min=%-12.6g max=%.6g\n",
 			st.Name, st.Count, st.Mean(), st.Min, st.Max); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Coverage {
+		hit, total := g.Covered()
+		if _, err := fmt.Fprintf(w, "  cover %-24s %d/%d bins (%.1f%%)\n",
+			g.Name, hit, total, 100*g.Ratio()); err != nil {
 			return err
 		}
 	}

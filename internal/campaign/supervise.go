@@ -96,11 +96,19 @@ func (p Policy) supervise(ctx context.Context, fn RunFunc, proto Run,
 		r.Deadline = p.RunTimeout
 		r.agg = newAgg()
 		r.reg = reg
+		if r.coverage {
+			r.cover = obs.NewCoverRegistry()
+		}
 		err, reaped := p.attempt(ctx, fn, &r)
 		out.attempts = attempt + 1
 		out.err = err
 		out.value, out.agg = nil, nil
 		if !reaped {
+			// Fold the attempt's coverage into its aggregate: a reaped
+			// attempt's registry may still be written by the abandoned
+			// goroutine, so — like the stats — only a consumed attempt's
+			// coverage survives.
+			r.agg.cover = r.cover.Snapshot()
 			out.value, out.agg = r.value, r.agg
 		}
 		switch {

@@ -92,6 +92,7 @@ type Entity struct {
 	obsLagHist   *obs.Histogram
 	obsReg       *obs.Registry // for per-kind queue gauges declared after Instrument
 	tracer       *obs.Tracer
+	coverLag     *obs.CoverPoint
 }
 
 // lagHistBoundsPS are the lag-histogram bucket bounds in picoseconds:
@@ -123,6 +124,14 @@ func (e *Entity) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	for _, q := range e.queues {
 		q.depth = reg.Gauge(fmt.Sprintf("cosim.queue.k%d.depth", q.kind))
 	}
+}
+
+// InstrumentCover registers the entity's functional coverage under the
+// "cosim.sync" group: a picosecond lag band per delivered stamp, probing
+// whether the campaign exercised both tight and slack synchronization
+// windows. Safe on a nil registry.
+func (e *Entity) InstrumentCover(c *obs.CoverRegistry) {
+	e.coverLag = c.Group("cosim.sync").Range("lag_ps", 0, 1000000, 10000000, 100000000)
 }
 
 // NewEntity wraps an HDL simulator. Input queues are declared with Input
@@ -228,6 +237,9 @@ func (e *Entity) Deliver(msg ipc.Message) error {
 	if e.obsLag != nil && !e.FreezeLagStats {
 		e.obsLag.Set(float64(lag))
 		e.obsLagHist.Observe(float64(lag))
+	}
+	if !e.FreezeLagStats {
+		e.coverLag.Observe(int64(lag))
 	}
 	if msg.Time > e.tcur {
 		if err := e.runBefore(msg.Time); err != nil {

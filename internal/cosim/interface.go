@@ -102,6 +102,7 @@ type InterfaceProcess struct {
 	obsBatchSize *obs.Histogram
 	obsFlushUs   *obs.Histogram
 	tracer       *obs.Tracer
+	coverBatch   *obs.CoverPoint
 }
 
 // Instrument routes the interface-model statistics into the registry
@@ -121,6 +122,14 @@ func (p *InterfaceProcess) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	p.obsBatches = reg.Counter("cosim.iface.batches")
 	p.obsBatchSize = reg.Histogram("cosim.iface.batch_size", 1, 2, 4, 8, 16, 32, 64, 128)
 	p.obsFlushUs = reg.Histogram("cosim.iface.flush_us", 1, 5, 10, 50, 100, 500, 1000, 5000)
+}
+
+// InstrumentCover registers the interface model's functional coverage
+// under the "cosim.coupling" group: the δ-window batch-size band per
+// flush, probing whether coupling windows ran both near-empty and
+// saturated. Safe on a nil registry.
+func (p *InterfaceProcess) InstrumentCover(c *obs.CoverRegistry) {
+	p.coverBatch = c.Group("cosim.coupling").Range("batch_cells", 1, 4, 16, 64)
 }
 
 // Err returns the coupling failure that terminated the run, or nil. Rigs
@@ -253,6 +262,7 @@ func (p *InterfaceProcess) flush(ctx *netsim.Ctx) {
 	if p.obsBatchSize != nil {
 		p.obsBatchSize.Observe(float64(len(msgs)))
 	}
+	p.coverBatch.Observe(int64(len(msgs)))
 	if p.obsFlushUs != nil {
 		p.obsFlushUs.Observe(float64(time.Since(start).Microseconds()))
 	}

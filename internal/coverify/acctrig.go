@@ -41,6 +41,10 @@ type AcctRigConfig struct {
 	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
+	// Cover, when non-nil, receives the run's functional coverage: the
+	// metering event bins under "coverify.acct" (folded once from the
+	// hardware's end-of-run counters) plus the shared cosim.sync group.
+	Cover *obs.CoverRegistry
 }
 
 // AcctSource is one traffic stream of the case study.
@@ -69,6 +73,8 @@ type AcctRig struct {
 	Offered uint64
 	// Exceptions counts hardware exception strobes observed.
 	Exceptions uint64
+
+	coverEvent *obs.CoverPoint
 }
 
 // NewAcctRig elaborates the environment.
@@ -86,6 +92,8 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 		cfg.Tariff = atm.Tariff{CellsPerUnit: 100}
 	}
 	r := &AcctRig{Cfg: cfg}
+	r.coverEvent = cfg.Cover.Group("coverify.acct").Point("event",
+		"metered", "clp1", "unregistered", "exception")
 
 	r.HDL = hdl.New()
 	r.HDL.Instrument(cfg.Metrics, "hdl.sim")
@@ -107,6 +115,7 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 
 	r.Entity = cosim.NewEntity(r.HDL)
 	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
+	r.Entity.InstrumentCover(cfg.Cover)
 	r.writer = mapping.NewCellPortWriter(r.HDL, "castanet_tx", clk, r.DUT.In.Data, r.DUT.In.Sync)
 	r.Entity.Input(cosim.KindData, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
 		v, err := (mapping.CellCodec{}).Decode(msg.Data)
@@ -142,6 +151,7 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 		},
 	}
 	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
+	r.Iface.InstrumentCover(cfg.Cover)
 
 	r.Net = netsim.New(cfg.Seed)
 	r.Net.Sched.Instrument(cfg.Metrics, "net.sched")
@@ -240,6 +250,16 @@ func (r *AcctRig) Run(until sim.Time) error {
 		reg.Gauge("coverify.offered").Set(float64(r.Offered))
 		reg.Gauge("coverify.exceptions").Set(float64(r.Exceptions))
 	}
+	// Metering outcomes accumulate in the hardware's counters during the
+	// run; fold them into the event bins once, after the drain.
+	r.coverEvent.Add("metered", r.DUT.Observed)
+	for _, vc := range r.Cfg.VCs {
+		if slot, ok := r.DUT.Slot(vc); ok {
+			r.coverEvent.Add("clp1", uint64(r.DUT.Counter(slot, true)))
+		}
+	}
+	r.coverEvent.Add("unregistered", r.DUT.Unregistered)
+	r.coverEvent.Add("exception", r.Exceptions)
 	return nil
 }
 

@@ -34,8 +34,9 @@ type BoardRig struct {
 	Iface   *cosim.InterfaceProcess
 	Cmp     *refmodel.Comparator
 
-	nextSeq uint32
-	Offered uint64
+	nextSeq  uint32
+	Offered  uint64
+	coverCmp *obs.CoverPoint
 }
 
 // NewBoardRig elaborates the hardware-in-the-loop environment. The board
@@ -55,6 +56,8 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 		cfg.SyncEvery = 50 * sim.Microsecond
 	}
 	r := &BoardRig{Cfg: cfg}
+	hdrVPI, hdrVCI, hdrPTI, hdrCLP := coverHeaderPoints(cfg.Cover)
+	r.coverCmp = coverCmpPoint(cfg.Cover)
 
 	r.Dev = cyclesim.NewSwitch(cfg.Table, cfg.Switch.InFifoCells, cfg.Switch.OutFifoCells)
 	clockHz := 1 / (sim.Duration(cfg.ClockPeriod)).Seconds()
@@ -131,6 +134,7 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 				r.nextSeq++
 				r.Offered++
 				c.StampSeq()
+				coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP, c.Header)
 				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
 			},
 		}
@@ -171,6 +175,10 @@ func (r *BoardRig) Run(until sim.Time) error {
 		}
 		r.Cmp.Actual(int(m.Kind-KindCellOut(0)), cell)
 	}
+	// The board comparator is driven directly (no per-cell compare hook),
+	// so its verdict coverage folds in once from the end-of-run totals.
+	r.coverCmp.Add("match", r.Cmp.Matched)
+	r.coverCmp.Add("mismatch", uint64(len(r.Cmp.Mismatches())))
 	r.publishObs()
 	return nil
 }

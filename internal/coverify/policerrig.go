@@ -61,6 +61,10 @@ type PolicerRigConfig struct {
 	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
+	// Cover, when non-nil, receives the run's functional coverage: the
+	// UPC action bins under "coverify.policer" (folded once from the DUT's
+	// end-of-run counters) plus the shared cosim.sync group.
+	Cover *obs.CoverRegistry
 }
 
 // PolicerSource is one offered stream.
@@ -84,9 +88,10 @@ type PolicerRig struct {
 	Iface  *cosim.InterfaceProcess
 	Cmp    *Comparator1
 
-	writer  *mapping.CellPortWriter
-	nextSeq uint32
-	Offered uint64
+	writer      *mapping.CellPortWriter
+	nextSeq     uint32
+	Offered     uint64
+	coverAction *obs.CoverPoint
 
 	// RefTrace/DUTTrace, when set, observe each policed arrival on the
 	// reference path (with its network time) and the hardware path (with
@@ -164,6 +169,8 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 		cfg.SyncEvery = 50 * sim.Microsecond
 	}
 	r := &PolicerRig{Cfg: cfg}
+	r.coverAction = cfg.Cover.Group("coverify.policer").Point("action",
+		"conforming", "nonconforming", "tagged", "discarded")
 
 	r.HDL = hdl.New()
 	r.HDL.Instrument(cfg.Metrics, "hdl.sim")
@@ -188,6 +195,7 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 
 	r.Entity = cosim.NewEntity(r.HDL)
 	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
+	r.Entity.InstrumentCover(cfg.Cover)
 	r.writer = mapping.NewCellPortWriter(r.HDL, "castanet_tx", clk, r.DUT.In.Data, r.DUT.In.Sync)
 	r.Entity.Input(cosim.KindData, cfg.Delta, func(e *cosim.Entity, msg ipc.Message) error {
 		v, err := (mapping.CellCodec{}).Decode(msg.Data)
@@ -220,6 +228,7 @@ func NewPolicerRig(cfg PolicerRigConfig) *PolicerRig {
 		},
 	}
 	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
+	r.Iface.InstrumentCover(cfg.Cover)
 
 	r.Net = netsim.New(cfg.Seed)
 	r.Net.Sched.Instrument(cfg.Metrics, "net.sched")
@@ -283,6 +292,12 @@ func (r *PolicerRig) Run(until sim.Time) error {
 		}
 		r.Cmp.Actual(v.(*atm.Cell))
 	}
+	// UPC decisions accumulate in the DUT's diagnostic registers during
+	// the run; fold them into the action bins once, after the drain.
+	r.coverAction.Add("conforming", r.DUT.Conforming)
+	r.coverAction.Add("nonconforming", r.DUT.NonConforming)
+	r.coverAction.Add("tagged", r.DUT.Tagged)
+	r.coverAction.Add("discarded", r.DUT.Discarded)
 	return nil
 }
 

@@ -86,6 +86,12 @@ type SwitchRigConfig struct {
 	// transport envelopes and the comparison engine all register under it
 	// (naming scheme in DESIGN.md §10).
 	Metrics *obs.Registry
+	// Cover, when non-nil, receives the run's functional coverage: cell
+	// header bins (VPI/VCI/PTI/CLP), comparison verdicts, DUT queue-depth
+	// bands and drop causes, and the coupling's sync-window extremes
+	// (DESIGN.md §15). Every handle is nil-safe, so the rig instruments
+	// unconditionally at ~0 ns when coverage is off.
+	Cover *obs.CoverRegistry
 	// Trace, when non-nil, records run-scoped events (δ-windows, coupling
 	// messages, rig phases) for Chrome trace-event export.
 	Trace *obs.Tracer
@@ -169,6 +175,40 @@ type SwitchRig struct {
 
 	// Offered counts cells injected into the environment.
 	Offered uint64
+
+	// coverCmp bins comparison verdicts (match/mismatch) when the rig
+	// carries a cover registry; nil-safe like every obs handle.
+	coverCmp *obs.CoverPoint
+}
+
+// coverHeaderPoints defines the shared cell-header cover group on c and
+// returns the stamp-site handles (all nil when c is nil). SwitchRig and
+// BoardRig sources both stamp headers through it, so the two rigs report
+// against one schema.
+func coverHeaderPoints(c *obs.CoverRegistry) (vpi, vci, pti *obs.CoverPoint, clp *obs.CoverPoint) {
+	g := c.Group("coverify.cell_header")
+	vpi = g.Range("vpi", 1, 2, 4, 8, 16)
+	vci = g.Range("vci", 63, 127, 255, 1023)
+	pti = g.Range("pti", 0, 3, 7)
+	clp = g.Point("clp", "clp0", "clp1")
+	return vpi, vci, pti, clp
+}
+
+// coverHeaderHit bins one stamped cell header.
+func coverHeaderHit(vpi, vci, pti, clp *obs.CoverPoint, h atm.Header) {
+	vpi.Observe(int64(h.VPI))
+	vci.Observe(int64(h.VCI))
+	pti.Observe(int64(h.PTI))
+	if h.CLP != 0 {
+		clp.Hit("clp1")
+	} else {
+		clp.Hit("clp0")
+	}
+}
+
+// coverCmpPoint defines the shared comparison-verdict cover point.
+func coverCmpPoint(c *obs.CoverRegistry) *obs.CoverPoint {
+	return c.Group("coverify.cmp").Point("verdict", "match", "mismatch")
 }
 
 // NewSwitchRig elaborates the complete environment.
@@ -189,6 +229,8 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		cfg.SyncEvery = 50 * sim.Microsecond
 	}
 	r := &SwitchRig{Cfg: cfg, injected: make(map[uint32]sim.Time)}
+	hdrVPI, hdrVCI, hdrPTI, hdrCLP := coverHeaderPoints(cfg.Cover)
+	r.coverCmp = coverCmpPoint(cfg.Cover)
 
 	// Hardware side: switch DUT plus the co-simulation entity.
 	r.HDL = hdl.New()
@@ -196,8 +238,10 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 	clk := r.HDL.Bit("clk", hdl.U)
 	r.HDL.Clock(clk, cfg.ClockPeriod)
 	r.DUT = dut.NewSwitch(r.HDL, clk, cfg.Table, cfg.Switch)
+	r.DUT.InstrumentCover(cfg.Cover)
 	r.Entity = cosim.NewEntity(r.HDL)
 	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
+	r.Entity.InstrumentCover(cfg.Cover)
 	r.Entity.Cells = cfg.Cells
 	r.Entity.Recorder = cfg.Recorder
 	for p := 0; p < dut.SwitchPorts; p++ {
@@ -318,6 +362,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		},
 	}
 	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
+	r.Iface.InstrumentCover(cfg.Cover)
 
 	refNode := r.Net.Node("refswitch", r.Ref)
 	ifaceNode := r.Net.Node("castanet", r.Iface)
@@ -345,6 +390,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 					c.Payload[b] = byte(uint32(b) * (c.Seq + 1))
 				}
 				c.StampSeq()
+				coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP, c.Header)
 				r.injected[c.Seq] = ctx.Now()
 				cfg.Cells.Hop(uint64(c.Seq)+1, obs.HopNetEnqueue, int64(ctx.Now()))
 				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
@@ -466,6 +512,9 @@ func (r *SwitchRig) compare(port int, c *atm.Cell, simPS int64) {
 	if ms := r.Cmp.Mismatches(); len(ms) > before {
 		m := ms[len(ms)-1]
 		r.Cfg.Recorder.NoteCell(uint64(m.Seq)+1, "cmp", simPS, "port %d: %s", port, m)
+		r.coverCmp.Hit("mismatch")
+	} else {
+		r.coverCmp.Hit("match")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"castanet/internal/atm"
 	"castanet/internal/hdl"
 	"castanet/internal/mapping"
+	"castanet/internal/obs"
 )
 
 // SwitchPorts is the port count of the switch: four port modules, one
@@ -52,6 +53,28 @@ type Switch struct {
 	UnknownVC    uint64
 	InFifoDrops  [SwitchPorts]uint64
 	OutFifoDrops [SwitchPorts]uint64
+
+	// Functional-coverage handles (nil until InstrumentCover, and
+	// nil-safe after: a run without coverage pays one pointer test per
+	// site).
+	coverInDepth  *obs.CoverPoint
+	coverOutDepth *obs.CoverPoint
+	coverDrop     *obs.CoverPoint
+	coverDepthOut *obs.CoverCross
+}
+
+// InstrumentCover registers the switch's functional coverage under the
+// "dut.queue" group: input/output FIFO occupancy bands sampled at every
+// enqueue, drop causes, and a depth-band × outcome cross at the output
+// queue (the congestion signature: drops must only appear in the high
+// band). Safe on a nil registry.
+func (s *Switch) InstrumentCover(c *obs.CoverRegistry) {
+	g := c.Group("dut.queue")
+	s.coverInDepth = g.Range("in_fifo_depth", 0, 1, 2, 4)
+	s.coverOutDepth = g.Range("out_fifo_depth", 0, 2, 8, 32)
+	s.coverDrop = g.Point("drop", "in_fifo", "out_fifo", "unknown_vc", "hec")
+	s.coverDepthOut = g.Cross("out_depth_outcome",
+		[]string{"low", "high"}, []string{"accept", "drop"})
 }
 
 // CellPort is one bit-level cell stream interface: 8 data bits plus a
@@ -161,14 +184,17 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 			return
 		}
 		sw.RxCells[idx]++
+		sw.coverInDepth.Observe(int64(len(p.inFifo)))
 		if len(p.inFifo) >= p.inCap {
 			sw.InFifoDrops[idx]++
+			sw.coverDrop.Hit("in_fifo")
 			return
 		}
 		p.inFifo = append(p.inFifo, c.Marshal())
 	}
 	rd.OnError = func(img [atm.CellBytes]byte, err error) {
 		sw.HECErrors[idx]++
+		sw.coverDrop.Hit("hec")
 	}
 
 	// Request/stream state machine.
@@ -189,6 +215,7 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 				// FIFO was corrupted — drop defensively.
 				p.inFifo = p.inFifo[1:]
 				sw.HECErrors[idx]++
+				sw.coverDrop.Hit("hec")
 				return
 			}
 			p.reqDrv.SetBit(hdl.L1)
@@ -232,10 +259,18 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 		}
 		if p.collectPos == atm.CellBytes {
 			p.collecting = false
+			sw.coverOutDepth.Observe(int64(len(p.outFifo)))
+			band := "low"
+			if len(p.outFifo) >= p.outCap/2 {
+				band = "high"
+			}
 			if len(p.outFifo) >= p.outCap {
 				sw.OutFifoDrops[idx]++
+				sw.coverDrop.Hit("out_fifo")
+				sw.coverDepthOut.Hit(band, "drop")
 			} else {
 				p.outFifo = append(p.outFifo, p.collectBuf)
+				sw.coverDepthOut.Hit(band, "accept")
 			}
 		}
 	}, clk)
@@ -252,6 +287,7 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 			cell, err := atm.Unmarshal(img)
 			if err != nil {
 				sw.HECErrors[idx]++
+				sw.coverDrop.Hit("hec")
 				return
 			}
 			p.writer.Enqueue(cell)
@@ -346,6 +382,7 @@ func newGCU(h *hdl.Simulator, clk *hdl.Signal, sw *Switch) *globalControlUnit {
 				// Unknown connection: instruct the port to discard by
 				// consuming its request without a grant.
 				sw.UnknownVC++
+				sw.coverDrop.Hit("unknown_vc")
 				p.inFifo = p.inFifo[1:]
 				continue
 			}

@@ -121,7 +121,7 @@ func switchCells(ccfg CampaignConfig) []campaign.Cell {
 		cells, rec := ccfg.runObs()
 		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
 			Seed: rng.Uint64(), Traffic: tr, Cells: cells, Recorder: rec,
-			Batch: ccfg.Batch, Deadline: r.Deadline,
+			Batch: ccfg.Batch, Deadline: r.Deadline, Cover: r.Cover(),
 		})
 		if err := rig.Run(horizon); err != nil {
 			return campaign.Detailed(err, rig.FailureDigest())
@@ -180,6 +180,7 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 			Batch:    ccfg.Batch,
 			Cells:    cells,
 			Recorder: rec,
+			Cover:    r.Cover(),
 			// The supervision deadline arms the coupling watchdogs too, so
 			// a hung transport trips inside the run as a typed coupling
 			// error before the supervisor has to reap the whole attempt.
@@ -245,6 +246,7 @@ func policerCells(ccfg CampaignConfig) []campaign.Cell {
 		rig := coverify.NewPolicerRig(coverify.PolicerRigConfig{
 			Seed:  rng.Uint64(),
 			Batch: ccfg.Batch,
+			Cover: r.Cover(),
 			Contracts: []coverify.PolicerContract{
 				{VC: vc, PeakInterval: sim.FromSeconds(1 / contractRate), Tau: 2 * sim.Microsecond},
 			},
@@ -276,6 +278,7 @@ func acctCells(ccfg CampaignConfig) []campaign.Cell {
 		cfg := coverify.AcctRigConfig{
 			Seed:   rng.Uint64(),
 			Batch:  ccfg.Batch,
+			Cover:  r.Cover(),
 			VCs:    vcs,
 			Tariff: atm.Tariff{CellsPerUnit: 10},
 			Sources: []coverify.AcctSource{

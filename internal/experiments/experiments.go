@@ -66,6 +66,7 @@ func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig
 	cfg.Metrics = f.Obs.Reg()
 	cfg.Trace = f.Obs.Trace()
 	cfg.Cells = f.Obs.CellTrace()
+	cfg.Cover = f.Obs.CoverReg()
 	cfg.Batch = f.Batch
 	return cfg
 }

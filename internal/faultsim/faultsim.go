@@ -15,10 +15,12 @@ package faultsim
 
 import (
 	"fmt"
+	"strings"
 
 	"castanet/internal/atm"
 	"castanet/internal/coverify"
 	"castanet/internal/dut"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 )
 
@@ -121,7 +123,49 @@ func Campaign(cfg coverify.SwitchRigConfig, horizon sim.Time, faults []Fault) ([
 		}
 		results = append(results, Result{Fault: f, Detected: !rig.Cmp.Clean()})
 	}
+	Cover(cfg.Cover, results)
 	return results, nil
+}
+
+// faultClasses are the cross's fault-class axis, the suffixes TableFaults
+// stamps into every fault name.
+var faultClasses = []string{"wrong-port", "vci-bit-flip", "vpi-bit-flip", "entry-lost", "other"}
+
+// class extracts the fault class from a fault name ("0/32:wrong-port" →
+// "wrong-port"); names outside the standard set land in "other".
+func class(name string) string {
+	c := name
+	if i := strings.LastIndex(name, ":"); i >= 0 {
+		c = name[i+1:]
+	}
+	for _, known := range faultClasses {
+		if c == known {
+			return c
+		}
+	}
+	return "other"
+}
+
+// coverCross returns the campaign's fault-coverage cross — fault class ×
+// detection outcome under "faultsim.fault" — nil-safe like every cover
+// handle.
+func coverCross(c *obs.CoverRegistry) *obs.CoverCross {
+	return c.Group("faultsim.fault").Cross("class_outcome",
+		faultClasses, []string{"detected", "escaped"})
+}
+
+// Cover folds a campaign's results into the registry's fault-coverage
+// cross: one hit per planted fault, binned by fault class and whether the
+// comparison engine caught it.
+func Cover(c *obs.CoverRegistry, results []Result) {
+	x := coverCross(c)
+	for _, r := range results {
+		outcome := "escaped"
+		if r.Detected {
+			outcome = "detected"
+		}
+		x.Hit(class(r.Fault.Name), outcome)
+	}
 }
 
 // clone deep-copies a translator.
@@ -134,11 +178,20 @@ func clone(tb *atm.Translator) *atm.Translator {
 	return out
 }
 
-// Coverage summarizes a result set: detected count and fraction.
+// Coverage summarizes a result set: detected count and fraction. It is
+// computed from the same "faultsim.fault" cross bins a campaign
+// accumulates, so the headline quality figure and the coverage artifact
+// can never disagree.
 func Coverage(results []Result) (detected int, fraction float64) {
-	for _, r := range results {
-		if r.Detected {
-			detected++
+	c := obs.NewCoverRegistry()
+	Cover(c, results)
+	for _, g := range c.Snapshot() {
+		for _, p := range g.Points {
+			for _, b := range p.Bins {
+				if strings.HasSuffix(b.Label, "×detected") {
+					detected += int(b.Hits)
+				}
+			}
 		}
 	}
 	if len(results) == 0 {

@@ -7,6 +7,7 @@ import (
 	"castanet/internal/atm"
 	"castanet/internal/coverify"
 	"castanet/internal/dut"
+	"castanet/internal/obs"
 	"castanet/internal/sim"
 	"castanet/internal/traffic"
 )
@@ -60,8 +61,26 @@ func TestFullTrafficDetectsAllFaults(t *testing.T) {
 	}
 	detected, frac := Coverage(results)
 	if frac != 1.0 {
-		t.Fatalf("coverage = %d/%d (%.0f%%); escaped: %v",
-			detected, len(results), 100*frac, Undetected(results))
+		t.Fatalf("coverage = %d/%d; escaped: %v",
+			detected, len(results), Undetected(results))
+	}
+	// The same verdicts flow into the campaign registry's cover cross:
+	// with full traffic every class×detected bin is hit and no escaped
+	// bin is.
+	cov := obs.NewCoverRegistry()
+	Cover(cov, results)
+	for _, g := range cov.Snapshot() {
+		for _, p := range g.Points {
+			for _, b := range p.Bins {
+				switch {
+				case strings.HasSuffix(b.Label, "×escaped") && b.Hits != 0:
+					t.Errorf("bin %s = %d, want 0", b.Label, b.Hits)
+				case strings.HasSuffix(b.Label, "×detected") &&
+					!strings.HasPrefix(b.Label, "other") && b.Hits == 0:
+					t.Errorf("bin %s unhit", b.Label)
+				}
+			}
+		}
 	}
 }
 
@@ -74,10 +93,10 @@ func TestPartialTrafficMissesUnexercisedFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	detected, frac := Coverage(results)
+	detected, _ := Coverage(results)
 	// Exactly the 16 faults on port 0's four connections are detectable.
 	if detected != 16 {
-		t.Fatalf("detected = %d, want 16 (coverage %.0f%%)", detected, 100*frac)
+		t.Fatalf("detected = %d, want 16", detected)
 	}
 	for _, name := range Undetected(results) {
 		if strings.HasPrefix(name, "1.1") { // VPI 1 = port 0's connections

@@ -39,6 +39,11 @@ type Run struct {
 	// celltrace.go); its journeys are merged into WriteTrace as flow
 	// arrows. NewRun leaves it nil — cell tracing is opt-in.
 	Cells *CellTracker
+	// Cover is the functional-coverage registry (see cover.go). For
+	// campaigns it is a live telemetry mirror: the engine absorbs each
+	// committed run's snapshot into it, so /coverage tracks closure
+	// while the deterministic per-run registries ride the aggregate.
+	Cover *CoverRegistry
 }
 
 // NewRun returns a run context with a fresh registry and a tracer holding
@@ -47,7 +52,7 @@ type Run struct {
 // a uniform schema whether or not the run exercises the corresponding
 // subsystem (a direct-coupled run still reports zero retransmits).
 func NewRun(traceCap int) *Run {
-	r := &Run{Registry: NewRegistry(), Tracer: NewTracer(traceCap), Start: time.Now()}
+	r := &Run{Registry: NewRegistry(), Tracer: NewTracer(traceCap), Start: time.Now(), Cover: NewCoverRegistry()}
 	preregister(r.Registry)
 	return r
 }
@@ -75,6 +80,14 @@ func (r *Run) CellTrace() *CellTracker {
 		return nil
 	}
 	return r.Cells
+}
+
+// CoverReg returns the cover registry, nil for a nil run.
+func (r *Run) CoverReg() *CoverRegistry {
+	if r == nil {
+		return nil
+	}
+	return r.Cover
 }
 
 // WriteMetrics writes the registry's exposition format.

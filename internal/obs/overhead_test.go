@@ -70,6 +70,30 @@ func benchReliableRoundTrip(b *testing.B, reg *obs.Registry) {
 	b.StopTimer()
 }
 
+// benchCoverPath measures the functional-coverage hot path on the HDL
+// kernel loop: one executed time point plus the per-cell cover pattern —
+// one enumerated hit and one range observe, the shape of the cell-header
+// and queue-depth sites. With c == nil every handle is nil, the
+// configuration a run without -coverage pays.
+func benchCoverPath(b *testing.B, c *obs.CoverRegistry) {
+	h := hdl.New()
+	clk := h.Bit("clk", hdl.U)
+	h.Clock(clk, 2*sim.Nanosecond)
+	n := 0
+	h.Process("count", func() { n++ }, clk)
+	g := c.Group("bench")
+	verdict := g.Point("verdict", "match", "mismatch")
+	depth := g.Range("depth", 1, 4, 16, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Step(); err != nil {
+			b.Fatal(err)
+		}
+		verdict.Hit("match")
+		depth.Observe(int64(i & 127))
+	}
+}
+
 // BenchmarkHDLStep compares the HDL kernel with observability disabled
 // (nil registry: the zero-cost claim) and enabled.
 func BenchmarkHDLStep(b *testing.B) {
@@ -82,6 +106,13 @@ func BenchmarkHDLStep(b *testing.B) {
 func BenchmarkReliableRoundTrip(b *testing.B) {
 	b.Run("obs-off", func(b *testing.B) { benchReliableRoundTrip(b, nil) })
 	b.Run("obs-on", func(b *testing.B) { benchReliableRoundTrip(b, obs.NewRegistry()) })
+}
+
+// BenchmarkCoverPath compares the kernel loop with functional coverage
+// disabled (nil cover registry) and enabled.
+func BenchmarkCoverPath(b *testing.B) {
+	b.Run("cover-off", func(b *testing.B) { benchCoverPath(b, nil) })
+	b.Run("cover-on", func(b *testing.B) { benchCoverPath(b, obs.NewCoverRegistry()) })
 }
 
 // obsBenchPair is one hot path's off/on measurement in BENCH_obs.json.
@@ -112,20 +143,38 @@ func TestWriteObsBench(t *testing.T) {
 		}
 		return p
 	}
+	coverPath := obsBenchPair{
+		OffNsOp: float64(testing.Benchmark(func(b *testing.B) { benchCoverPath(b, nil) }).NsPerOp()),
+		OnNsOp:  float64(testing.Benchmark(func(b *testing.B) { benchCoverPath(b, obs.NewCoverRegistry()) }).NsPerOp()),
+	}
+	if coverPath.OffNsOp > 0 {
+		coverPath.EnabledOverheadFrac = coverPath.OnNsOp/coverPath.OffNsOp - 1
+	}
 	nilHandle := testing.Benchmark(func(b *testing.B) {
 		var c *obs.Counter
 		for i := 0; i < b.N; i++ {
 			c.Inc()
 		}
 	})
+	nilCover := testing.Benchmark(func(b *testing.B) {
+		var p *obs.CoverPoint
+		for i := 0; i < b.N; i++ {
+			p.Hit("match")
+			p.Observe(int64(i))
+		}
+	})
 	report := struct {
 		HDLStep           obsBenchPair `json:"hdl_step"`
 		ReliableRoundTrip obsBenchPair `json:"reliable_roundtrip"`
+		CoverPath         obsBenchPair `json:"cover_path"`
 		NilHandleNsOp     float64      `json:"nil_handle_ns_op"`
+		NilCoverNsOp      float64      `json:"nil_cover_ns_op"`
 	}{
 		HDLStep:           measure(benchHDLStep),
 		ReliableRoundTrip: measure(benchReliableRoundTrip),
+		CoverPath:         coverPath,
 		NilHandleNsOp:     float64(nilHandle.NsPerOp()),
+		NilCoverNsOp:      float64(nilCover.NsPerOp()),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -12,10 +12,14 @@ import (
 // Live telemetry endpoint: castanet -serve exposes a running
 // co-verification (or campaign) over HTTP while it executes —
 //
-//	/metrics   the registry in Prometheus text exposition format
+//	/metrics   the registry in Prometheus text exposition format,
+//	           with functional-coverage bins appended as
+//	           castanet_cover_bin_total / castanet_cover_group_ratio
 //	/healthz   liveness: uptime plus seconds since the last unit of work
 //	/snapshot  a stream of JSON progress snapshots (per-shard run counts,
 //	           coupling queue depths, lookahead lag), one object per line
+//	/coverage  the functional-coverage state as JSON: per-group hit/total
+//	           bin counts and ratios, every bin's hit count
 //
 // The server reads the same lock-cheap registry the engines write, so
 // scraping a live run costs a snapshot, never a stall.
@@ -49,12 +53,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/snapshot", s.snapshot)
+	mux.HandleFunc("/coverage", s.coverage)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "castanet telemetry: /metrics /healthz /snapshot\n")
+		fmt.Fprint(w, "castanet telemetry: /metrics /healthz /snapshot /coverage\n")
 	})
 	return mux
 }
@@ -65,6 +70,34 @@ func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
 		// The connection is gone; nothing useful left to do.
 		return
 	}
+	if err := WriteCoverPrometheus(w, s.run.CoverReg().Snapshot()); err != nil {
+		return
+	}
+}
+
+// coverGroupJSON is one /coverage group: its aggregate bin coverage plus
+// every point's bins.
+type coverGroupJSON struct {
+	Name   string           `json:"group"`
+	Hit    int              `json:"hit"`
+	Total  int              `json:"total"`
+	Ratio  float64          `json:"ratio"`
+	Points []CoverPointSnap `json:"points"`
+}
+
+func (s *Server) coverage(w http.ResponseWriter, req *http.Request) {
+	snaps := s.run.CoverReg().Snapshot()
+	doc := struct {
+		Groups []coverGroupJSON `json:"groups"`
+	}{Groups: make([]coverGroupJSON, 0, len(snaps))}
+	for _, g := range snaps {
+		hit, total := g.Covered()
+		doc.Groups = append(doc.Groups, coverGroupJSON{
+			Name: g.Name, Hit: hit, Total: total, Ratio: g.Ratio(), Points: g.Points,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 // health is the /healthz document.

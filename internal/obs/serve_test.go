@@ -22,6 +22,8 @@ func newTestServer() *Server {
 	reg.Gauge("cosim.entity.lag_ps").Set(1500)
 	reg.Gauge("net.sched.pending").Set(4)
 	reg.Gauge("hdl.sim.pending").Set(6)
+	verdict := run.CoverReg().Group("rig.cmp").Point("verdict", "match", "mismatch")
+	verdict.Add("match", 7)
 	return NewServer(run)
 }
 
@@ -49,10 +51,62 @@ func TestServeMetrics(t *testing.T) {
 		"# TYPE campaign_runs_total counter",
 		`campaign_runs_total{shard="0"} 3`,
 		"cosim_queue_k8_depth 2",
+		"# TYPE castanet_cover_bin_total counter",
+		`castanet_cover_bin_total{group="rig.cmp",point="verdict",bin="match"} 7`,
+		`castanet_cover_group_ratio{group="rig.cmp"} 0.5`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestServeCoverage: /coverage answers the functional-coverage state as
+// JSON — per-group hit/total/ratio plus every point's bins, in the schema
+// dashboards scrape.
+func TestServeCoverage(t *testing.T) {
+	srv := httptest.NewServer(newTestServer().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var doc struct {
+		Groups []struct {
+			Group  string  `json:"group"`
+			Hit    int     `json:"hit"`
+			Total  int     `json:"total"`
+			Ratio  float64 `json:"ratio"`
+			Points []struct {
+				Name string `json:"name"`
+				Bins []struct {
+					Label string `json:"bin"`
+					Hits  uint64 `json:"hits"`
+				} `json:"bins"`
+			} `json:"points"`
+		} `json:"groups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/coverage is not JSON: %v", err)
+	}
+	if len(doc.Groups) != 1 {
+		t.Fatalf("/coverage groups = %d, want 1", len(doc.Groups))
+	}
+	g := doc.Groups[0]
+	if g.Group != "rig.cmp" || g.Hit != 1 || g.Total != 2 || g.Ratio != 0.5 {
+		t.Errorf("group = %+v, want rig.cmp 1/2 ratio 0.5", g)
+	}
+	if len(g.Points) != 1 || g.Points[0].Name != "verdict" {
+		t.Fatalf("points = %+v", g.Points)
+	}
+	bins := g.Points[0].Bins
+	if len(bins) != 2 || bins[0].Label != "match" || bins[0].Hits != 7 ||
+		bins[1].Label != "mismatch" || bins[1].Hits != 0 {
+		t.Errorf("bins = %+v", bins)
 	}
 }
 
