@@ -3,7 +3,7 @@ GO ?= go
 # raises it to minutes (make fuzz FUZZTIME=5m).
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke fuzz
+.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke explore-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -57,6 +57,13 @@ cover-smoke:
 # file to be byte-identical to the uninterrupted reference.
 crash-resume-smoke:
 	sh scripts/crash_resume_smoke.sh
+
+# Explorer smoke: a pinned-seed coverage-guided exploration must finish,
+# survive a SIGKILL/resume with a byte-identical digest, and cover
+# strictly more bins than the static faults matrix at the same run
+# budget — the claim that mutation toward uncovered bins earns its keep.
+explore-smoke:
+	sh scripts/explore_smoke.sh
 
 # Coverage-guided fuzzing of the ipc frame, batch-frame, and envelope
 # decoders; seed corpora live in internal/ipc/testdata/fuzz/.

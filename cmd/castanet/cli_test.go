@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cliBin is the castanet binary under test, built once in TestMain so
+// the CLI tests exercise real flag parsing, exit codes and stderr.
+var cliBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "castanet-cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cliBin = filepath.Join(dir, "castanet")
+	if out, err := exec.Command("go", "build", "-o", cliBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build castanet: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runCLI executes the binary and returns stdout+stderr and the exit code.
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(cliBin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var exit *exec.ExitError
+	if !strings.Contains(err.Error(), "exit status") {
+		t.Fatalf("castanet %v: %v\n%s", args, err, out)
+	}
+	exit = err.(*exec.ExitError)
+	return string(out), exit.ExitCode()
+}
+
+// TestCoverFloorPreflight: a bad floor file is an operator error caught
+// before the campaign runs — exit status 2 with a diagnostic naming the
+// problem, never a post-campaign JSON stack trace.
+func TestCoverFloorPreflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess CLI tests in -short mode")
+	}
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		path string
+		want string
+	}{
+		{"missing-file", filepath.Join(dir, "nope.json"), "cannot read"},
+		{"malformed-json", write("bad.json", "{not json"), "not a floor file"},
+		{"ratio-out-of-range", write("range.json", `{"switch":{"dut.queue":1.5}}`), "outside [0, 1]"},
+		{"no-campaign-section", write("nosect.json", `{"faults":{"dut.queue":0.5}}`), "no section for campaign"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runCLI(t, "-campaign", "switch", "-runs", "1", "-cover-floor", tc.path)
+			if code != 2 {
+				t.Errorf("exit %d, want 2 (operator error)\n%s", code, out)
+			}
+			if !strings.Contains(out, "cover floor") || !strings.Contains(out, tc.want) {
+				t.Errorf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestExploreFlagValidation: the -explore flag family rejects conflicts
+// and nonsense with exit status 2 before any work starts.
+func TestExploreFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess CLI tests in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"explore-and-campaign", []string{"-explore", "-campaign", "switch"}, "mutually exclusive"},
+		{"cover-target-without-explore", []string{"-cover-target", "dut.queue"}, "requires -explore"},
+		{"explore-and-cover-floor", []string{"-explore", "-cover-floor", "x.json"}, "applies to -campaign"},
+		{"zero-generations", []string{"-explore", "-generations", "0"}, "-generations"},
+		{"zero-population", []string{"-explore", "-population", "0"}, "-population"},
+		{"replay-out-of-range", []string{"-explore", "-generations", "2", "-population", "3", "-replay", "6"}, "out of range"},
+		{"resume-without-checkpoint", []string{"-explore", "-resume"}, "-resume requires"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Errorf("exit %d, want 2\n%s", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestExploreEndToEnd: a pinned-seed exploration completes clean, its
+// digest is byte-identical across shard counts, and -replay re-executes
+// one of its runs in isolation.
+func TestExploreEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-verification rigs in -short mode")
+	}
+	dir := t.TempDir()
+	d1 := filepath.Join(dir, "d1")
+	d2 := filepath.Join(dir, "d2")
+	base := []string{"-explore", "-generations", "2", "-population", "3", "-seed", "11"}
+
+	out, code := runCLI(t, append(base, "-shards", "2", "-digest", d1)...)
+	if code != 0 {
+		t.Fatalf("exploration exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "gen=001") || !strings.Contains(out, "complete") {
+		t.Errorf("report missing ladder/completion:\n%s", out)
+	}
+
+	if out, code = runCLI(t, append(base, "-shards", "1", "-digest", d2)...); code != 0 {
+		t.Fatalf("second exploration exit %d:\n%s", code, out)
+	}
+	b1, err := os.ReadFile(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("digest differs across shard counts:\n--- shards=2\n%s\n--- shards=1\n%s", b1, b2)
+	}
+	if !strings.Contains(string(b1), "explore covered=") {
+		t.Errorf("digest missing summary line:\n%s", b1)
+	}
+
+	out, code = runCLI(t, append(base, "-replay", "1")...)
+	if code != 0 {
+		t.Fatalf("replay exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "replay run=000001") || !strings.Contains(out, "outcome: ok") {
+		t.Errorf("replay output unexpected:\n%s", out)
+	}
+}

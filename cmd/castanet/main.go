@@ -9,6 +9,8 @@
 //	castanet -experiment e1 -trace /tmp/e1.json -metrics /tmp/e1.metrics
 //	castanet -campaign faults -runs 1000 -shards 8 -seed 7
 //	castanet -campaign faults -runs 1000 -seed 7 -replay 412
+//	castanet -explore -generations 8 -population 16 -seed 7
+//	castanet -explore -generations 8 -population 16 -seed 7 -replay 23
 //
 // With -metrics the run's counters and gauges are written to the given
 // file in plain-text exposition format and a summary table is printed;
@@ -44,6 +46,16 @@
 // progress every -checkpoint-every runs and on SIGINT/SIGTERM; -resume
 // continues from the file and produces a digest byte-identical to an
 // uninterrupted run (-digest FILE writes it for diffing).
+//
+// -explore replaces the static matrix with the coverage-guided scenario
+// explorer: -generations campaigns of -population switch scenarios each,
+// where every generation's merged coverage steers the next generation's
+// mutations toward uncovered bins (-cover-target focuses the pressure on
+// one group). Everything derives from -seed, so the printed generation
+// ladder, the -digest file and every discovered failure are byte-identical
+// across -shards counts and kill/resume (-checkpoint/-resume work exactly
+// as for campaigns); -replay re-executes one exploration run by the run=
+// index in the digest.
 //
 // -coverage collects functional coverage (named bin groups: cell-header
 // fields, queue-depth bands, drop causes, UPC actions, sync-window
@@ -128,6 +140,11 @@ func run() int {
 		digest     = flag.String("digest", "", "campaign: write the deterministic digest file here (byte-identical across shard counts and resume)")
 		coverage   = flag.Bool("coverage", false, "collect functional coverage and print the per-group bin report")
 		coverFloor = flag.String("cover-floor", "", "campaign: enforce the per-group coverage floors committed in this JSON file (implies -coverage; unmet floors exit 1)")
+
+		explore     = flag.Bool("explore", false, "run the coverage-guided scenario explorer over the switch rig instead of an experiment")
+		generations = flag.Int("generations", 8, "explore: campaign generations to evolve")
+		population  = flag.Int("population", 16, "explore: scenarios per generation")
+		coverTarget = flag.String("cover-target", "", "explore: focus novelty scoring and mutation pressure on this cover group (empty = all groups)")
 	)
 	flag.Parse()
 
@@ -137,6 +154,26 @@ func run() int {
 
 	experiments.Batching(*batch)
 
+	if *explore && *camp != "" {
+		return badFlags("-explore and -campaign are mutually exclusive")
+	}
+	if *coverTarget != "" && !*explore {
+		return badFlags("-cover-target requires -explore")
+	}
+	if *explore {
+		if *coverFloor != "" {
+			return badFlags("-cover-floor applies to -campaign; -explore proves coverage via its generation ladder")
+		}
+		return runExplore(exploreOpts{
+			generations: *generations, population: *population,
+			shards: *shards, seed: *seed, target: *coverTarget,
+			replay:  *replay,
+			metrics: *metrics, trace: *trace, serve: *serve, traceCells: *traceN,
+			runTimeout: *runTimeout, retries: *retries,
+			checkpoint: *checkpoint, checkpointEvery: *ckEvery, resume: *resume,
+			noQuarantine: *noQuar, digest: *digest,
+		})
+	}
 	if *camp != "" {
 		return runCampaign(campaignOpts{
 			name: *camp, runs: *runs, shards: *shards, seed: *seed,
@@ -284,6 +321,18 @@ func runCampaign(o campaignOpts) int {
 	if o.resume && o.checkpoint == "" {
 		return badFlags("-resume requires -checkpoint FILE")
 	}
+	// Preflight the cover-floor contract so a bad file or a typo'd
+	// campaign name fails in milliseconds, not after the whole campaign.
+	var floors map[string]float64
+	if o.coverFloor != "" {
+		all, err := loadCoverFloor(o.coverFloor)
+		if err != nil {
+			return badFlags("%v", err)
+		}
+		if floors, err = floorsFor(all, o.coverFloor, name); err != nil {
+			return badFlags("%v", err)
+		}
+	}
 
 	var obsRun *obs.Run
 	if metrics != "" || trace != "" || o.serve != "" {
@@ -371,7 +420,7 @@ func runCampaign(o campaignOpts) int {
 		}
 	}
 	if o.coverFloor != "" {
-		if err := checkCoverFloor(o.coverFloor, name, sum.Coverage); err != nil {
+		if err := checkCoverFloor(floors, name, sum.Coverage); err != nil {
 			fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
 			return 1
 		}

@@ -1,6 +1,10 @@
 package atm
 
-import "castanet/internal/sim"
+import (
+	"sort"
+
+	"castanet/internal/sim"
+)
 
 // GCRA is the Generic Cell Rate Algorithm (ITU-T I.371 virtual scheduling
 // formulation) used for usage parameter control in the ATM traffic
@@ -117,11 +121,19 @@ func (t *Translator) Lookup(in VC) (Route, bool) {
 // Len returns the number of installed entries.
 func (t *Translator) Len() int { return len(t.entries) }
 
-// VCs returns all configured incoming connections (order unspecified).
+// VCs returns all configured incoming connections sorted by (VPI, VCI).
+// The order is deterministic so fault enumerations built from it (see
+// faultsim.TableFaults) are pure functions of the table contents.
 func (t *Translator) VCs() []VC {
 	out := make([]VC, 0, len(t.entries))
 	for vc := range t.entries {
 		out = append(out, vc)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VPI != out[j].VPI {
+			return out[i].VPI < out[j].VPI
+		}
+		return out[i].VCI < out[j].VCI
+	})
 	return out
 }

@@ -137,22 +137,30 @@ func switchCells(ccfg CampaignConfig) []campaign.Cell {
 	}}}
 }
 
-// faultProfile is one degraded-link column of the faults campaign. The
-// fault generator's seed is re-derived per run, so a long campaign sweeps
-// fresh loss/corruption patterns every revisit while staying replayable.
-type faultProfile struct {
-	name string
-	dir  ipc.DirFaults
-	// abort marks profiles (permanent partitions) whose only correct
+// LinkFaultProfile is one degraded-link column of the faults campaign.
+// The fault generator's seed is re-derived per run, so a long campaign
+// sweeps fresh loss/corruption patterns every revisit while staying
+// replayable.
+type LinkFaultProfile struct {
+	Name string
+	Dir  ipc.DirFaults
+	// Abort marks profiles (permanent partitions) whose only correct
 	// outcome is a typed coupling abort; all others must be fully masked.
-	abort bool
+	Abort bool
 }
 
-var faultProfiles = []faultProfile{
-	{name: "drop5-corrupt1", dir: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01}},
-	{name: "dup10", dir: ipc.DirFaults{Dup: 0.1}},
-	{name: "delay-reorder", dir: ipc.DirFaults{Delay: 0.2, DelaySlots: 3}},
-	{name: "partition", dir: ipc.DirFaults{PartitionAfter: 10}, abort: true},
+var linkFaultProfiles = []LinkFaultProfile{
+	{Name: "drop5-corrupt1", Dir: ipc.DirFaults{Drop: 0.05, Corrupt: 0.01}},
+	{Name: "dup10", Dir: ipc.DirFaults{Dup: 0.1}},
+	{Name: "delay-reorder", Dir: ipc.DirFaults{Delay: 0.2, DelaySlots: 3}},
+	{Name: "partition", Dir: ipc.DirFaults{PartitionAfter: 10}, Abort: true},
+}
+
+// LinkFaultProfiles returns the standard degraded-link profile menu in
+// campaign column order — shared with the scenario explorer so both
+// harnesses inject the same fault classes.
+func LinkFaultProfiles() []LinkFaultProfile {
+	return append([]LinkFaultProfile(nil), linkFaultProfiles...)
 }
 
 // faultCells is the resilience campaign: the switch rig coupled over the
@@ -161,14 +169,14 @@ var faultProfiles = []faultProfile{
 // clean column keeps a fault-free reference in the same matrix.
 func faultCells(ccfg CampaignConfig) []campaign.Cell {
 	cells := []campaign.Cell{{Experiment: "faults", Fault: "clean", Run: faultRun(ccfg, nil)}}
-	for i := range faultProfiles {
-		p := &faultProfiles[i]
-		cells = append(cells, campaign.Cell{Experiment: "faults", Fault: p.name, Run: faultRun(ccfg, p)})
+	for i := range linkFaultProfiles {
+		p := &linkFaultProfiles[i]
+		cells = append(cells, campaign.Cell{Experiment: "faults", Fault: p.Name, Run: faultRun(ccfg, p)})
 	}
 	return cells
 }
 
-func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
+func faultRun(ccfg CampaignConfig, profile *LinkFaultProfile) campaign.RunFunc {
 	return func(ctx context.Context, r *campaign.Run) error {
 		rng := r.RNG()
 		tr, horizon := campaignTraffic(rng)
@@ -192,8 +200,8 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 			},
 		}
 		if profile != nil {
-			cfg.Fault = &ipc.FaultConfig{Seed: rng.Uint64(), Send: profile.dir, Recv: profile.dir}
-			if profile.abort {
+			cfg.Fault = &ipc.FaultConfig{Seed: rng.Uint64(), Send: profile.Dir, Recv: profile.Dir}
+			if profile.Abort {
 				// A permanent partition must abort within the retry budget,
 				// not mask; keep the budget tight so it aborts promptly.
 				cfg.Fault.Recv = ipc.DirFaults{}
@@ -208,7 +216,7 @@ func faultRun(ccfg CampaignConfig, profile *faultProfile) campaign.RunFunc {
 		release()
 		rig.Close()
 
-		expectAbort := profile != nil && profile.abort
+		expectAbort := profile != nil && profile.Abort
 		switch {
 		case err != nil && !expectAbort:
 			// Typed coupling errors keep their class in the digest; the

@@ -1,0 +1,360 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"castanet/internal/campaign"
+	"castanet/internal/sim"
+)
+
+// toySpace is a 2-gene × 4-value scenario space over a synthetic 16-bin
+// cover grid: genome {a,b} hits exactly bin "c<a><b>", and genome {3,3}
+// additionally fails verification. Mutation has a perfect gradient (an
+// uncovered bin names the genome that covers it), so a few generations
+// cover the grid — a fast, fully deterministic stand-in for the switch
+// space in engine property tests.
+type toySpace struct{}
+
+func toyLabels() []string {
+	labels := make([]string, 0, 16)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			labels = append(labels, fmt.Sprintf("c%d%d", a, b))
+		}
+	}
+	return labels
+}
+
+func (toySpace) Name() string { return "toy" }
+
+func (toySpace) Genes() []Gene {
+	return []Gene{{Name: "a", Card: 4}, {Name: "b", Card: 4}}
+}
+
+func (toySpace) Seed(rng *sim.RNG) Genome {
+	return Genome{uint16(rng.Intn(4)), uint16(rng.Intn(4))}
+}
+
+func (toySpace) Cell(g Genome) campaign.Cell {
+	a, b := int(g[0]), int(g[1])
+	return campaign.Cell{
+		Experiment: fmt.Sprintf("toy-%d%d", a, b),
+		Run: func(ctx context.Context, r *campaign.Run) error {
+			p := r.Cover().Group("toy.grid").Point("cell", toyLabels()...)
+			p.Hit(fmt.Sprintf("c%d%d", a, b))
+			if a == 3 && b == 3 {
+				return errors.New("toy defect at c33")
+			}
+			return nil
+		},
+	}
+}
+
+func (toySpace) Mutate(parent Genome, rng *sim.RNG, p *Pressure) Genome {
+	if len(p.Uncovered) > 0 {
+		ref := p.Uncovered[rng.Intn(len(p.Uncovered))]
+		return Genome{uint16(ref.Label[1] - '0'), uint16(ref.Label[2] - '0')}
+	}
+	g := parent
+	g[rng.Intn(2)] = uint16(rng.Intn(4))
+	return g
+}
+
+func toySpec() Spec {
+	return Spec{
+		Space:       toySpace{},
+		Seed:        7,
+		Generations: 5,
+		Population:  6,
+	}
+}
+
+func mustExplore(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+// TestExploreDigestShardInvariance: the digest is byte-identical across
+// repeated executions and across shard counts — the explorer's core
+// determinism claim.
+func TestExploreDigestShardInvariance(t *testing.T) {
+	ref := mustExplore(t, toySpec()).Digest()
+	if ref == "" {
+		t.Fatal("empty digest")
+	}
+	for _, shards := range []int{1, 2, 5} {
+		spec := toySpec()
+		spec.Shards = shards
+		if got := mustExplore(t, spec).Digest(); got != ref {
+			t.Errorf("digest at shards=%d diverged:\n--- shards=%d\n%s\n--- reference\n%s",
+				shards, shards, got, ref)
+		}
+	}
+}
+
+// TestExploreLadderMonotoneAndConverges: cumulative coverage never
+// decreases, the bin universe is stable, and the perfect-gradient toy
+// space reaches full grid coverage within the budget.
+func TestExploreLadderMonotoneAndConverges(t *testing.T) {
+	res := mustExplore(t, toySpec())
+	if !res.Complete || len(res.Ladder) != res.Generations {
+		t.Fatalf("incomplete run: %+v", res)
+	}
+	prev := 0
+	for _, g := range res.Ladder {
+		if g.Covered < prev {
+			t.Errorf("gen %d: covered %d dropped below %d", g.Gen, g.Covered, prev)
+		}
+		if g.Total != 16 {
+			t.Errorf("gen %d: total %d, want 16", g.Gen, g.Total)
+		}
+		if g.Accepted+g.Rejected != res.Population {
+			t.Errorf("gen %d: accepted %d + rejected %d != population %d",
+				g.Gen, g.Accepted, g.Rejected, res.Population)
+		}
+		prev = g.Covered
+	}
+	if final := res.Ladder[len(res.Ladder)-1]; final.Covered != 16 {
+		t.Errorf("final coverage %d/16; directed mutation should cover the grid", final.Covered)
+	}
+	if res.FailTotal == 0 {
+		t.Error("grid corner c33 is a planted defect; covering the grid must find it")
+	}
+}
+
+// TestExploreReplayReproducesFailure: every retained failure replays in
+// isolation with the same verdict, and a passing slot replays clean.
+func TestExploreReplayReproducesFailure(t *testing.T) {
+	spec := toySpec()
+	res := mustExplore(t, spec)
+	if len(res.Failures) == 0 {
+		t.Fatal("no failures retained")
+	}
+	for _, f := range res.Failures {
+		rr, err := Replay(context.Background(), spec, f.Index)
+		if err != nil {
+			t.Fatalf("Replay(%d): %v", f.Index, err)
+		}
+		if rr.Err == nil || rr.Err.Error() != f.Label {
+			t.Errorf("replay %d: err %v, want %q", f.Index, rr.Err, f.Label)
+		}
+		if rr.Seed != f.Seed {
+			t.Errorf("replay %d: seed 0x%x, want 0x%x", f.Index, rr.Seed, f.Seed)
+		}
+	}
+	// Find a passing run: generation 0, any slot whose digest has no line.
+	failed := make(map[uint64]bool)
+	for _, f := range res.Failures {
+		failed[f.Index] = true
+	}
+	for idx := uint64(0); idx < uint64(spec.Population); idx++ {
+		if failed[idx] {
+			continue
+		}
+		rr, err := Replay(context.Background(), spec, idx)
+		if err != nil {
+			t.Fatalf("Replay(%d): %v", idx, err)
+		}
+		if rr.Err != nil {
+			t.Errorf("replay of passing run %d failed: %v", idx, rr.Err)
+		}
+		break
+	}
+	if _, err := Replay(context.Background(), spec, uint64(spec.Generations*spec.Population)); !errors.Is(err, ErrSpec) {
+		t.Errorf("out-of-range replay error = %v, want ErrSpec", err)
+	}
+}
+
+// TestExploreResumeGenerationBoundary: cancel at a generation boundary,
+// resume, and demand the byte-identical digest of an uninterrupted run.
+func TestExploreResumeGenerationBoundary(t *testing.T) {
+	ref := mustExplore(t, toySpec()).Digest()
+
+	spec := toySpec()
+	spec.Checkpoint = filepath.Join(t.TempDir(), "explore.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	spec.OnGeneration = func(g GenStat) {
+		if g.Gen == 1 {
+			cancel()
+		}
+	}
+	partial, err := Execute(ctx, spec)
+	if err != nil {
+		t.Fatalf("interrupted Execute: %v", err)
+	}
+	if partial.Complete {
+		t.Fatal("cancellation did not interrupt the exploration")
+	}
+
+	spec.OnGeneration = nil
+	res, err := Resume(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("resumed exploration incomplete")
+	}
+	if got := res.Digest(); got != ref {
+		t.Errorf("resumed digest diverged:\n--- resumed\n%s\n--- reference\n%s", got, ref)
+	}
+}
+
+// TestExploreResumeMidGeneration: cancel inside a generation (after a
+// couple of its runs committed to the per-generation campaign
+// checkpoint), resume at a different shard count, and demand the
+// reference digest.
+func TestExploreResumeMidGeneration(t *testing.T) {
+	ref := mustExplore(t, toySpec()).Digest()
+
+	spec := toySpec()
+	spec.Shards = 2
+	spec.Checkpoint = filepath.Join(t.TempDir(), "explore.ckpt")
+	spec.CheckpointEvery = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	var results atomic.Int32
+	spec.OnResult = func(campaign.Result) {
+		if int(results.Add(1)) == spec.Population+2 {
+			cancel() // two runs into generation 1
+		}
+	}
+	if _, err := Execute(ctx, spec); err != nil {
+		t.Fatalf("interrupted Execute: %v", err)
+	}
+
+	spec.OnResult = nil
+	spec.Shards = 3
+	res, err := Resume(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("resumed exploration incomplete")
+	}
+	if got := res.Digest(); got != ref {
+		t.Errorf("mid-generation resume diverged:\n--- resumed\n%s\n--- reference\n%s", got, ref)
+	}
+}
+
+// TestExploreResumeFinishedAndMissing: resuming a finished exploration
+// returns the same digest without rerunning; a missing state file
+// degrades to a fresh Execute.
+func TestExploreResumeFinishedAndMissing(t *testing.T) {
+	spec := toySpec()
+	spec.Checkpoint = filepath.Join(t.TempDir(), "explore.ckpt")
+	ref := mustExplore(t, spec).Digest()
+
+	res, err := Resume(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Resume finished: %v", err)
+	}
+	if got := res.Digest(); got != ref {
+		t.Errorf("resume of finished exploration diverged")
+	}
+
+	spec.Checkpoint = filepath.Join(t.TempDir(), "missing.ckpt")
+	res, err = Resume(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Resume missing: %v", err)
+	}
+	if got := res.Digest(); got != ref {
+		t.Errorf("fresh-start resume diverged")
+	}
+}
+
+// TestExploreStateCorruption: a damaged state file and a mismatched spec
+// both surface as ErrState, never as a silent fresh start.
+func TestExploreStateCorruption(t *testing.T) {
+	spec := toySpec()
+	spec.Generations = 2
+	spec.Checkpoint = filepath.Join(t.TempDir(), "explore.ckpt")
+	mustExplore(t, spec)
+
+	raw, err := os.ReadFile(spec.Checkpoint)
+	if err != nil {
+		t.Fatalf("read state: %v", err)
+	}
+
+	// Payload corruption: CRC must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(spec.Checkpoint, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(context.Background(), spec); !errors.Is(err, ErrState) {
+		t.Errorf("corrupt payload: err = %v, want ErrState", err)
+	}
+
+	// Truncation.
+	if err := os.WriteFile(spec.Checkpoint, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(context.Background(), spec); !errors.Is(err, ErrState) {
+		t.Errorf("truncated file: err = %v, want ErrState", err)
+	}
+
+	// Spec mismatch: intact file, different seed.
+	if err := os.WriteFile(spec.Checkpoint, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.Seed++
+	if _, err := Resume(context.Background(), other); !errors.Is(err, ErrState) ||
+		!strings.Contains(fmt.Sprint(err), "fingerprint") {
+		t.Errorf("fingerprint mismatch: err = %v, want ErrState fingerprint diagnostic", err)
+	}
+}
+
+// TestExploreSpecValidation exercises the ErrSpec guardrails.
+func TestExploreSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Spec)
+	}{
+		{"nil-space", func(s *Spec) { s.Space = nil }},
+		{"zero-generations", func(s *Spec) { s.Generations = 0 }},
+		{"zero-population", func(s *Spec) { s.Population = 0 }},
+		{"elite-exceeds-population", func(s *Spec) { s.Elite = s.Population + 1 }},
+		{"negative-digest-max", func(s *Spec) { s.DigestMax = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := toySpec()
+			tc.edit(&spec)
+			if _, err := Execute(context.Background(), spec); !errors.Is(err, ErrSpec) {
+				t.Errorf("err = %v, want ErrSpec", err)
+			}
+		})
+	}
+	spec := toySpec()
+	if _, err := Resume(context.Background(), spec); !errors.Is(err, ErrSpec) {
+		t.Errorf("Resume without checkpoint: err = %v, want ErrSpec", err)
+	}
+}
+
+// TestExploreReportMentionsReplay: the operator report carries a replay
+// command line for every retained failure.
+func TestExploreReportMentionsReplay(t *testing.T) {
+	res := mustExplore(t, toySpec())
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("no failures to report")
+	}
+	want := res.ReplayArgs(res.Failures[0])
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("report missing replay hint %q:\n%s", want, b.String())
+	}
+}

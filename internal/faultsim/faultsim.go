@@ -33,53 +33,62 @@ type Fault struct {
 	Mutate func(tb *atm.Translator)
 }
 
+// EntryFaults enumerates the standard fault set for one connection-table
+// entry, in Classes order: mis-routed output port, flipped output VCI
+// bit, flipped output VPI bit, and a deleted entry (cell loss). The
+// connection must exist in tb; unknown VCs return nil.
+func EntryFaults(tb *atm.Translator, vc atm.VC) []Fault {
+	route, ok := tb.Lookup(vc)
+	if !ok {
+		return nil
+	}
+	return []Fault{
+		{
+			Name: fmt.Sprintf("%v:wrong-port", vc),
+			VC:   vc,
+			Mutate: func(t *atm.Translator) {
+				r := route
+				r.Port = (r.Port + 1) % dut.SwitchPorts
+				t.Remove(vc)
+				t.Add(vc, r)
+			},
+		},
+		{
+			Name: fmt.Sprintf("%v:vci-bit-flip", vc),
+			VC:   vc,
+			Mutate: func(t *atm.Translator) {
+				r := route
+				r.Out.VCI ^= 0x04
+				t.Remove(vc)
+				t.Add(vc, r)
+			},
+		},
+		{
+			Name: fmt.Sprintf("%v:vpi-bit-flip", vc),
+			VC:   vc,
+			Mutate: func(t *atm.Translator) {
+				r := route
+				r.Out.VPI ^= 0x01
+				t.Remove(vc)
+				t.Add(vc, r)
+			},
+		},
+		{
+			Name: fmt.Sprintf("%v:entry-lost", vc),
+			VC:   vc,
+			Mutate: func(t *atm.Translator) {
+				t.Remove(vc)
+			},
+		},
+	}
+}
+
 // TableFaults enumerates the standard fault set for every entry of a
-// connection table: mis-routed output port, flipped output VCI bit,
-// flipped output VPI bit, and a deleted entry (cell loss).
+// connection table, in the table's deterministic (VPI, VCI) VC order.
 func TableFaults(tb *atm.Translator) []Fault {
 	var faults []Fault
 	for _, vc := range tb.VCs() {
-		vc := vc
-		route, _ := tb.Lookup(vc)
-		faults = append(faults,
-			Fault{
-				Name: fmt.Sprintf("%v:wrong-port", vc),
-				VC:   vc,
-				Mutate: func(t *atm.Translator) {
-					r := route
-					r.Port = (r.Port + 1) % dut.SwitchPorts
-					t.Remove(vc)
-					t.Add(vc, r)
-				},
-			},
-			Fault{
-				Name: fmt.Sprintf("%v:vci-bit-flip", vc),
-				VC:   vc,
-				Mutate: func(t *atm.Translator) {
-					r := route
-					r.Out.VCI ^= 0x04
-					t.Remove(vc)
-					t.Add(vc, r)
-				},
-			},
-			Fault{
-				Name: fmt.Sprintf("%v:vpi-bit-flip", vc),
-				VC:   vc,
-				Mutate: func(t *atm.Translator) {
-					r := route
-					r.Out.VPI ^= 0x01
-					t.Remove(vc)
-					t.Add(vc, r)
-				},
-			},
-			Fault{
-				Name: fmt.Sprintf("%v:entry-lost", vc),
-				VC:   vc,
-				Mutate: func(t *atm.Translator) {
-					t.Remove(vc)
-				},
-			},
-		)
+		faults = append(faults, EntryFaults(tb, vc)...)
 	}
 	return faults
 }
@@ -131,6 +140,13 @@ func Campaign(cfg coverify.SwitchRigConfig, horizon sim.Time, faults []Fault) ([
 // stamps into every fault name.
 var faultClasses = []string{"wrong-port", "vci-bit-flip", "vpi-bit-flip", "entry-lost", "other"}
 
+// Classes returns the standard table-fault class names in EntryFaults
+// order (without the "other" catch-all) — the axis scenario generators
+// select planted faults by.
+func Classes() []string {
+	return append([]string(nil), faultClasses[:4]...)
+}
+
 // class extracts the fault class from a fault name ("0/32:wrong-port" →
 // "wrong-port"); names outside the standard set land in "other".
 func class(name string) string {
@@ -166,6 +182,13 @@ func Cover(c *obs.CoverRegistry, results []Result) {
 		}
 		x.Hit(class(r.Fault.Name), outcome)
 	}
+}
+
+// CoverOne bins a single planted fault's outcome — the per-run variant
+// of Cover for harnesses (like the scenario explorer) that plant one
+// fault per run instead of sweeping a whole campaign.
+func CoverOne(c *obs.CoverRegistry, faultName string, detected bool) {
+	Cover(c, []Result{{Fault: Fault{Name: faultName}, Detected: detected}})
 }
 
 // clone deep-copies a translator.

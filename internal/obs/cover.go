@@ -408,6 +408,17 @@ func clonePoint(p CoverPointSnap) CoverPointSnap {
 	return CoverPointSnap{Name: p.Name, Bins: append([]CoverBin(nil), p.Bins...)}
 }
 
+// CoverTotals sums Covered over a whole snapshot: the headline hit and
+// defined bin counts across every group.
+func CoverTotals(snaps []CoverGroupSnap) (hit, total int) {
+	for _, g := range snaps {
+		h, t := g.Covered()
+		hit += h
+		total += t
+	}
+	return hit, total
+}
+
 // WriteCoverText writes the human coverage report: one group header line
 // with the hit-bin percentage and one line per point listing every bin's
 // hit count. Integer-derived and sorted, so the output is byte-stable for

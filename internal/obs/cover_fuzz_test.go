@@ -1,0 +1,183 @@
+package obs_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"castanet/internal/obs"
+)
+
+// FuzzMergeCover drives MergeCover with arbitrary snapshot triples and
+// checks its algebra: associative, commutative and identity on empty —
+// the properties shard-exact digest merging rests on. Snapshots are built
+// from fixed name pools (including every real cover group the rigs
+// define) so inputs always satisfy the Snapshot() contract: groups and
+// points sorted and unique, bins unique per point. Because MergeCover
+// appends unseen source bins after the destination's, bin order in the
+// output depends on operand order; the algebra therefore holds up to
+// canonicalization (bins sorted by label), which is what the comparisons
+// use.
+
+// fuzzGroupPool is the real cover-group schema the rigs register.
+var fuzzGroupPool = [8]string{
+	"cosim.coupling",
+	"cosim.sync",
+	"coverify.acct",
+	"coverify.cell_header",
+	"coverify.cmp",
+	"coverify.policer",
+	"dut.queue",
+	"faultsim.fault",
+}
+
+var fuzzPointPool = [8]string{
+	"batch", "class_outcome", "clp", "depth", "drop", "sync_lag", "verdict", "vpi",
+}
+
+var fuzzLabelPool = [8]string{
+	"clp0", "clp1", "gt_16", "le_0", "le_16", "match", "mismatch", "wrong-port×detected",
+}
+
+// fuzzReader consumes a fuzz input byte-wise, yielding zeros once
+// exhausted so every input decodes to some valid snapshot triple.
+type fuzzReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.pos >= len(r.b) {
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+// snap decodes one snapshot: mask bytes select pool entries in pool
+// order, so group and point names come out sorted and unique by
+// construction (the Snapshot() contract).
+func (r *fuzzReader) snap() []obs.CoverGroupSnap {
+	gmask := r.next()
+	var out []obs.CoverGroupSnap
+	for i, name := range fuzzGroupPool {
+		if gmask&(1<<i) == 0 {
+			continue
+		}
+		pmask := r.next()
+		g := obs.CoverGroupSnap{Name: name}
+		for j, pname := range fuzzPointPool {
+			if pmask&(1<<j) == 0 {
+				continue
+			}
+			bmask := r.next()
+			p := obs.CoverPointSnap{Name: pname}
+			for k, label := range fuzzLabelPool {
+				if bmask&(1<<k) == 0 {
+					continue
+				}
+				p.Bins = append(p.Bins, obs.CoverBin{Label: label, Hits: uint64(r.next())})
+			}
+			if len(p.Bins) > 0 {
+				g.Points = append(g.Points, p)
+			}
+		}
+		if len(g.Points) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// canonCover deep-copies a snapshot with bins sorted by label, the form
+// in which merge results are order-independent.
+func canonCover(snaps []obs.CoverGroupSnap) []obs.CoverGroupSnap {
+	out := make([]obs.CoverGroupSnap, len(snaps))
+	for i, g := range snaps {
+		cg := obs.CoverGroupSnap{Name: g.Name, Points: make([]obs.CoverPointSnap, len(g.Points))}
+		for j, p := range g.Points {
+			cp := obs.CoverPointSnap{Name: p.Name, Bins: append([]obs.CoverBin(nil), p.Bins...)}
+			sort.Slice(cp.Bins, func(a, b int) bool { return cp.Bins[a].Label < cp.Bins[b].Label })
+			cg.Points[j] = cp
+		}
+		out[i] = cg
+	}
+	return out
+}
+
+// coverSums flattens a snapshot to its group/point/label -> hits map.
+func coverSums(snaps []obs.CoverGroupSnap) map[string]uint64 {
+	sums := make(map[string]uint64)
+	for _, g := range snaps {
+		for _, p := range g.Points {
+			for _, b := range p.Bins {
+				sums[g.Name+"/"+p.Name+"/"+b.Label] += b.Hits
+			}
+		}
+	}
+	return sums
+}
+
+func FuzzMergeCover(f *testing.F) {
+	// Seed the corpus with each real cover group on its own, a dense
+	// all-groups triple, and a couple of asymmetric shapes.
+	for i := 0; i < len(fuzzGroupPool); i++ {
+		f.Add([]byte{1 << i, 0xff, 0xaa, 3, 1, 4, 1, 5, 9, 2, 6,
+			1 << i, 0x0f, 0x55, 8, 2, 7, 1, 8, 2, 8,
+			1 << i, 0xf0, 0x33, 1, 1, 2, 3, 5, 8, 13})
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x81, 0x42, 0x24, 200, 0x18, 0x99, 100, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{b: data}
+		a, b, c := r.snap(), r.snap(), r.snap()
+		sumA, sumB := coverSums(a), coverSums(b)
+
+		ab := obs.MergeCover(canonCover(a), canonCover(b))
+		ba := obs.MergeCover(canonCover(b), canonCover(a))
+		if !reflect.DeepEqual(canonCover(ab), canonCover(ba)) {
+			t.Fatalf("merge not commutative:\nA⊕B = %+v\nB⊕A = %+v", ab, ba)
+		}
+
+		abc1 := obs.MergeCover(obs.MergeCover(canonCover(a), canonCover(b)), canonCover(c))
+		abc2 := obs.MergeCover(canonCover(a), obs.MergeCover(canonCover(b), canonCover(c)))
+		if !reflect.DeepEqual(canonCover(abc1), canonCover(abc2)) {
+			t.Fatalf("merge not associative:\n(A⊕B)⊕C = %+v\nA⊕(B⊕C) = %+v", abc1, abc2)
+		}
+
+		if got := obs.MergeCover(canonCover(a), nil); !reflect.DeepEqual(canonCover(got), canonCover(a)) {
+			t.Fatalf("A⊕∅ changed A: %+v", got)
+		}
+		if got := obs.MergeCover(nil, canonCover(a)); !reflect.DeepEqual(canonCover(got), canonCover(a)) {
+			t.Fatalf("∅⊕A != A: %+v", got)
+		}
+
+		// Bin-wise integer sums: every bin of A⊕B holds exactly the sum
+		// of its operand hits, and no bin appears from nowhere.
+		want := make(map[string]uint64, len(sumA)+len(sumB))
+		for k, v := range sumA {
+			want[k] += v
+		}
+		for k, v := range sumB {
+			want[k] += v
+		}
+		got := coverSums(ab)
+		if len(got) != len(want) {
+			t.Fatalf("merged bin set has %d entries, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("bin %s = %d after merge, want %d", k, got[k], v)
+			}
+		}
+
+		// Idempotence of the empty merge on both sides at once.
+		if out := obs.MergeCover(nil, nil); len(out) != 0 {
+			t.Fatalf("∅⊕∅ = %+v, want empty", out)
+		}
+		_ = fmt.Sprintf("%v", abc1) // keep results observable under -race
+	})
+}

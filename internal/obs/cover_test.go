@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -262,5 +263,77 @@ func TestWriteCoverPrometheusGolden(t *testing.T) {
 	}
 	if b.String() != "" {
 		t.Fatalf("empty exposition = %q", b.String())
+	}
+}
+
+// TestCoverRangeBoundaries pins the exact bin selection at and around
+// every band threshold: Observe places v in the first bin whose bound is
+// >= v, so each le_<bound> bin is inclusive of its bound and the overflow
+// bin starts one past the last bound.
+func TestCoverRangeBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []int64
+		obs    map[int64]string // value -> expected bin label
+	}{
+		{
+			name:   "three-band",
+			bounds: []int64{0, 10, 100},
+			obs: map[int64]string{
+				math.MinInt64: "le_0",
+				-1:            "le_0",
+				0:             "le_0",
+				1:             "le_10",
+				9:             "le_10",
+				10:            "le_10",
+				11:            "le_100",
+				99:            "le_100",
+				100:           "le_100",
+				101:           "gt_100",
+				math.MaxInt64: "gt_100",
+			},
+		},
+		{
+			name:   "single-bound",
+			bounds: []int64{5},
+			obs: map[int64]string{
+				4: "le_5",
+				5: "le_5",
+				6: "gt_5",
+			},
+		},
+		{
+			name:   "negative-bounds",
+			bounds: []int64{-10, -1},
+			obs: map[int64]string{
+				-11: "le_-10",
+				-10: "le_-10",
+				-9:  "le_-1",
+				-1:  "le_-1",
+				0:   "gt_-1",
+				7:   "gt_-1",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for v, wantLabel := range tc.obs {
+				c := obs.NewCoverRegistry()
+				p := c.Group("g").Range("band", tc.bounds...)
+				p.Observe(v)
+				var hit []string
+				for _, b := range c.Snapshot()[0].Points[0].Bins {
+					if b.Hits > 0 {
+						hit = append(hit, b.Label)
+						if b.Hits != 1 {
+							t.Errorf("Observe(%d): bin %s hits = %d, want 1", v, b.Label, b.Hits)
+						}
+					}
+				}
+				if len(hit) != 1 || hit[0] != wantLabel {
+					t.Errorf("Observe(%d) hit bins %v, want exactly [%s]", v, hit, wantLabel)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+// empiricalRate drives a model for n inter-arrival draws at a fixed seed
+// and returns the observed mean cell rate in cells per second.
+func empiricalRate(t *testing.T, m Model, seed uint64, n int) float64 {
+	t.Helper()
+	if err := Validate(m); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	rng := sim.NewRNG(seed)
+	var total sim.Duration
+	for i := 0; i < n; i++ {
+		gap := m.Next(rng)
+		if gap < 0 {
+			t.Fatalf("draw %d: negative inter-arrival %v", i, gap)
+		}
+		total += gap
+	}
+	if total <= 0 {
+		t.Fatalf("no simulated time elapsed over %d draws", n)
+	}
+	return float64(n) / total.Seconds()
+}
+
+// relErr is |got-want|/want.
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+// TestMMPP2MeanRateLongRun checks the modulated process against its
+// analytic sojourn-weighted mean over a long fixed-seed horizon, across
+// symmetric and asymmetric sojourn configurations.
+func TestMMPP2MeanRateLongRun(t *testing.T) {
+	cases := []struct {
+		name string
+		m    MMPP2
+	}{
+		{"symmetric", MMPP2{
+			Rate1: 50e3, Rate2: 200e3,
+			Sojourn1: 50 * sim.Microsecond, Sojourn2: 50 * sim.Microsecond,
+		}},
+		{"slow-heavy", MMPP2{
+			Rate1: 20e3, Rate2: 300e3,
+			Sojourn1: 200 * sim.Microsecond, Sojourn2: 25 * sim.Microsecond,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.m.MeanRate()
+			got := empiricalRate(t, &tc.m, 0xa11ce, 200_000)
+			if e := relErr(got, want); e > 0.05 {
+				t.Errorf("empirical rate %.0f vs analytic %.0f (err %.1f%%)", got, want, 100*e)
+			}
+		})
+	}
+}
+
+// TestParetoOnOffMeanRateLongRun checks the heavy-tailed ON/OFF source
+// against its duty-cycle mean. The tail clamp biases the empirical mean
+// upward slightly, so the tolerance is generous.
+func TestParetoOnOffMeanRateLongRun(t *testing.T) {
+	m := ParetoOnOff{
+		PeakInterval: 5 * sim.Microsecond, // 200 kcell/s peak
+		MeanOn:       40 * sim.Microsecond,
+		MeanOff:      40 * sim.Microsecond,
+		Alpha:        1.5,
+	}
+	want := m.MeanRate() // 100 kcell/s duty-cycle mean
+	got := empiricalRate(t, &m, 0xbeef, 300_000)
+	if e := relErr(got, want); e > 0.15 {
+		t.Errorf("empirical rate %.0f vs analytic %.0f (err %.1f%%)", got, want, 100*e)
+	}
+}
+
+// TestSuperpositionMeanRate checks that an aggregate of heterogeneous
+// sources converges to the sum of the component mean rates — the
+// multiplexed-link property Superposition exists for.
+func TestSuperpositionMeanRate(t *testing.T) {
+	onoff := &OnOff{
+		PeakInterval: 10 * sim.Microsecond,
+		MeanOn:       40 * sim.Microsecond,
+		MeanOff:      40 * sim.Microsecond,
+	}
+	mmpp := &MMPP2{
+		Rate1: 30e3, Rate2: 120e3,
+		Sojourn1: 100 * sim.Microsecond, Sojourn2: 50 * sim.Microsecond,
+	}
+	agg := &Superposition{Models: []Model{
+		NewCBR(40e3),
+		NewPoisson(60e3),
+		onoff,
+		mmpp,
+	}}
+	want := 40e3 + 60e3 + onoff.MeanRate() + mmpp.MeanRate()
+	got := empiricalRate(t, agg, 0xcafe, 400_000)
+	if e := relErr(got, want); e > 0.05 {
+		t.Errorf("aggregate rate %.0f vs component sum %.0f (err %.1f%%)", got, want, 100*e)
+	}
+}
