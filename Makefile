@@ -3,7 +3,7 @@ GO ?= go
 # raises it to minutes (make fuzz FUZZTIME=5m).
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke explore-smoke fuzz
+.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke explore-smoke profile-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -65,6 +65,18 @@ crash-resume-smoke:
 explore-smoke:
 	sh scripts/explore_smoke.sh
 
+# Profiler smoke: the -profile hotspot table is a deterministic artifact.
+# Two runs of the same experiment and seed must print byte-identical
+# "profile " lines; the wall-clock "phase " lines after them legitimately
+# differ and are excluded by the grep.
+profile-smoke:
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+		$(GO) build -o "$$tmp/castanet" ./cmd/castanet && \
+		"$$tmp/castanet" -experiment e1 -cells 300 -seed 7 -profile | grep '^profile ' > "$$tmp/p1" && \
+		"$$tmp/castanet" -experiment e1 -cells 300 -seed 7 -profile | grep '^profile ' > "$$tmp/p2" && \
+		test -s "$$tmp/p1" && cmp "$$tmp/p1" "$$tmp/p2" && \
+		echo "profile-smoke: deterministic hotspot table ok"
+
 # Coverage-guided fuzzing of the ipc frame, batch-frame, and envelope
 # decoders; seed corpora live in internal/ipc/testdata/fuzz/.
 fuzz:
@@ -81,9 +93,10 @@ bench:
 obs-bench:
 	OBS_BENCH_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestWriteObsBench -count=1 -v ./internal/obs/
 
-# Coupling throughput: batched vs unbatched δ-window round trips and the
-# steady-state batch-encoder allocation count, written to
+# Coupling throughput: batched vs unbatched δ-window round trips, the
+# steady-state batch-encoder allocation count, and the headline sim-rate
+# (clk_cycles_per_sec through the full coupled rig), written to
 # BENCH_coupling.json. CI's bench-gate job regenerates this file and
 # compares it against the committed baseline with cmd/benchgate.
 bench-all: obs-bench
-	COUPLING_BENCH_OUT=$(CURDIR)/BENCH_coupling.json $(GO) test -run TestWriteCouplingBench -count=1 -v ./internal/ipc/
+	COUPLING_BENCH_OUT=$(CURDIR)/BENCH_coupling.json $(GO) test -run 'TestWriteCouplingBench|TestWriteClockRateBench' -count=1 -v ./internal/ipc/

@@ -20,6 +20,13 @@
 //     vs disabled hot-path cost, from BENCH_obs.json) must not drift
 //     above the baseline by more than an absolute 0.05 — the baselines
 //     sit near zero, so a relative bound would gate noise, not cost;
+//   - clk_cycles_per_sec (the coupled workload's committed sim-rate, from
+//     make bench-all) must not fall below the baseline by more than the
+//     tolerance;
+//   - nil_*_ns_op figures (the disabled-instrumentation primitives) must
+//     not exceed the baseline by more than an absolute 2 ns — each
+//     measures a single pointer test, so a relative bound would gate
+//     timer noise;
 //
 // Absolute ns/op and cells/sec figures are printed for context but never
 // gated. Exit status: 0 clean, 1 regression, 2 usage/parse error.
@@ -117,19 +124,31 @@ const allocEpsilon = 0.5
 // than the committed baseline".
 const fracEpsilon = 0.05
 
-// gate classifies a flattened key: "higher" figures (speedups) fail when
-// they fall below the baseline, "lower" figures (allocation counts) fail
-// when they rise above it, "absdrift" figures (overhead fractions) fail
-// when they exceed the baseline by fracEpsilon, "info" figures are
-// printed unjudged.
+// nsEpsilon is the absolute drift allowed on nil_*_ns_op figures: the
+// disabled-instrumentation primitives (one pointer test) measure 0–1 ns,
+// where any relative bound is pure noise. 2 ns of headroom still catches a
+// disabled path that grew real work.
+const nsEpsilon = 2.0
+
+// gate classifies a flattened key: "higher" figures (speedups and the
+// committed clk_cycles_per_sec sim-rate) fail when they fall below the
+// baseline, "lower" figures (allocation counts) fail when they rise above
+// it, "absdrift" figures (overhead fractions) fail when they exceed the
+// baseline by fracEpsilon, "absns" figures (nil-handle primitives) fail
+// when they exceed the baseline by nsEpsilon, "info" figures are printed
+// unjudged.
 func gate(key string) string {
 	switch {
 	case strings.HasPrefix(key, "speedup_"):
+		return "higher"
+	case strings.Contains(key, "clk_cycles_per_sec"):
 		return "higher"
 	case strings.Contains(key, "allocs_per"):
 		return "lower"
 	case strings.Contains(key, "enabled_overhead_frac"):
 		return "absdrift"
+	case strings.Contains(key, "nil_") && strings.HasSuffix(key, "_ns_op"):
+		return "absns"
 	default:
 		return "info"
 	}
@@ -181,6 +200,13 @@ func compare(base, cur map[string]float64, tol float64, out io.Writer) int {
 			}
 		case "absdrift":
 			if c > b+fracEpsilon {
+				verdict = "REGRESSION"
+				regressions++
+			} else {
+				verdict = "ok"
+			}
+		case "absns":
+			if c > b+nsEpsilon {
 				verdict = "REGRESSION"
 				regressions++
 			} else {

@@ -154,6 +154,62 @@ func TestGateToleratesOverheadJitter(t *testing.T) {
 	}
 }
 
+// rateReport builds a report carrying the committed sim-rate and a
+// disabled-profiler primitive, the two figures the profiler PR put under
+// the gate.
+func rateReport(t *testing.T, dir, name string, cyclesPerSec, nilProfileNs float64) string {
+	t.Helper()
+	doc := `{
+  "clk_cycles_per_sec": ` + f(cyclesPerSec) + `,
+  "nil_profile_ns_op": ` + f(nilProfileNs) + `
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsSimRateDrop pins the sim-rate contract: clk_cycles_per_sec
+// gates like a speedup — a 20% drop fails, a 10% dip passes.
+func TestGateFailsSimRateDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := rateReport(t, dir, "base.json", 120000, 0)
+	cur := rateReport(t, dir, "cur.json", 120000*0.80, 0)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("20%% sim-rate drop: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "clk_cycles_per_sec") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("output does not name the regressed figure:\n%s", out)
+	}
+	cur = rateReport(t, dir, "cur2.json", 120000*0.90, 0)
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("10%% sim-rate dip within tolerance: exit %d, want 0", code)
+	}
+}
+
+// TestGateFailsNilProfileGrowth pins the ~0 ns disabled-profiler claim:
+// nil_*_ns_op figures gate on absolute nanoseconds (baseline + 2 ns), so
+// the disabled path growing real work (say 0 -> 5 ns) fails while timer
+// jitter around zero passes.
+func TestGateFailsNilProfileGrowth(t *testing.T) {
+	dir := t.TempDir()
+	base := rateReport(t, dir, "base.json", 120000, 0)
+	cur := rateReport(t, dir, "cur.json", 120000, 5)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("nil-profile growth 0 -> 5 ns: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "nil_profile_ns_op") {
+		t.Fatalf("output does not name the grown figure:\n%s", out)
+	}
+	cur = rateReport(t, dir, "cur2.json", 120000, 1)
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("1 ns jitter within epsilon: exit %d, want 0", code)
+	}
+}
+
 // TestGateUsageErrors pins the exit-2 contract for missing inputs.
 func TestGateUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -64,10 +64,19 @@
 // /coverage. -cover-floor FILE additionally enforces the per-group
 // minimum ratios committed for the campaign (see COVER_FLOOR.json);
 // an unmet floor exits 1.
+//
+// -profile collects the simulation profile: a deterministic per-signal /
+// per-process hotspot table ("profile " lines, byte-identical for a given
+// seed) followed by the wall-clock phase breakdown ("phase " lines, host-
+// dependent). With -campaign the shard-exact merged activity also lands in
+// the digest's profile section and, under -serve, at /profile together
+// with the live phase times and sim-rate gauges. -profile-report FILE
+// additionally saves the profile as JSON (implies -profile).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	_ "net/http/pprof"
@@ -140,6 +149,8 @@ func run() int {
 		digest     = flag.String("digest", "", "campaign: write the deterministic digest file here (byte-identical across shard counts and resume)")
 		coverage   = flag.Bool("coverage", false, "collect functional coverage and print the per-group bin report")
 		coverFloor = flag.String("cover-floor", "", "campaign: enforce the per-group coverage floors committed in this JSON file (implies -coverage; unmet floors exit 1)")
+		profile    = flag.Bool("profile", false, "collect the simulation profile: deterministic per-signal/per-process hotspot table plus wall-clock phase breakdown")
+		profileOut = flag.String("profile-report", "", "write the simulation profile as JSON to this file (implies -profile)")
 
 		explore     = flag.Bool("explore", false, "run the coverage-guided scenario explorer over the switch rig instead of an experiment")
 		generations = flag.Int("generations", 8, "explore: campaign generations to evolve")
@@ -153,9 +164,13 @@ func run() int {
 	}
 
 	experiments.Batching(*batch)
+	profiling := *profile || *profileOut != ""
 
 	if *explore && *camp != "" {
 		return badFlags("-explore and -campaign are mutually exclusive")
+	}
+	if profiling && *explore {
+		return badFlags("-profile applies to experiments and campaigns, not -explore")
 	}
 	if *coverTarget != "" && !*explore {
 		return badFlags("-cover-target requires -explore")
@@ -184,6 +199,7 @@ func run() int {
 			checkpoint: *checkpoint, checkpointEvery: *ckEvery, resume: *resume,
 			noQuarantine: *noQuar, digest: *digest,
 			coverage: *coverage || *coverFloor != "", coverFloor: *coverFloor,
+			profile: profiling, profileOut: *profileOut,
 		})
 	}
 	if *coverFloor != "" {
@@ -215,10 +231,13 @@ func run() int {
 	// Observability is run-scoped: one registry and one trace ring shared
 	// by every selected experiment.
 	var run *obs.Run
-	if *metrics != "" || *trace != "" || *serve != "" || *coverage {
+	if *metrics != "" || *trace != "" || *serve != "" || *coverage || profiling {
 		run = obs.NewRun(obs.DefaultTraceCap)
 		if *traceN > 0 {
 			run.Cells = obs.NewCellTracker(*traceN, 0)
+		}
+		if profiling {
+			run.Profile = obs.NewRunProfile()
 		}
 		experiments.Observe(run)
 	}
@@ -249,8 +268,38 @@ func run() int {
 		if *coverage {
 			obs.WriteCoverText(os.Stdout, run.CoverReg().Snapshot())
 		}
+		if profiling {
+			// The "profile " lines are seed-deterministic (the profile-smoke
+			// CI job diffs them); the "phase " lines after them are
+			// wall-clock and vary run to run.
+			activity := run.Prof().Activity()
+			phases := run.Prof().PhaseProf().Snapshot()
+			obs.WriteActivityText(os.Stdout, activity, 10)
+			obs.WritePhaseText(os.Stdout, phases)
+			if *profileOut != "" {
+				if err := writeProfileFile(*profileOut, activity, phases); err != nil {
+					fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+					return 1
+				}
+			}
+		}
 	}
 	return 0
+}
+
+// writeProfileFile saves the simulation profile as JSON: the deterministic
+// activity half plus the wall-clock phase breakdown, mirroring the /profile
+// endpoint's document shape.
+func writeProfileFile(path string, activity obs.ActivitySnap, phases []obs.PhaseSnap) error {
+	doc := struct {
+		Activity obs.ActivitySnap `json:"activity"`
+		Phases   []obs.PhaseSnap  `json:"phases,omitempty"`
+	}{Activity: activity, Phases: phases}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // badFlags reports a campaign flag error the way unknown -experiment is
@@ -284,6 +333,8 @@ type campaignOpts struct {
 	digest          string
 	coverage        bool
 	coverFloor      string
+	profile         bool
+	profileOut      string
 }
 
 // defaultQuarantineAfter is the CLI's quarantine threshold: a cell whose
@@ -335,8 +386,14 @@ func runCampaign(o campaignOpts) int {
 	}
 
 	var obsRun *obs.Run
-	if metrics != "" || trace != "" || o.serve != "" {
+	if metrics != "" || trace != "" || o.serve != "" || o.profile {
 		obsRun = obs.NewRun(obs.DefaultTraceCap)
+		if o.profile {
+			// The campaign's live profile mirror: workers absorb each
+			// committed run's activity into it and accumulate phase wall
+			// time, so -serve's /profile tracks hotspots mid-campaign.
+			obsRun.Profile = obs.NewRunProfile()
+		}
 	}
 	quarantineAfter := defaultQuarantineAfter
 	if o.noQuarantine {
@@ -358,6 +415,7 @@ func runCampaign(o campaignOpts) int {
 		Checkpoint:      o.checkpoint,
 		CheckpointEvery: o.checkpointEvery,
 		Coverage:        o.coverage,
+		Profile:         o.profile,
 	}
 
 	if o.serve != "" {
@@ -406,6 +464,20 @@ func runCampaign(o campaignOpts) int {
 	sum.WriteReport(os.Stdout)
 	if o.coverage {
 		obs.WriteCoverText(os.Stdout, sum.Coverage)
+	}
+	if o.profile {
+		// The merged per-run activity is part of the deterministic summary
+		// (byte-identical at any shard count); the phase breakdown is the
+		// campaign's accumulated wall time and stays out of the digest.
+		phases := obsRun.Prof().PhaseProf().Snapshot()
+		obs.WriteActivityText(os.Stdout, sum.Activity, 10)
+		obs.WritePhaseText(os.Stdout, phases)
+		if o.profileOut != "" {
+			if err := writeProfileFile(o.profileOut, sum.Activity, phases); err != nil {
+				fmt.Fprintf(os.Stderr, "castanet: %v\n", err)
+				return 1
+			}
+		}
 	}
 	if o.digest != "" {
 		if err := writeDigestFile(o.digest, sum); err != nil {

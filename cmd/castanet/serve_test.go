@@ -62,3 +62,40 @@ func TestTelemetryLifecycle(t *testing.T) {
 		t.Error("telemetry still answering after stop")
 	}
 }
+
+// TestTelemetryContentTypes pins the Content-Type of every telemetry
+// endpoint, including the root index that lists them — Prometheus scrapers
+// and JSON consumers both dispatch on the header.
+func TestTelemetryContentTypes(t *testing.T) {
+	run := obs.NewRun(obs.DefaultTraceCap)
+	run.Profile = obs.NewRunProfile()
+	bound, stop, err := serveHTTP("127.0.0.1:0", obs.NewServer(run).Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/", "text/plain; charset=utf-8"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/healthz", "application/json"},
+		{"/coverage", "application/json"},
+		{"/profile", "application/json"},
+		{"/snapshot?n=1", "application/x-ndjson"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get("http://" + bound + c.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s answered %d, want 200", c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != c.want {
+			t.Errorf("GET %s Content-Type = %q, want %q", c.path, got, c.want)
+		}
+	}
+}

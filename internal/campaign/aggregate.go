@@ -57,6 +57,11 @@ type agg struct {
 	// fully order-independent, so coverage is byte-identical at any
 	// shard count by construction.
 	cover []obs.CoverGroupSnap
+	// activity is the entry-wise sum of the committed runs' simulation
+	// activity profiles (per-signal events, per-process runs). The same
+	// integer-merge argument as cover applies: byte-identical at any
+	// shard count.
+	activity obs.ActivitySnap
 }
 
 func newAgg() *agg { return &agg{stats: make(map[string]*statAgg)} }
@@ -80,6 +85,7 @@ func (a *agg) merge(b *agg) {
 		s.merge(bs)
 	}
 	a.cover = obs.MergeCover(a.cover, b.cover)
+	a.activity = obs.MergeActivity(a.activity, b.activity)
 }
 
 // Stat is one aggregated campaign statistic.

@@ -86,6 +86,9 @@ type Run struct {
 	reg      *obs.Registry
 	cover    *obs.CoverRegistry // fresh per attempt when coverage is on
 	coverage bool
+	prof     *obs.RunProfile // fresh per attempt when profiling is on
+	profile  bool
+	phases   *obs.PhaseProfile // shared live phase accumulator, may be nil
 	value    any
 }
 
@@ -122,6 +125,16 @@ func (r *Run) ObserveWall(stat string, v float64) {
 // coverage section is byte-identical at any shard count and across
 // kill/resume.
 func (r *Run) Cover() *obs.CoverRegistry { return r.cover }
+
+// Profile returns the run's simulation profile: a fresh obs.RunProfile per
+// attempt when Spec.Profile is on, nil otherwise (every profile handle is
+// nil-safe, so rigs instrument unconditionally). Its deterministic
+// activity half rides the campaign aggregate through the same held-queue
+// machinery as coverage, so the digest's profile section is byte-identical
+// at any shard count; its wall-clock phase half accumulates into the
+// campaign's shared live phase profile, which feeds telemetry only and
+// never a digest.
+func (r *Run) Profile() *obs.RunProfile { return r.prof }
 
 // SetValue attaches a payload to the run's Result for Spec.OnResult
 // collectors. Without a collector the payload is dropped when the run
@@ -167,6 +180,13 @@ type Spec struct {
 	// fingerprint — a resume must collect (or not collect) coverage
 	// exactly as the checkpointed campaign did.
 	Coverage bool
+	// Profile collects the simulation profile: every run gets a fresh
+	// obs.RunProfile (Run.Profile), the final attempt's deterministic
+	// activity snapshot merges entry-wise into the campaign aggregate, and
+	// the digest gains a deterministic profile section (activity counts
+	// only — wall-clock phase times stay in live telemetry). Like Coverage
+	// the flag is part of the checkpoint fingerprint.
+	Profile bool
 	// Obs, when non-nil, receives campaign metrics — per-shard labelled
 	// counters campaign.runs.shardK / campaign.failures.shardK /
 	// campaign.retries.shardK / campaign.gaveup.shardK, stat histograms,
@@ -523,6 +543,7 @@ func (e *engine) runShard(ctx context.Context, cancel context.CancelFunc,
 	tr := spec.Obs.Trace()
 	track := obs.TrackWorker(shard)
 	coverMirror := spec.Obs.CoverReg()
+	profMirror := spec.Obs.Prof()
 	runsC := reg.ShardCounter("campaign.runs", shard)
 	failsC := reg.ShardCounter("campaign.failures", shard)
 	retriesC := reg.ShardCounter("campaign.retries", shard)
@@ -554,7 +575,8 @@ func (e *engine) runShard(ctx context.Context, cancel context.CancelFunc,
 			}
 			continue
 		}
-		proto := Run{Index: i, Seed: seed, Shard: shard, Cell: cell, coverage: spec.Coverage}
+		proto := Run{Index: i, Seed: seed, Shard: shard, Cell: cell,
+			coverage: spec.Coverage, profile: spec.Profile, phases: profMirror.PhaseProf()}
 		tr.Begin(track, cell.Name(), wallPS())
 		started := time.Now()
 		out := spec.Policy.supervise(ctx, cell.Run, proto, reg, retriesC, gaveupC)
@@ -562,11 +584,13 @@ func (e *engine) runShard(ctx context.Context, cancel context.CancelFunc,
 		tr.End(track, cell.Name(), wallPS())
 		runsC.Inc()
 		if out.agg != nil {
-			// Live telemetry mirror: /coverage tracks closure while the
-			// campaign runs. Absorb order is scheduling-dependent, which is
-			// fine here — the deterministic artifact is the aggregate's
-			// cover, committed under the held-queue discipline below.
+			// Live telemetry mirror: /coverage tracks closure and /profile
+			// tracks hotspots while the campaign runs. Absorb order is
+			// scheduling-dependent, which is fine here — the deterministic
+			// artifacts are the aggregate's cover and activity, committed
+			// under the held-queue discipline below.
 			coverMirror.Absorb(out.agg.cover)
+			profMirror.AbsorbActivity(out.agg.activity)
 		}
 
 		if out.err != nil && ctx.Err() != nil {
@@ -708,7 +732,7 @@ func (e *engine) snapshotState() *checkpointState {
 		snap := ckShard{
 			done: st.done, completed: st.completed, failTotal: st.failTotal,
 			quarantined: st.quarantined, retried: st.retried, gaveUp: st.gaveUp,
-			stats: st.agg.summary(), cover: st.agg.cover,
+			stats: st.agg.summary(), cover: st.agg.cover, activity: st.agg.activity,
 		}
 		for _, f := range st.failures {
 			snap.failures = append(snap.failures, ckFailure{index: f.Index, seed: f.Seed,
@@ -719,6 +743,7 @@ func (e *engine) snapshotState() *checkpointState {
 			if h.agg != nil {
 				ch.stats = h.agg.summary()
 				ch.cover = h.agg.cover
+				ch.activity = h.agg.activity
 			}
 			if h.fail != nil {
 				ch.fail = &ckFailure{index: h.fail.Index, seed: h.fail.Seed,
@@ -763,15 +788,17 @@ func (e *engine) restore(ck *checkpointState) {
 		st.gaveUp = snap.gaveUp
 		st.agg = aggFromStats(snap.stats)
 		st.agg.cover = snap.cover
+		st.agg.activity = snap.activity
 		for _, f := range snap.failures {
 			st.failures = append(st.failures, Failure{Index: f.index, Seed: f.seed,
 				Cell: f.cell, Detail: f.detail, label: f.label})
 		}
 		for _, h := range snap.held {
 			ha := heldAgg{cell: int(h.index % cells), ord: h.index / cells, index: h.index}
-			if len(h.stats) > 0 || len(h.cover) > 0 {
+			if len(h.stats) > 0 || len(h.cover) > 0 || !h.activity.Empty() {
 				ha.agg = aggFromStats(h.stats)
 				ha.agg.cover = h.cover
+				ha.agg.activity = h.activity
 			}
 			if h.fail != nil {
 				ha.fail = &Failure{Index: h.fail.index, Seed: h.fail.seed,
@@ -841,6 +868,7 @@ func (e *engine) summarize(epoch time.Time) *Summary {
 	}
 	sum.Stats = merged.summary()
 	sum.Coverage = merged.cover
+	sum.Activity = merged.activity
 	sum.Failures = mergeFailures(lists, spec.digestMax())
 	return sum
 }
@@ -944,7 +972,8 @@ func Replay(ctx context.Context, spec Spec, index uint64) (Result, error) {
 	}
 	cell := spec.cellFor(index)
 	reg := spec.Obs.Reg()
-	proto := Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell, coverage: spec.Coverage}
+	proto := Run{Index: index, Seed: sim.DeriveSeed(spec.Seed, index), Cell: cell,
+		coverage: spec.Coverage, profile: spec.Profile, phases: spec.Obs.Prof().PhaseProf()}
 	start := time.Now()
 	out := spec.Policy.supervise(ctx, cell.Run, proto, reg,
 		reg.ShardCounter("campaign.retries", 0), reg.ShardCounter("campaign.gaveup", 0))

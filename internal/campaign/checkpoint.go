@@ -26,9 +26,10 @@ var ErrCheckpoint = errors.New("campaign: bad checkpoint")
 //	offset 10  u32    payload length
 //	offset 14  payload
 //
-// Payload v2 (strings are u32 length + bytes; f64 is IEEE-754 bits).
-// v2 adds a coverage block after each stats block — to the shard
-// snapshot and to every held entry; v1 files (no coverage) are rejected
+// Payload v3 (strings are u32 length + bytes; f64 is IEEE-754 bits).
+// v2 added a coverage block after each stats block — to the shard
+// snapshot and to every held entry; v3 adds an activity block (the
+// simulation profile) after each coverage block. Older files are rejected
 // by version, not silently misread:
 //
 //	u64 spec fingerprint          u64 seed
@@ -41,16 +42,19 @@ var ErrCheckpoint = errors.New("campaign: bad checkpoint")
 //	  u32 nstats × {str name, u64 count, f64 sum, f64 min, f64 max}
 //	  u32 ngroups × {str group, u32 npoints ×
 //	    {str point, u32 nbins × {str bin, u64 hits}}}
+//	  u32 nsignals × {str name, u64 width, u64 events, u64 twoState}
+//	  u32 nprocs   × {str name, u64 runs, u64 deltaRuns}
 //	  u32 nfail  × {u64 index, u64 seed, str cell, str label, str detail}
 //	  u32 nheld  × {u64 index, u8 hasFail, [fail as above],
-//	    u32 nstats × {...}, u32 ngroups × {...}}
+//	    u32 nstats × {...}, u32 ngroups × {...},
+//	    u32 nsignals × {...}, u32 nprocs × {...}}
 //	board (when present): u32 ncells ×
 //	  {u64 decided, u64 consec, u64 chainFirst, u8 quarantined,
 //	   u64 e, u64 firstFail,
 //	   u32 npending × {u64 ord, u64 index, u8 failed, u8 gaveUp}}
 const (
 	ckptMagic   = "CKPT"
-	ckptVersion = 2
+	ckptVersion = 3
 )
 
 // ckFailure is one persisted digest entry. The label is materialized at
@@ -65,10 +69,11 @@ type ckFailure struct {
 // digest retention await their final quarantine classification. Cell and
 // ordinal re-derive from the index.
 type ckHeld struct {
-	index uint64
-	fail  *ckFailure
-	stats []Stat
-	cover []obs.CoverGroupSnap
+	index    uint64
+	fail     *ckFailure
+	stats    []Stat
+	cover    []obs.CoverGroupSnap
+	activity obs.ActivitySnap
 }
 
 // ckShard is one shard's persisted snapshot.
@@ -77,6 +82,7 @@ type ckShard struct {
 	quarantined, retried, gaveUp int
 	stats                        []Stat
 	cover                        []obs.CoverGroupSnap
+	activity                     obs.ActivitySnap
 	failures                     []ckFailure
 	held                         []ckHeld
 }
@@ -110,16 +116,16 @@ type checkpointState struct {
 // specFingerprint hashes everything the resumed campaign must agree on:
 // identity, seed, run count, effective shard count (per-shard float sums
 // only merge deterministically at a fixed shard count), digest bound,
-// supervision policy, the coverage flag (a resume must collect coverage
-// exactly as the checkpointed campaign did, or the merged section would
-// be partial), and the matrix cell names in order.
+// supervision policy, the coverage and profile flags (a resume must
+// collect each exactly as the checkpointed campaign did, or the merged
+// sections would be partial), and the matrix cell names in order.
 func specFingerprint(s *Spec, shards int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "ckpt-v2|%s|%d|%d|%d|%d|%v|%d|%v|%v|%d|cov=%v|",
+	fmt.Fprintf(h, "ckpt-v3|%s|%d|%d|%d|%d|%v|%d|%v|%v|%d|cov=%v|prof=%v|",
 		s.Name, s.Seed, s.Runs, shards, s.digestMax(),
 		s.Policy.RunTimeout, s.Policy.Retries,
 		s.Policy.retryBase(), s.Policy.retryCap(), s.Policy.QuarantineAfter,
-		s.Coverage)
+		s.Coverage, s.Profile)
 	for _, c := range s.Matrix {
 		fmt.Fprintf(h, "%s|", c.Name())
 	}
@@ -171,6 +177,22 @@ func (e *ckEnc) cover(gs []obs.CoverGroupSnap) {
 				e.u64(b.Hits)
 			}
 		}
+	}
+}
+
+func (e *ckEnc) activity(a obs.ActivitySnap) {
+	e.u32(uint32(len(a.Signals)))
+	for _, s := range a.Signals {
+		e.str(s.Name)
+		e.u64(uint64(s.Width))
+		e.u64(s.Events)
+		e.u64(s.TwoState)
+	}
+	e.u32(uint32(len(a.Processes)))
+	for _, p := range a.Processes {
+		e.str(p.Name)
+		e.u64(p.Runs)
+		e.u64(p.DeltaRuns)
 	}
 }
 
@@ -266,6 +288,24 @@ func (d *ckDec) cover() []obs.CoverGroupSnap {
 	return out
 }
 
+func (d *ckDec) activity() obs.ActivitySnap {
+	var a obs.ActivitySnap
+	ns := d.count()
+	for i := 0; i < ns && d.err == nil; i++ {
+		a.Signals = append(a.Signals, obs.SignalActivity{
+			Name: d.str(), Width: int(d.u64()), Events: d.u64(), TwoState: d.u64()})
+	}
+	np := d.count()
+	for i := 0; i < np && d.err == nil; i++ {
+		a.Processes = append(a.Processes, obs.ProcessActivity{
+			Name: d.str(), Runs: d.u64(), DeltaRuns: d.u64()})
+	}
+	if d.err != nil {
+		return obs.ActivitySnap{}
+	}
+	return a
+}
+
 func (d *ckDec) failure() ckFailure {
 	return ckFailure{index: d.u64(), seed: d.u64(),
 		cell: d.str(), label: d.str(), detail: d.str()}
@@ -288,6 +328,7 @@ func encodeCheckpoint(ck *checkpointState) []byte {
 		e.u64(uint64(s.gaveUp))
 		e.stats(s.stats)
 		e.cover(s.cover)
+		e.activity(s.activity)
 		e.u32(uint32(len(s.failures)))
 		for _, f := range s.failures {
 			e.failure(f)
@@ -301,6 +342,7 @@ func encodeCheckpoint(ck *checkpointState) []byte {
 			}
 			e.stats(h.stats)
 			e.cover(h.cover)
+			e.activity(h.activity)
 		}
 	}
 	if ck.hasBoard {
@@ -351,6 +393,7 @@ func decodeCheckpoint(payload []byte) (*checkpointState, error) {
 			stats:       d.stats(),
 		}
 		snap.cover = d.cover()
+		snap.activity = d.activity()
 		nfail := d.count()
 		for i := 0; i < nfail && d.err == nil; i++ {
 			snap.failures = append(snap.failures, d.failure())
@@ -364,6 +407,7 @@ func decodeCheckpoint(payload []byte) (*checkpointState, error) {
 			}
 			h.stats = d.stats()
 			h.cover = d.cover()
+			h.activity = d.activity()
 			snap.held = append(snap.held, h)
 		}
 		ck.snaps = append(ck.snaps, snap)

@@ -1,0 +1,196 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"castanet/internal/hdl"
+	"castanet/internal/sim"
+)
+
+// profileMatrix is the synthetic stand-in for profiled rigs: each run
+// builds a tiny HDL kernel, attaches its activity snapshot to the run's
+// profile, and clocks a seed-derived number of steps — so the per-signal
+// event counts and per-process run counts are a pure function of the
+// run's seed, the contract the real rigs honour.
+func profileMatrix() []Cell {
+	run := func(ctx context.Context, r *Run) error {
+		rng := r.RNG()
+		h := hdl.New()
+		if p := r.Profile(); p != nil {
+			p.AttachActivitySource(h.EnableProfile().Snapshot)
+		}
+		clk := h.Bit("clk", hdl.U)
+		h.Clock(clk, 2*sim.Nanosecond)
+		n := 0
+		h.Process("count", func() { n++ }, clk)
+		steps := 20 + int(rng.Uint64()%30)
+		for i := 0; i < steps; i++ {
+			if _, err := h.Step(); err != nil {
+				return err
+			}
+		}
+		r.Observe("steps", float64(steps))
+		return nil
+	}
+	return []Cell{
+		{Experiment: "synth", Run: run},
+		{Experiment: "synth", Fault: "noise", Run: run},
+	}
+}
+
+// profileSection extracts just the "profile " block from a digest body.
+func profileSection(t *testing.T, sum *Summary) string {
+	t.Helper()
+	body := digestBody(t, sum)
+	i := strings.Index(body, "profile ")
+	if i < 0 {
+		t.Fatalf("digest has no profile section:\n%s", body)
+	}
+	section := body[i:]
+	if j := strings.Index(section, "\nrun="); j >= 0 {
+		section = section[:j+1]
+	}
+	return section
+}
+
+func executeProfile(t *testing.T, shards int) *Summary {
+	t.Helper()
+	sum, err := Execute(context.Background(), Spec{
+		Name:    "prof-prop",
+		Seed:    42,
+		Runs:    120,
+		Shards:  shards,
+		Matrix:  profileMatrix(),
+		Profile: true,
+	})
+	if err != nil {
+		t.Fatalf("Execute(shards=%d): %v", shards, err)
+	}
+	return sum
+}
+
+// TestProfileSectionDeterministicAcrossShards is the profiler's merge
+// property: the digest's profile section — integer event and run counts
+// in hotspot order — must be byte-identical no matter how many shards
+// the campaign fanned across.
+func TestProfileSectionDeterministicAcrossShards(t *testing.T) {
+	ref := executeProfile(t, 1)
+	refSection := profileSection(t, ref)
+	if !strings.Contains(refSection, "profile signal=clk") {
+		t.Fatalf("reference profile section malformed:\n%s", refSection)
+	}
+	if !strings.Contains(refSection, "profile process=count") {
+		t.Fatalf("process line missing from section:\n%s", refSection)
+	}
+	refBody := digestBody(t, ref)
+	for _, shards := range []int{2, 5} {
+		got := executeProfile(t, shards)
+		if s := profileSection(t, got); s != refSection {
+			t.Errorf("profile section differs between 1 and %d shards:\n-- 1 shard --\n%s-- %d shards --\n%s",
+				shards, refSection, shards, s)
+		}
+		if b := digestBody(t, got); b != refBody {
+			t.Errorf("digest body differs between 1 and %d shards", shards)
+		}
+	}
+}
+
+// TestProfileCheckpointResumeDeterministic extends the durability
+// property to the profiler: interrupt a checkpointed campaign mid-flight,
+// resume it, and the merged activity — and with it the whole digest body
+// — is byte-identical to an uninterrupted run. This exercises the
+// checkpoint's activity encode/decode and the resume restore path.
+func TestProfileCheckpointResumeDeterministic(t *testing.T) {
+	for _, shards := range []int{2, 5} {
+		base := Spec{
+			Name:    "prof-ckpt",
+			Seed:    7,
+			Runs:    120,
+			Shards:  shards,
+			Matrix:  profileMatrix(),
+			Profile: true,
+		}
+		ref, err := Execute(context.Background(), base)
+		if err != nil {
+			t.Fatalf("shards=%d: reference Execute: %v", shards, err)
+		}
+
+		ck := filepath.Join(t.TempDir(), "campaign.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		interrupted := base
+		interrupted.Checkpoint = ck
+		interrupted.CheckpointEvery = 8
+		interrupted.OnResult = interruptAfter(40, cancel)
+		partial, err := Execute(ctx, interrupted)
+		cancel()
+		if err != nil {
+			t.Fatalf("shards=%d: interrupted Execute: %v", shards, err)
+		}
+		if partial.Skipped == 0 {
+			t.Fatalf("shards=%d: interruption skipped nothing; property is vacuous", shards)
+		}
+		if _, err := os.Stat(ck); err != nil {
+			t.Fatalf("shards=%d: no checkpoint written: %v", shards, err)
+		}
+
+		resumed := base
+		resumed.Checkpoint = ck
+		res, err := Resume(context.Background(), resumed)
+		if err != nil {
+			t.Fatalf("shards=%d: Resume: %v", shards, err)
+		}
+		if res.Skipped != 0 {
+			t.Errorf("shards=%d: resumed run skipped %d runs", shards, res.Skipped)
+		}
+		if got, want := digestBody(t, res), digestBody(t, ref); got != want {
+			t.Errorf("shards=%d: resumed digest body differs:\n-- resumed --\n%s-- reference --\n%s",
+				shards, got, want)
+		}
+		assertSameSummary(t, res, ref, fmt.Sprintf("profile shards=%d", shards))
+	}
+}
+
+// TestProfileOffStaysInvisible pins the opt-in contract: without
+// Spec.Profile the run hands rigs a nil profile (every attach and phase
+// attribution a no-op), the summary carries no activity, and the digest
+// gains no section.
+func TestProfileOffStaysInvisible(t *testing.T) {
+	sawNil := false
+	matrix := profileMatrix()
+	inner := matrix[0].Run
+	matrix[0].Run = func(ctx context.Context, r *Run) error {
+		if r.Profile() == nil {
+			sawNil = true
+		}
+		return inner(ctx, r)
+	}
+	sum, err := Execute(context.Background(), Spec{
+		Name:   "prof-off",
+		Seed:   3,
+		Runs:   40,
+		Shards: 2,
+		Matrix: matrix,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !sawNil {
+		t.Error("profile off: Run.Profile() was never nil")
+	}
+	if !sum.Activity.Empty() {
+		t.Errorf("profile off: summary carries activity: %d signals, %d processes",
+			len(sum.Activity.Signals), len(sum.Activity.Processes))
+	}
+	var b strings.Builder
+	if err := sum.WriteDigest(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "profile ") {
+		t.Errorf("profile off: digest grew a profile section:\n%s", b.String())
+	}
+}

@@ -41,7 +41,14 @@ type Summary struct {
 	// bins in definition order, hit counts summed bin-wise over every
 	// committed run — a pure function of the spec, independent of shard
 	// count and crash/resume boundaries.
-	Coverage    []obs.CoverGroupSnap
+	Coverage []obs.CoverGroupSnap
+	// Activity is the campaign's merged simulation activity profile (empty
+	// unless Spec.Profile): per-signal event counts and per-process run
+	// counts summed entry-wise over every committed run. Integer-derived
+	// like Coverage, so the digest's profile section is byte-identical at
+	// any shard count and across kill/resume. Wall-clock phase times are
+	// deliberately absent — they live in telemetry only.
+	Activity    obs.ActivitySnap
 	Quarantines []QuarantinedCell
 	// CheckpointErr is the last checkpoint write failure, nil when
 	// durability worked (or was not requested). It is an operational
@@ -95,8 +102,22 @@ func (s *Summary) WriteDigest(w io.Writer) error {
 	if err := s.writeCoverageSection(w); err != nil {
 		return err
 	}
+	if err := s.writeProfileSection(w); err != nil {
+		return err
+	}
 	_, err := io.WriteString(w, s.Digest())
 	return err
+}
+
+// writeProfileSection renders the digest's activity profile: the "profile "
+// lines of obs.WriteActivityText, truncated to the top 10 hotspots. Only
+// deterministic integer-derived activity appears here; the wall-clock phase
+// breakdown stays out of the digest by construction.
+func (s *Summary) writeProfileSection(w io.Writer) error {
+	if s.Activity.Empty() {
+		return nil
+	}
+	return obs.WriteActivityText(w, s.Activity, 10)
 }
 
 // writeCoverageSection renders the digest's coverage: section — one
@@ -177,6 +198,17 @@ func (s *Summary) WriteReport(w io.Writer) error {
 		hit, total := g.Covered()
 		if _, err := fmt.Fprintf(w, "  cover %-24s %d/%d bins (%.1f%%)\n",
 			g.Name, hit, total, 100*g.Ratio()); err != nil {
+			return err
+		}
+	}
+	if !s.Activity.Empty() {
+		events, twoState, runs, deltaRuns := s.Activity.Totals()
+		purity := 0.0
+		if events > 0 {
+			purity = 100 * float64(twoState) / float64(events)
+		}
+		if _, err := fmt.Fprintf(w, "  profile signals=%d events=%d purity=%.1f%% processes=%d runs=%d delta_runs=%d\n",
+			len(s.Activity.Signals), events, purity, len(s.Activity.Processes), runs, deltaRuns); err != nil {
 			return err
 		}
 	}

@@ -99,16 +99,24 @@ func (p Policy) supervise(ctx context.Context, fn RunFunc, proto Run,
 		if r.coverage {
 			r.cover = obs.NewCoverRegistry()
 		}
+		if r.profile {
+			// The attempt's activity is private (it must be discardable if
+			// the attempt is reaped or retried), but the wall-clock phases
+			// accumulate into the campaign's shared live profile — wall time
+			// was spent either way and never enters a digest.
+			r.prof = &obs.RunProfile{Phases: r.phases}
+		}
 		err, reaped := p.attempt(ctx, fn, &r)
 		out.attempts = attempt + 1
 		out.err = err
 		out.value, out.agg = nil, nil
 		if !reaped {
-			// Fold the attempt's coverage into its aggregate: a reaped
-			// attempt's registry may still be written by the abandoned
+			// Fold the attempt's coverage and activity into its aggregate: a
+			// reaped attempt's registry may still be written by the abandoned
 			// goroutine, so — like the stats — only a consumed attempt's
-			// coverage survives.
+			// snapshots survive.
 			r.agg.cover = r.cover.Snapshot()
+			r.agg.activity = r.prof.Activity()
 			out.value, out.agg = r.value, r.agg
 		}
 		switch {

@@ -22,6 +22,7 @@ package cosim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"castanet/internal/hdl"
 	"castanet/internal/ipc"
@@ -93,6 +94,7 @@ type Entity struct {
 	obsReg       *obs.Registry // for per-kind queue gauges declared after Instrument
 	tracer       *obs.Tracer
 	coverLag     *obs.CoverPoint
+	phases       *obs.PhaseProfile // wall-time phase attribution (nil-safe)
 }
 
 // lagHistBoundsPS are the lag-histogram bucket bounds in picoseconds:
@@ -132,6 +134,13 @@ func (e *Entity) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 // windows. Safe on a nil registry.
 func (e *Entity) InstrumentCover(c *obs.CoverRegistry) {
 	e.coverLag = c.Group("cosim.sync").Range("lag_ps", 0, 1000000, 10000000, 100000000)
+}
+
+// InstrumentProfile routes the entity's wall-time phase accounting into
+// the profile: every HDL execution window (runBefore/runThrough) adds to
+// the PhaseHDL accumulator. Safe with a nil profile.
+func (e *Entity) InstrumentProfile(p *obs.PhaseProfile) {
+	e.phases = p
 }
 
 // NewEntity wraps an HDL simulator. Input queues are declared with Input
@@ -273,6 +282,9 @@ func (e *Entity) Deliver(msg ipc.Message) error {
 // (§3.1: "allowed to process all events with a time stamp smaller than
 // t_k, but not equal").
 func (e *Entity) runBefore(t sim.Time) error {
+	if e.phases != nil {
+		defer e.phaseHDL(time.Now())
+	}
 	for e.HDL.NextTime() < t {
 		if _, err := e.HDL.Step(); err != nil {
 			return err
@@ -283,12 +295,20 @@ func (e *Entity) runBefore(t sim.Time) error {
 
 // runThrough executes HDL events up to and including t.
 func (e *Entity) runThrough(t sim.Time) error {
+	if e.phases != nil {
+		defer e.phaseHDL(time.Now())
+	}
 	for e.HDL.NextTime() <= t {
 		if _, err := e.HDL.Step(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// phaseHDL attributes the elapsed wall time since start to the HDL phase.
+func (e *Entity) phaseHDL(start time.Time) {
+	e.phases.Add(obs.PhaseHDL, time.Since(start))
 }
 
 // drainReady applies every queued message whose stamp the global bound

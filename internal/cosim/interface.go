@@ -103,6 +103,7 @@ type InterfaceProcess struct {
 	obsFlushUs   *obs.Histogram
 	tracer       *obs.Tracer
 	coverBatch   *obs.CoverPoint
+	phases       *obs.PhaseProfile // wall-time phase attribution (nil-safe)
 }
 
 // Instrument routes the interface-model statistics into the registry
@@ -130,6 +131,15 @@ func (p *InterfaceProcess) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 // saturated. Safe on a nil registry.
 func (p *InterfaceProcess) InstrumentCover(c *obs.CoverRegistry) {
 	p.coverBatch = c.Group("cosim.coupling").Range("batch_cells", 1, 4, 16, 64)
+}
+
+// InstrumentProfile routes the interface model's wall-time phase
+// accounting into the profile: packet encoding, response decoding and
+// coupling transport (with nested HDL time subtracted — a direct coupling
+// executes the entity, and therefore the HDL kernel, inside Send). Safe
+// with a nil profile.
+func (p *InterfaceProcess) InstrumentProfile(prof *obs.PhaseProfile) {
+	p.phases = prof
 }
 
 // Err returns the coupling failure that terminated the run, or nil. Rigs
@@ -174,7 +184,14 @@ func (p *InterfaceProcess) Arrival(ctx *netsim.Ctx, pkt *netsim.Packet, port int
 	if p.Classify != nil {
 		kind = p.Classify(pkt, port)
 	}
+	var encStart time.Time
+	if p.phases != nil {
+		encStart = time.Now()
+	}
 	data, err := p.Registry.Encode(kind, pkt.Data)
+	if p.phases != nil {
+		p.phases.Add(obs.PhaseEncode, time.Since(encStart))
+	}
 	if err != nil {
 		p.fail(ctx, fmt.Errorf("cosim: encoding packet for kind %d: %w", kind, err))
 		return
@@ -257,7 +274,12 @@ func (p *InterfaceProcess) flush(ctx *netsim.Ctx) {
 		p.tracer.Begin(obs.TrackCoupling, "batch flush", int64(ctx.Now()))
 	}
 	start := time.Now()
+	hdlBefore := p.phases.Ns(obs.PhaseHDL)
 	resps, err := p.Coupling.(BatchCoupling).SendBatch(msgs)
+	if p.phases != nil {
+		nested := p.phases.Ns(obs.PhaseHDL) - hdlBefore
+		p.phases.AddNs(obs.PhaseTransport, int64(time.Since(start))-nested)
+	}
 	p.obsBatches.Inc()
 	if p.obsBatchSize != nil {
 		p.obsBatchSize.Observe(float64(len(msgs)))
@@ -286,7 +308,17 @@ func (p *InterfaceProcess) push(ctx *netsim.Ctx, msg ipc.Message) {
 	if span {
 		p.tracer.Begin(obs.TrackCoupling, kindSpanName(msg.Kind), int64(msg.Time))
 	}
+	var start time.Time
+	var hdlBefore int64
+	if p.phases != nil {
+		start = time.Now()
+		hdlBefore = p.phases.Ns(obs.PhaseHDL)
+	}
 	resps, err := p.Coupling.Send(msg)
+	if p.phases != nil {
+		nested := p.phases.Ns(obs.PhaseHDL) - hdlBefore
+		p.phases.AddNs(obs.PhaseTransport, int64(time.Since(start))-nested)
+	}
 	if span {
 		p.tracer.End(obs.TrackCoupling, kindSpanName(msg.Kind), int64(msg.Time))
 	}
@@ -343,6 +375,12 @@ func kindSpanName(k ipc.Kind) string {
 
 func (p *InterfaceProcess) decode(m ipc.Message) (interface{}, error) {
 	if _, ok := p.Registry.Lookup(m.Kind); ok {
+		if p.phases != nil {
+			start := time.Now()
+			v, err := p.Registry.Decode(m.Kind, m.Data)
+			p.phases.Add(obs.PhaseDecode, time.Since(start))
+			return v, err
+		}
 		return p.Registry.Decode(m.Kind, m.Data)
 	}
 	// Unregistered response kinds pass through as raw bytes.

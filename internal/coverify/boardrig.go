@@ -56,7 +56,7 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 		cfg.SyncEvery = 50 * sim.Microsecond
 	}
 	r := &BoardRig{Cfg: cfg}
-	hdrVPI, hdrVCI, hdrPTI, hdrCLP := coverHeaderPoints(cfg.Cover)
+	hdrVPI, hdrVCI, hdrPTI, hdrCLP0, hdrCLP1 := coverHeaderPoints(cfg.Cover)
 	r.coverCmp = coverCmpPoint(cfg.Cover)
 
 	r.Dev = cyclesim.NewSwitch(cfg.Table, cfg.Switch.InFifoCells, cfg.Switch.OutFifoCells)
@@ -134,7 +134,7 @@ func NewBoardRig(cfg SwitchRigConfig, memDepth int) (*BoardRig, error) {
 				r.nextSeq++
 				r.Offered++
 				c.StampSeq()
-				coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP, c.Header)
+				coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP0, hdrCLP1, c.Header)
 				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
 			},
 		}

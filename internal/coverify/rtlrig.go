@@ -46,7 +46,7 @@ func NewRTLRig(cfg SwitchRigConfig) *RTLRig {
 	r.HDL.Clock(clk, cfg.ClockPeriod)
 	r.DUT = dut.NewSwitch(r.HDL, clk, cfg.Table, cfg.Switch)
 	r.DUT.InstrumentCover(cfg.Cover)
-	hdrVPI, hdrVCI, hdrPTI, hdrCLP := coverHeaderPoints(cfg.Cover)
+	hdrVPI, hdrVCI, hdrPTI, hdrCLP0, hdrCLP1 := coverHeaderPoints(cfg.Cover)
 
 	rng := sim.NewRNG(cfg.Seed)
 	var seq uint32
@@ -83,7 +83,7 @@ func NewRTLRig(cfg SwitchRigConfig) *RTLRig {
 			c.Seq = seq
 			seq++
 			r.Offered++
-			coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP, c.Header)
+			coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP0, hdrCLP1, c.Header)
 			for b := 4; b < len(c.Payload); b++ {
 				c.Payload[b] = byte(uint32(b) * (c.Seq + 1))
 			}

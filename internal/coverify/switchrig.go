@@ -92,6 +92,13 @@ type SwitchRigConfig struct {
 	// (DESIGN.md §15). Every handle is nil-safe, so the rig instruments
 	// unconditionally at ~0 ns when coverage is off.
 	Cover *obs.CoverRegistry
+	// Profile, when non-nil, receives the run's simulation profile: the
+	// HDL kernel's deterministic activity attribution (per-signal events,
+	// two-state purity, per-process runs and delta churn) is attached as a
+	// live source, and the co-simulation entity and interface attribute
+	// their wall-clock phase times (HDL execution, encode/decode,
+	// transport) into its phase profile. Nil-safe like every obs handle.
+	Profile *obs.RunProfile
 	// Trace, when non-nil, records run-scoped events (δ-windows, coupling
 	// messages, rig phases) for Chrome trace-event export.
 	Trace *obs.Tracer
@@ -176,33 +183,41 @@ type SwitchRig struct {
 	// Offered counts cells injected into the environment.
 	Offered uint64
 
-	// coverCmp bins comparison verdicts (match/mismatch) when the rig
-	// carries a cover registry; nil-safe like every obs handle.
-	coverCmp *obs.CoverPoint
+	// runWall accumulates the wall-clock time spent inside Run, feeding the
+	// sim-rate gauges and the profile's whole-run total (telemetry only —
+	// wall time never enters a deterministic artifact).
+	runWall time.Duration
+
+	// coverMatch/coverMismatch bin comparison verdicts when the rig
+	// carries a cover registry: cached bin handles, so the per-cell hot
+	// path is one counter increment with no label lookup. Nil-safe like
+	// every obs handle.
+	coverMatch    *obs.CoverHit
+	coverMismatch *obs.CoverHit
 }
 
 // coverHeaderPoints defines the shared cell-header cover group on c and
 // returns the stamp-site handles (all nil when c is nil). SwitchRig and
 // BoardRig sources both stamp headers through it, so the two rigs report
 // against one schema.
-func coverHeaderPoints(c *obs.CoverRegistry) (vpi, vci, pti *obs.CoverPoint, clp *obs.CoverPoint) {
+func coverHeaderPoints(c *obs.CoverRegistry) (vpi, vci, pti *obs.CoverPoint, clp0, clp1 *obs.CoverHit) {
 	g := c.Group("coverify.cell_header")
 	vpi = g.Range("vpi", 1, 2, 4, 8, 16)
 	vci = g.Range("vci", 63, 127, 255, 1023)
 	pti = g.Range("pti", 0, 3, 7)
-	clp = g.Point("clp", "clp0", "clp1")
-	return vpi, vci, pti, clp
+	clp := g.Point("clp", "clp0", "clp1")
+	return vpi, vci, pti, clp.Handle("clp0"), clp.Handle("clp1")
 }
 
 // coverHeaderHit bins one stamped cell header.
-func coverHeaderHit(vpi, vci, pti, clp *obs.CoverPoint, h atm.Header) {
+func coverHeaderHit(vpi, vci, pti *obs.CoverPoint, clp0, clp1 *obs.CoverHit, h atm.Header) {
 	vpi.Observe(int64(h.VPI))
 	vci.Observe(int64(h.VCI))
 	pti.Observe(int64(h.PTI))
 	if h.CLP != 0 {
-		clp.Hit("clp1")
+		clp1.Hit()
 	} else {
-		clp.Hit("clp0")
+		clp0.Hit()
 	}
 }
 
@@ -229,12 +244,17 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		cfg.SyncEvery = 50 * sim.Microsecond
 	}
 	r := &SwitchRig{Cfg: cfg, injected: make(map[uint32]sim.Time)}
-	hdrVPI, hdrVCI, hdrPTI, hdrCLP := coverHeaderPoints(cfg.Cover)
-	r.coverCmp = coverCmpPoint(cfg.Cover)
+	hdrVPI, hdrVCI, hdrPTI, hdrCLP0, hdrCLP1 := coverHeaderPoints(cfg.Cover)
+	cmpPoint := coverCmpPoint(cfg.Cover)
+	r.coverMatch = cmpPoint.Handle("match")
+	r.coverMismatch = cmpPoint.Handle("mismatch")
 
 	// Hardware side: switch DUT plus the co-simulation entity.
 	r.HDL = hdl.New()
 	r.HDL.Instrument(cfg.Metrics, "hdl.sim")
+	if cfg.Profile != nil {
+		cfg.Profile.AttachActivitySource(r.HDL.EnableProfile().Snapshot)
+	}
 	clk := r.HDL.Bit("clk", hdl.U)
 	r.HDL.Clock(clk, cfg.ClockPeriod)
 	r.DUT = dut.NewSwitch(r.HDL, clk, cfg.Table, cfg.Switch)
@@ -242,6 +262,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 	r.Entity = cosim.NewEntity(r.HDL)
 	r.Entity.Instrument(cfg.Metrics, cfg.Trace)
 	r.Entity.InstrumentCover(cfg.Cover)
+	r.Entity.InstrumentProfile(cfg.Profile.PhaseProf())
 	r.Entity.Cells = cfg.Cells
 	r.Entity.Recorder = cfg.Recorder
 	for p := 0; p < dut.SwitchPorts; p++ {
@@ -363,6 +384,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 	}
 	r.Iface.Instrument(cfg.Metrics, cfg.Trace)
 	r.Iface.InstrumentCover(cfg.Cover)
+	r.Iface.InstrumentProfile(cfg.Profile.PhaseProf())
 
 	refNode := r.Net.Node("refswitch", r.Ref)
 	ifaceNode := r.Net.Node("castanet", r.Iface)
@@ -390,7 +412,7 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 					c.Payload[b] = byte(uint32(b) * (c.Seq + 1))
 				}
 				c.StampSeq()
-				coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP, c.Header)
+				coverHeaderHit(hdrVPI, hdrVCI, hdrPTI, hdrCLP0, hdrCLP1, c.Header)
 				r.injected[c.Seq] = ctx.Now()
 				cfg.Cells.Hop(uint64(c.Seq)+1, obs.HopNetEnqueue, int64(ctx.Now()))
 				return ctx.Net().NewPacket("cell", c, atm.CellBytes*8)
@@ -421,6 +443,13 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 // produced inside late δ-windows (whose hardware stamps may exceed the
 // horizon) are still delivered, then flushes the hardware pipeline.
 func (r *SwitchRig) Run(until sim.Time) error {
+	start := time.Now()
+	defer func() {
+		wall := time.Since(start)
+		r.runWall += wall
+		r.Cfg.Profile.PhaseProf().AddTotal(wall)
+		r.publishRates()
+	}()
 	tr := r.Cfg.Trace
 	r.Cfg.Recorder.Note("rig", int64(r.Net.Sched.Now()), "run to horizon %v", until)
 	tr.Begin(obs.TrackRig, "run", int64(r.Net.Sched.Now()))
@@ -457,6 +486,32 @@ func (r *SwitchRig) publishObs() {
 	reg.Gauge("coverify.clock_cycles").Set(float64(r.ClockCycles()))
 	reg.Gauge("cosim.entity.max_lag_ps").Set(float64(r.Entity.MaxLag))
 }
+
+// publishRates writes the sim-rate gauges: simulated work per wall-clock
+// second, the co-simulation speed figures an operator watches on /profile.
+// The ".rate." name segment is the convention the telemetry server extracts.
+func (r *SwitchRig) publishRates() {
+	reg := r.Cfg.Metrics
+	if reg == nil {
+		return
+	}
+	w := r.runWall.Seconds()
+	if w <= 0 {
+		return
+	}
+	reg.Gauge("coverify.rate.cells_per_sec").Set(float64(r.DUTDelivered()) / w)
+	reg.Gauge("coverify.rate.signal_events_per_sec").Set(float64(r.HDL.Events()) / w)
+	reg.Gauge("coverify.rate.clk_cycles_per_sec").Set(float64(r.ClockCycles()) / w)
+}
+
+// ActivitySnapshot returns the HDL kernel's deterministic activity profile
+// (empty unless Cfg.Profile enabled it).
+func (r *SwitchRig) ActivitySnapshot() obs.ActivitySnap {
+	return r.HDL.Profile().Snapshot()
+}
+
+// RunWall returns the accumulated wall-clock time spent inside Run.
+func (r *SwitchRig) RunWall() time.Duration { return r.runWall }
 
 // drainMargin is a generous bound on how long in-flight cells can linger:
 // every FIFO in the switch emptied at line rate, several times over.
@@ -512,9 +567,9 @@ func (r *SwitchRig) compare(port int, c *atm.Cell, simPS int64) {
 	if ms := r.Cmp.Mismatches(); len(ms) > before {
 		m := ms[len(ms)-1]
 		r.Cfg.Recorder.NoteCell(uint64(m.Seq)+1, "cmp", simPS, "port %d: %s", port, m)
-		r.coverCmp.Hit("mismatch")
+		r.coverMismatch.Hit()
 	} else {
-		r.coverCmp.Hit("match")
+		r.coverMatch.Hit()
 	}
 }
 

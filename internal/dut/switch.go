@@ -59,8 +59,17 @@ type Switch struct {
 	// site).
 	coverInDepth  *obs.CoverPoint
 	coverOutDepth *obs.CoverPoint
-	coverDrop     *obs.CoverPoint
-	coverDepthOut *obs.CoverCross
+	// Drop causes and the depth-band × outcome cross are stamped on the
+	// per-cell hot path, so the bin handles are cached once at
+	// InstrumentCover instead of resolved by label per hit.
+	coverDropInFifo    *obs.CoverHit
+	coverDropOutFifo   *obs.CoverHit
+	coverDropUnknownVC *obs.CoverHit
+	coverDropHEC       *obs.CoverHit
+	coverOutLowAccept  *obs.CoverHit
+	coverOutLowDrop    *obs.CoverHit
+	coverOutHighAccept *obs.CoverHit
+	coverOutHighDrop   *obs.CoverHit
 }
 
 // InstrumentCover registers the switch's functional coverage under the
@@ -72,9 +81,17 @@ func (s *Switch) InstrumentCover(c *obs.CoverRegistry) {
 	g := c.Group("dut.queue")
 	s.coverInDepth = g.Range("in_fifo_depth", 0, 1, 2, 4)
 	s.coverOutDepth = g.Range("out_fifo_depth", 0, 2, 8, 32)
-	s.coverDrop = g.Point("drop", "in_fifo", "out_fifo", "unknown_vc", "hec")
-	s.coverDepthOut = g.Cross("out_depth_outcome",
+	drop := g.Point("drop", "in_fifo", "out_fifo", "unknown_vc", "hec")
+	s.coverDropInFifo = drop.Handle("in_fifo")
+	s.coverDropOutFifo = drop.Handle("out_fifo")
+	s.coverDropUnknownVC = drop.Handle("unknown_vc")
+	s.coverDropHEC = drop.Handle("hec")
+	depthOut := g.Cross("out_depth_outcome",
 		[]string{"low", "high"}, []string{"accept", "drop"})
+	s.coverOutLowAccept = depthOut.Handle("low", "accept")
+	s.coverOutLowDrop = depthOut.Handle("low", "drop")
+	s.coverOutHighAccept = depthOut.Handle("high", "accept")
+	s.coverOutHighDrop = depthOut.Handle("high", "drop")
 }
 
 // CellPort is one bit-level cell stream interface: 8 data bits plus a
@@ -187,14 +204,14 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 		sw.coverInDepth.Observe(int64(len(p.inFifo)))
 		if len(p.inFifo) >= p.inCap {
 			sw.InFifoDrops[idx]++
-			sw.coverDrop.Hit("in_fifo")
+			sw.coverDropInFifo.Hit()
 			return
 		}
 		p.inFifo = append(p.inFifo, c.Marshal())
 	}
 	rd.OnError = func(img [atm.CellBytes]byte, err error) {
 		sw.HECErrors[idx]++
-		sw.coverDrop.Hit("hec")
+		sw.coverDropHEC.Hit()
 	}
 
 	// Request/stream state machine.
@@ -215,7 +232,7 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 				// FIFO was corrupted — drop defensively.
 				p.inFifo = p.inFifo[1:]
 				sw.HECErrors[idx]++
-				sw.coverDrop.Hit("hec")
+				sw.coverDropHEC.Hit()
 				return
 			}
 			p.reqDrv.SetBit(hdl.L1)
@@ -260,17 +277,17 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 		if p.collectPos == atm.CellBytes {
 			p.collecting = false
 			sw.coverOutDepth.Observe(int64(len(p.outFifo)))
-			band := "low"
+			accept, drop := sw.coverOutLowAccept, sw.coverOutLowDrop
 			if len(p.outFifo) >= p.outCap/2 {
-				band = "high"
+				accept, drop = sw.coverOutHighAccept, sw.coverOutHighDrop
 			}
 			if len(p.outFifo) >= p.outCap {
 				sw.OutFifoDrops[idx]++
-				sw.coverDrop.Hit("out_fifo")
-				sw.coverDepthOut.Hit(band, "drop")
+				sw.coverDropOutFifo.Hit()
+				drop.Hit()
 			} else {
 				p.outFifo = append(p.outFifo, p.collectBuf)
-				sw.coverDepthOut.Hit(band, "accept")
+				accept.Hit()
 			}
 		}
 	}, clk)
@@ -287,7 +304,7 @@ func newPortModule(h *hdl.Simulator, clk *hdl.Signal, sw *Switch, idx int, cfg S
 			cell, err := atm.Unmarshal(img)
 			if err != nil {
 				sw.HECErrors[idx]++
-				sw.coverDrop.Hit("hec")
+				sw.coverDropHEC.Hit()
 				return
 			}
 			p.writer.Enqueue(cell)
@@ -382,7 +399,7 @@ func newGCU(h *hdl.Simulator, clk *hdl.Signal, sw *Switch) *globalControlUnit {
 				// Unknown connection: instruct the port to discard by
 				// consuming its request without a grant.
 				sw.UnknownVC++
-				sw.coverDrop.Hit("unknown_vc")
+				sw.coverDropUnknownVC.Hit()
 				p.inFifo = p.inFifo[1:]
 				continue
 			}

@@ -122,6 +122,7 @@ func switchCells(ccfg CampaignConfig) []campaign.Cell {
 		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
 			Seed: rng.Uint64(), Traffic: tr, Cells: cells, Recorder: rec,
 			Batch: ccfg.Batch, Deadline: r.Deadline, Cover: r.Cover(),
+			Profile: r.Profile(),
 		})
 		if err := rig.Run(horizon); err != nil {
 			return campaign.Detailed(err, rig.FailureDigest())
@@ -189,6 +190,7 @@ func faultRun(ccfg CampaignConfig, profile *LinkFaultProfile) campaign.RunFunc {
 			Cells:    cells,
 			Recorder: rec,
 			Cover:    r.Cover(),
+			Profile:  r.Profile(),
 			// The supervision deadline arms the coupling watchdogs too, so
 			// a hung transport trips inside the run as a typed coupling
 			// error before the supervisor has to reap the whole attempt.

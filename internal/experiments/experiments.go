@@ -67,6 +67,7 @@ func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig
 	cfg.Trace = f.Obs.Trace()
 	cfg.Cells = f.Obs.CellTrace()
 	cfg.Cover = f.Obs.CoverReg()
+	cfg.Profile = f.Obs.Prof()
 	cfg.Batch = f.Batch
 	return cfg
 }

@@ -239,6 +239,19 @@ func (v LV) Equal(o LV) bool {
 	return true
 }
 
+// TwoState reports whether every bit is a forcing 0 or 1 — no
+// uninitialized, unknown, high-impedance, weak or don't-care values. A
+// signal whose transitions are all two-state on both sides is a candidate
+// for a compiled bit-parallel fast path that skips 9-value resolution.
+func (v LV) TwoState() bool {
+	for _, l := range v {
+		if l != L0 && l != L1 {
+			return false
+		}
+	}
+	return true
+}
+
 // Defined reports whether every bit is a defined binary level.
 func (v LV) Defined() bool {
 	for _, l := range v {

@@ -15,6 +15,7 @@ type Signal struct {
 	name  string
 	sim   *Simulator
 	width int
+	id    int // creation-order index into the profiler's accumulators
 
 	drivers []*Driver
 	value   LV
@@ -106,6 +107,12 @@ func (g *Signal) resolve() {
 	g.value = v
 	g.eventStamp = g.sim.stamp
 	g.sim.signalEvents++
+	if pr := g.sim.prof; pr != nil {
+		pr.sigEvents[g.id]++
+		if old.TwoState() && v.TwoState() {
+			pr.sigTwo[g.id]++
+		}
+	}
 	for _, p := range g.watchers {
 		g.sim.trigger(p)
 	}

@@ -100,6 +100,7 @@ func (h *txnHeap) len() int { return len(h.items) }
 type Process struct {
 	name      string
 	fn        func()
+	id        int // creation-order index into the profiler's accumulators
 	triggered bool
 	runs      uint64
 }
@@ -141,6 +142,11 @@ type Simulator struct {
 	obsPoints  *obs.Counter
 	obsPending *obs.Gauge // scheduled-transaction agenda depth
 	lastSync   struct{ deltas, events, runs, points uint64 }
+
+	// prof, when non-nil, attributes events and runs to individual
+	// signals and processes (see profile.go). Hot paths pay one nil test
+	// when disabled.
+	prof *ActivityProfile
 }
 
 // Instrument registers the simulator's metrics under the given prefix
@@ -205,8 +211,9 @@ func (s *Simulator) Signal(name string, width int, init Logic) *Signal {
 	if width <= 0 {
 		panic(fmt.Sprintf("hdl: signal %q with width %d", name, width))
 	}
-	g := &Signal{name: name, sim: s, width: width, value: NewLV(width, init), prev: NewLV(width, init)}
+	g := &Signal{name: name, sim: s, width: width, id: len(s.signals), value: NewLV(width, init), prev: NewLV(width, init)}
 	s.signals = append(s.signals, g)
+	s.prof.growSignal()
 	return g
 }
 
@@ -220,8 +227,9 @@ func (s *Simulator) Signals() []*Signal { return s.signals }
 // at start of simulation (VHDL processes execute until their first wait at
 // elaboration) and then on every event of a listed signal.
 func (s *Simulator) Process(name string, fn func(), sensitivity ...*Signal) *Process {
-	p := &Process{name: name, fn: fn}
+	p := &Process{name: name, fn: fn, id: len(s.processes)}
 	s.processes = append(s.processes, p)
+	s.prof.growProcess()
 	for _, g := range sensitivity {
 		g.watchers = append(g.watchers, p)
 	}
@@ -337,6 +345,12 @@ func (s *Simulator) Step() (bool, error) {
 			p.triggered = false
 			p.runs++
 			s.procRuns++
+			if pr := s.prof; pr != nil {
+				pr.procRuns[p.id]++
+				if s.deltasAtNow > 0 {
+					pr.procDelta[p.id]++
+				}
+			}
 			p.fn()
 		}
 		s.spare = run[:0]
@@ -344,6 +358,7 @@ func (s *Simulator) Step() (bool, error) {
 		s.deltaCycles++
 		if s.deltasAtNow > MaxDeltas {
 			s.syncObs()
+			s.prof.publish()
 			return true, fmt.Errorf("%w at %v", ErrDeltaOverflow, s.now)
 		}
 		if s.agenda.peek() == nil || s.agenda.peek().at > s.now {
@@ -353,6 +368,7 @@ func (s *Simulator) Step() (bool, error) {
 		}
 	}
 	s.syncObs()
+	s.prof.publish()
 	return true, nil
 }
 

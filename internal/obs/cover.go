@@ -76,13 +76,56 @@ func (p *CoverPoint) Add(label string, n uint64) {
 
 // Observe bins an integer observation on a range point: the first bin
 // whose bound is >= v, or the overflow bin past the last bound. On an
-// enumerated point it is a no-op.
+// enumerated point it is a no-op. Range points have a handful of bands,
+// so a linear scan beats a binary search on the hot path.
 func (p *CoverPoint) Observe(v int64) {
 	if p == nil || p.bounds == nil {
 		return
 	}
-	i := sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] >= v })
-	p.hits[i].Add(1)
+	for i, b := range p.bounds {
+		if b >= v {
+			p.hits[i].Add(1)
+			return
+		}
+	}
+	p.hits[len(p.bounds)].Add(1)
+}
+
+// CoverHit is a precomputed handle on one bin: the per-hit label lookup
+// (map index or ×-concatenation) is paid once at definition time instead
+// of on every hit. Hot call sites with a fixed label cache one of these.
+// A nil *CoverHit drops every hit for ~0 ns, so handles stay nil-safe all
+// the way down from a nil registry.
+type CoverHit struct {
+	c *atomic.Uint64
+}
+
+// Hit counts one hit of the handle's bin.
+func (h *CoverHit) Hit() {
+	if h == nil {
+		return
+	}
+	h.c.Add(1)
+}
+
+// Add counts n hits of the handle's bin.
+func (h *CoverHit) Add(n uint64) {
+	if h == nil {
+		return
+	}
+	h.c.Add(n)
+}
+
+// Handle returns a precomputed hit handle for the named bin, nil for a nil
+// point or an unknown label (both drop hits, matching Hit's semantics).
+func (p *CoverPoint) Handle(label string) *CoverHit {
+	if p == nil {
+		return nil
+	}
+	if i, ok := p.index[label]; ok {
+		return &CoverHit{c: &p.hits[i]}
+	}
+	return nil
 }
 
 // CoverCross is a cross-coverage point over two label sets; each (a, b)
@@ -97,6 +140,15 @@ func (x *CoverCross) Hit(a, b string) {
 		return
 	}
 	x.p.Add(a+"×"+b, 1)
+}
+
+// Handle returns a precomputed hit handle for the (a, b) bin, nil for a
+// nil cross or an unknown pair.
+func (x *CoverCross) Handle(a, b string) *CoverHit {
+	if x == nil {
+		return nil
+	}
+	return x.p.Handle(a + "×" + b)
 }
 
 // CoverGroup is a named group of coverage points. A nil *CoverGroup hands

@@ -44,6 +44,11 @@ type Run struct {
 	// committed run's snapshot into it, so /coverage tracks closure
 	// while the deterministic per-run registries ride the aggregate.
 	Cover *CoverRegistry
+	// Profile, when non-nil, collects the simulation profile (see
+	// profile.go): wall-clock phase accounting plus the deterministic
+	// activity mirror backing /profile. NewRun leaves it nil — profiling
+	// is opt-in (castanet -profile).
+	Profile *RunProfile
 }
 
 // NewRun returns a run context with a fresh registry and a tracer holding
@@ -80,6 +85,14 @@ func (r *Run) CellTrace() *CellTracker {
 		return nil
 	}
 	return r.Cells
+}
+
+// Prof returns the run profile, nil for a nil or unprofiled run.
+func (r *Run) Prof() *RunProfile {
+	if r == nil {
+		return nil
+	}
+	return r.Profile
 }
 
 // CoverReg returns the cover registry, nil for a nil run.

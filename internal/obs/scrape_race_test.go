@@ -1,0 +1,103 @@
+package obs_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"castanet/internal/campaign"
+	"castanet/internal/hdl"
+	"castanet/internal/obs"
+	"castanet/internal/sim"
+)
+
+// TestScrapeDuringCampaign hammers the live telemetry endpoints — /metrics,
+// /coverage and /profile — from several goroutines while a multi-shard
+// campaign is committing runs into the same obs.Run. Under -race (the
+// Makefile's race target covers this package) it proves the scrape path and
+// the worker path share no unsynchronized state: every endpoint must answer
+// 200 with a body for the whole campaign.
+func TestScrapeDuringCampaign(t *testing.T) {
+	run := obs.NewRun(obs.DefaultTraceCap)
+	run.Profile = obs.NewRunProfile()
+	srv := httptest.NewServer(obs.NewServer(run).Handler())
+	defer srv.Close()
+
+	cell := campaign.Cell{Experiment: "scrape", Run: func(ctx context.Context, r *campaign.Run) error {
+		h := hdl.New()
+		if p := r.Profile(); p != nil {
+			p.AttachActivitySource(h.EnableProfile().Snapshot)
+			p.PhaseProf().AddNs(obs.PhaseHDL, 1000)
+		}
+		clk := h.Bit("clk", hdl.U)
+		h.Clock(clk, 2*sim.Nanosecond)
+		n := 0
+		h.Process("count", func() { n++ }, clk)
+		point := r.Cover().Group("scrape").Point("tick", "even", "odd")
+		for i := 0; i < 50; i++ {
+			if _, err := h.Step(); err != nil {
+				return err
+			}
+			if i%2 == 0 {
+				point.Hit("even")
+			} else {
+				point.Hit("odd")
+			}
+		}
+		r.Observe("steps", 50)
+		return nil
+	}}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/coverage", "/profile"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("GET %s: read: %v", path, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK || len(body) == 0 {
+					t.Errorf("GET %s: status=%d body=%d bytes", path, resp.StatusCode, len(body))
+					return
+				}
+			}
+		}(path)
+	}
+
+	sum, err := campaign.Execute(context.Background(), campaign.Spec{
+		Name: "scrape", Seed: 11, Runs: 64, Shards: 4,
+		Matrix:   []campaign.Cell{cell},
+		Obs:      run,
+		Coverage: true,
+		Profile:  true,
+	})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Clean() {
+		t.Fatalf("campaign not clean: failed=%d", sum.Failed)
+	}
+	if sum.Activity.Empty() {
+		t.Fatal("campaign produced no activity profile")
+	}
+}

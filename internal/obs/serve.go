@@ -20,6 +20,9 @@ import (
 //	           coupling queue depths, lookahead lag), one object per line
 //	/coverage  the functional-coverage state as JSON: per-group hit/total
 //	           bin counts and ratios, every bin's hit count
+//	/profile   the simulation profile as JSON: deterministic activity
+//	           (per-signal events, two-state purity, per-process runs),
+//	           the wall-clock phase breakdown, and the sim-rate gauges
 //
 // The server reads the same lock-cheap registry the engines write, so
 // scraping a live run costs a snapshot, never a stall.
@@ -54,12 +57,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/snapshot", s.snapshot)
 	mux.HandleFunc("/coverage", s.coverage)
+	mux.HandleFunc("/profile", s.profile)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "castanet telemetry: /metrics /healthz /snapshot /coverage\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "castanet telemetry: /metrics /healthz /snapshot /coverage /profile\n")
 	})
 	return mux
 }
@@ -73,6 +78,39 @@ func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
 	if err := WriteCoverPrometheus(w, s.run.CoverReg().Snapshot()); err != nil {
 		return
 	}
+	if err := WritePhasePrometheus(w, s.run.Prof().PhaseProf().Snapshot()); err != nil {
+		return
+	}
+}
+
+// profileDoc is the /profile document: the deterministic activity profile
+// (per-signal events and two-state purity, per-process runs and delta
+// attribution), the wall-clock phase breakdown, and the sim-rate gauges
+// (every "<engine>.rate.<figure>" metric).
+type profileDoc struct {
+	Enabled  bool               `json:"enabled"`
+	Activity ActivitySnap       `json:"activity"`
+	Phases   []PhaseSnap        `json:"phases,omitempty"`
+	Rates    map[string]float64 `json:"rates,omitempty"`
+}
+
+func (s *Server) profile(w http.ResponseWriter, req *http.Request) {
+	prof := s.run.Prof()
+	doc := profileDoc{
+		Enabled:  prof != nil,
+		Activity: prof.Activity(),
+		Phases:   prof.PhaseProf().Snapshot(),
+	}
+	for _, snap := range s.run.Reg().Snapshot() {
+		if strings.Contains(snap.Name, ".rate.") {
+			if doc.Rates == nil {
+				doc.Rates = map[string]float64{}
+			}
+			doc.Rates[snap.Name] = snap.Value
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 // coverGroupJSON is one /coverage group: its aggregate bin coverage plus

@@ -23,15 +23,19 @@ type Scheduler struct {
 	obsExecuted *obs.Counter
 	obsPending  *obs.Gauge
 	obsRatio    *obs.Gauge
+	obsRate     *obs.Gauge
 }
 
 // Instrument registers the scheduler's metrics under the given prefix
 // (e.g. "net.sched"): <prefix>.executed counts executed events,
-// <prefix>.pending gauges the event-queue depth, and
+// <prefix>.pending gauges the event-queue depth,
 // <prefix>.sim_wall_ratio gauges simulated seconds advanced per wall
 // second over the most recent Run/RunUntil — the headline "as fast as the
-// hardware allows" figure. A nil registry leaves the scheduler
-// uninstrumented at zero cost beyond one pointer test per event.
+// hardware allows" figure — and <prefix>.rate.events_per_sec gauges events
+// executed per wall second over the same span (the ".rate." segment routes
+// it into the /profile endpoint's sim-rate table). A nil registry leaves
+// the scheduler uninstrumented at zero cost beyond one pointer test per
+// event.
 func (s *Scheduler) Instrument(reg *obs.Registry, prefix string) {
 	if reg == nil {
 		return
@@ -39,6 +43,7 @@ func (s *Scheduler) Instrument(reg *obs.Registry, prefix string) {
 	s.obsExecuted = reg.Counter(prefix + ".executed")
 	s.obsPending = reg.Gauge(prefix + ".pending")
 	s.obsRatio = reg.Gauge(prefix + ".sim_wall_ratio")
+	s.obsRate = reg.Gauge(prefix + ".rate.events_per_sec")
 }
 
 // NewScheduler returns a scheduler with the clock at time zero.
@@ -120,6 +125,7 @@ func (s *Scheduler) RunUntil(limit Time) Time {
 	defer func() { s.running = false }()
 	var wallStart time.Time
 	simStart := s.now
+	execStart := s.executed
 	if s.obsRatio != nil {
 		wallStart = time.Now()
 	}
@@ -137,6 +143,7 @@ func (s *Scheduler) RunUntil(limit Time) Time {
 	if s.obsRatio != nil {
 		if wall := time.Since(wallStart).Seconds(); wall > 0 {
 			s.obsRatio.Set((s.now - simStart).Seconds() / wall)
+			s.obsRate.Set(float64(s.executed-execStart) / wall)
 		}
 		s.obsPending.Set(float64(s.queue.Len()))
 	}
