@@ -3,7 +3,7 @@ GO ?= go
 # raises it to minutes (make fuzz FUZZTIME=5m).
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke explore-smoke profile-smoke fuzz
+.PHONY: verify build vet test race bench bench-all obs-bench campaign-smoke cover-smoke crash-resume-smoke explore-smoke profile-smoke rig-smoke kernel-diff-smoke fuzz
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race
@@ -77,12 +77,40 @@ profile-smoke:
 		test -s "$$tmp/p1" && cmp "$$tmp/p1" "$$tmp/p2" && \
 		echo "profile-smoke: deterministic hotspot table ok"
 
+# Kernel-equivalence smoke: the compiled bit-parallel fast path must be
+# observably identical to the plain event kernel — same VCD bytes, same
+# event/run/delta/time-point counters, same coverage and profile — on the
+# pinned property-test seeds and on the full rig workloads, under the
+# race detector. -short keeps the hdl property test at its three pinned
+# seeds; the nightly fuzz run explores beyond them.
+kernel-diff-smoke:
+	$(GO) test -race -count=1 -short -run 'KernelEquivalence' -v ./internal/hdl/ ./internal/coverify/
+
+# Rig smoke: the functional-coverage floors and the deterministic
+# profiler artifact checked on one binary built once — the cover-smoke
+# and profile-smoke sequences share the build instead of paying it twice
+# in separate CI jobs.
+rig-smoke:
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+		$(GO) build -o "$$tmp/castanet" ./cmd/castanet && \
+		"$$tmp/castanet" -campaign switch -runs 16 -shards 2 -seed 1 -cover-floor COVER_FLOOR.json && \
+		"$$tmp/castanet" -campaign policer -runs 8 -shards 2 -seed 2 -cover-floor COVER_FLOOR.json && \
+		"$$tmp/castanet" -campaign acct -runs 6 -shards 2 -seed 3 -cover-floor COVER_FLOOR.json && \
+		"$$tmp/castanet" -experiment e1 -cells 300 -seed 7 -profile | grep '^profile ' > "$$tmp/p1" && \
+		"$$tmp/castanet" -experiment e1 -cells 300 -seed 7 -profile | grep '^profile ' > "$$tmp/p2" && \
+		test -s "$$tmp/p1" && cmp "$$tmp/p1" "$$tmp/p2" && \
+		echo "rig-smoke: coverage floors met, deterministic hotspot table ok"
+
 # Coverage-guided fuzzing of the ipc frame, batch-frame, and envelope
-# decoders; seed corpora live in internal/ipc/testdata/fuzz/.
+# decoders, plus the differential kernel-equivalence fuzzer (random
+# netlist programs through both HDL kernels, any observable divergence is
+# a crash); seed corpora live in internal/ipc/testdata/fuzz/ and
+# internal/hdl/testdata/fuzz/.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/ipc/
 	$(GO) test -run '^$$' -fuzz '^FuzzBatch$$' -fuzztime=$(FUZZTIME) ./internal/ipc/
 	$(GO) test -run '^$$' -fuzz '^FuzzOpenEnvelope$$' -fuzztime=$(FUZZTIME) ./internal/ipc/
+	$(GO) test -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/hdl/
 
 bench:
 	$(GO) test -bench=Transport -benchtime=100x -run=^$$ ./internal/ipc/
@@ -99,4 +127,4 @@ obs-bench:
 # BENCH_coupling.json. CI's bench-gate job regenerates this file and
 # compares it against the committed baseline with cmd/benchgate.
 bench-all: obs-bench
-	COUPLING_BENCH_OUT=$(CURDIR)/BENCH_coupling.json $(GO) test -run 'TestWriteCouplingBench|TestWriteClockRateBench' -count=1 -v ./internal/ipc/
+	COUPLING_BENCH_OUT=$(CURDIR)/BENCH_coupling.json $(GO) test -run 'TestWriteCouplingBench|TestWriteClockRateBench|TestWriteCompiledBench' -count=1 -v ./internal/ipc/

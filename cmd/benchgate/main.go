@@ -23,6 +23,10 @@
 //   - clk_cycles_per_sec (the coupled workload's committed sim-rate, from
 //     make bench-all) must not fall below the baseline by more than the
 //     tolerance;
+//   - hdl_cells_per_sec (the compiled HDL kernel's committed cell rate on
+//     the E1 RTL bench) must not fall below the baseline by more than the
+//     tolerance; its hdl_cells_per_sec_event companion is informational,
+//     and their ratio is gated through speedup_compiled_e1;
 //   - nil_*_ns_op figures (the disabled-instrumentation primitives) must
 //     not exceed the baseline by more than an absolute 2 ns — each
 //     measures a single pointer test, so a relative bound would gate
@@ -142,6 +146,11 @@ func gate(key string) string {
 	case strings.HasPrefix(key, "speedup_"):
 		return "higher"
 	case strings.Contains(key, "clk_cycles_per_sec"):
+		return "higher"
+	case key == "hdl_cells_per_sec" || strings.HasSuffix(key, ".hdl_cells_per_sec"):
+		// The compiled kernel's committed cell rate. Exact-key match on
+		// purpose: hdl_cells_per_sec_event (the plain-kernel leg of the
+		// same run) is context for the speedup and must stay ungated.
 		return "higher"
 	case strings.Contains(key, "allocs_per"):
 		return "lower"

@@ -220,3 +220,91 @@ func TestGateUsageErrors(t *testing.T) {
 		t.Fatalf("unreadable baseline: exit %d, want 2", code)
 	}
 }
+
+// kernelReport builds a report carrying the compiled-kernel figures: the
+// gated compiled cell rate, its informational event-kernel companion, and
+// their speedup ratio.
+func kernelReport(t *testing.T, dir, name string, compiled, event float64) string {
+	t.Helper()
+	doc := `{
+  "hdl_cells_per_sec": ` + f(compiled) + `,
+  "hdl_cells_per_sec_event": ` + f(event) + `,
+  "speedup_compiled_e1": ` + f(compiled/event) + `
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsCompiledRateRegression is the fast-path acceptance check:
+// a 20% drop in the compiled kernel's committed cell rate must fail the
+// build and name the figure.
+func TestGateFailsCompiledRateRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := kernelReport(t, dir, "base.json", 40000, 7500)
+	cur := kernelReport(t, dir, "cur.json", 40000*0.80, 7500*0.80)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("20%% compiled-rate regression: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "hdl_cells_per_sec") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("output does not name the regressed figure:\n%s", out)
+	}
+}
+
+// TestGateToleratesCompiledRateNoise proves a 10% dip stays inside the
+// 15% tolerance.
+func TestGateToleratesCompiledRateNoise(t *testing.T) {
+	dir := t.TempDir()
+	base := kernelReport(t, dir, "base.json", 40000, 7500)
+	cur := kernelReport(t, dir, "cur.json", 40000*0.90, 7500*0.90)
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("10%% dip within tolerance: exit %d, want 0", code)
+	}
+}
+
+// TestGateCompiledSpeedupRegression pins the dimensionless claim: the
+// compiled-vs-event ratio collapsing (compiled falls, event holds) fails
+// through the speedup_ rule even on a host where absolute rates moved.
+func TestGateCompiledSpeedupRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := kernelReport(t, dir, "base.json", 40000, 7500)
+	cur := kernelReport(t, dir, "cur.json", 40000*0.84, 7500)
+	code, out := gateRun(t, base, cur)
+	if code != 1 {
+		t.Fatalf("speedup collapse: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "speedup_compiled_e1") {
+		t.Fatalf("output does not name speedup_compiled_e1:\n%s", out)
+	}
+}
+
+// TestGateIgnoresEventRateDrop proves the companion event-kernel figure
+// is informational: it may fall arbitrarily without failing the gate, as
+// long as the gated compiled figures hold.
+func TestGateIgnoresEventRateDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := kernelReport(t, dir, "base.json", 40000, 7500)
+	cur := report2(t, dir, "cur.json", 40000, 7500*0.5, 40000/(7500*0.5))
+	if code, _ := gateRun(t, base, cur); code != 0 {
+		t.Fatalf("event-rate drop (info figure): exit %d, want 0", code)
+	}
+}
+
+// report2 is kernelReport with an explicit speedup, for rows where the
+// ratio moves independently.
+func report2(t *testing.T, dir, name string, compiled, event, speedup float64) string {
+	t.Helper()
+	doc := `{
+  "hdl_cells_per_sec": ` + f(compiled) + `,
+  "hdl_cells_per_sec_event": ` + f(event) + `,
+  "speedup_compiled_e1": ` + f(speedup) + `
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -29,6 +29,13 @@
 // -batch=false restores the one-frame-per-message wire protocol, useful
 // for A/B throughput comparison and when debugging at the frame level.
 //
+// -compiled (default on) runs every HDL kernel on the compiled
+// bit-parallel two-state fast path (DESIGN.md §18); -no-compiled falls
+// back to the plain event-driven kernel. The two modes are observably
+// equivalent — same events, deltas, waveforms, coverage and profile — so
+// the switch exists for A/B speed measurement and for bisecting a
+// suspected fast-path defect, not for correctness.
+//
 // With -campaign, instead of a single experiment the named verification
 // campaign fans -runs seed-derived runs across -shards workers and prints
 // a summary report with a replayable failure digest — failed runs attach
@@ -125,20 +132,22 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
-		cells    = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
-		seed     = flag.Uint64("seed", 1, "master random seed")
-		metrics  = flag.String("metrics", "", "write run metrics (plain-text exposition) to this file")
-		trace    = flag.String("trace", "", "write Chrome trace-event JSON to this file")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		serve    = flag.String("serve", "", "serve live telemetry on this address: /metrics (Prometheus), /healthz, /snapshot")
-		traceN   = flag.Int("trace-cells", 1, "causal cell tracing sample: trace every Nth cell (1 = all, 0 = off)")
-		camp     = flag.String("campaign", "", "run a verification campaign instead of an experiment: "+experiments.CampaignNames())
-		runs     = flag.Int("runs", 256, "campaign: total runs in the matrix")
-		shards   = flag.Int("shards", 0, "campaign: worker shards (0 = GOMAXPROCS)")
-		replay   = flag.Int64("replay", -1, "campaign: replay this single run index from a failure digest")
-		failfast = flag.Bool("failfast", false, "campaign: cancel remaining runs after the first failure")
-		batch    = flag.Bool("batch", true, "coalesce coupling messages per δ-window into batch frames (0xCA59)")
+		exp        = flag.String("experiment", "all", "experiment to run: e1..e8 or all")
+		cells      = flag.Uint64("cells", 2000, "total cells for throughput experiments (paper: 10000)")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		metrics    = flag.String("metrics", "", "write run metrics (plain-text exposition) to this file")
+		trace      = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		pprof      = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		serve      = flag.String("serve", "", "serve live telemetry on this address: /metrics (Prometheus), /healthz, /snapshot")
+		traceN     = flag.Int("trace-cells", 1, "causal cell tracing sample: trace every Nth cell (1 = all, 0 = off)")
+		camp       = flag.String("campaign", "", "run a verification campaign instead of an experiment: "+experiments.CampaignNames())
+		runs       = flag.Int("runs", 256, "campaign: total runs in the matrix")
+		shards     = flag.Int("shards", 0, "campaign: worker shards (0 = GOMAXPROCS)")
+		replay     = flag.Int64("replay", -1, "campaign: replay this single run index from a failure digest")
+		failfast   = flag.Bool("failfast", false, "campaign: cancel remaining runs after the first failure")
+		batch      = flag.Bool("batch", true, "coalesce coupling messages per δ-window into batch frames (0xCA59)")
+		compiled   = flag.Bool("compiled", true, "run HDL kernels on the compiled bit-parallel fast path (DESIGN.md §18)")
+		noCompiled = flag.Bool("no-compiled", false, "force the plain event-driven HDL kernel (overrides -compiled)")
 
 		runTimeout = flag.Duration("run-timeout", 0, "campaign: per-run wall-clock deadline (0 = none); a hung run fails with a typed timeout")
 		retries    = flag.Int("retries", 0, "campaign: retry budget per run for retryable infrastructure failures")
@@ -164,6 +173,7 @@ func run() int {
 	}
 
 	experiments.Batching(*batch)
+	experiments.Compiled(*compiled && !*noCompiled)
 	profiling := *profile || *profileOut != ""
 
 	if *explore && *camp != "" {
@@ -195,6 +205,7 @@ func run() int {
 			replay: *replay, failfast: *failfast,
 			metrics: *metrics, trace: *trace, serve: *serve, traceCells: *traceN,
 			batch:      *batch,
+			compiled:   *compiled && !*noCompiled,
 			runTimeout: *runTimeout, retries: *retries,
 			checkpoint: *checkpoint, checkpointEvery: *ckEvery, resume: *resume,
 			noQuarantine: *noQuar, digest: *digest,
@@ -323,6 +334,7 @@ type campaignOpts struct {
 	serve      string
 	traceCells int
 	batch      bool
+	compiled   bool
 
 	runTimeout      time.Duration
 	retries         int
@@ -345,7 +357,7 @@ const defaultQuarantineAfter = 3
 // runCampaign executes (or replays one run of) a named campaign matrix.
 func runCampaign(o campaignOpts) int {
 	matrix, err := experiments.CampaignMatrixCfg(o.name,
-		experiments.CampaignConfig{TraceEvery: o.traceCells, Batch: o.batch})
+		experiments.CampaignConfig{TraceEvery: o.traceCells, Batch: o.batch, NoCompiled: !o.compiled})
 	if err != nil {
 		return badFlags("unknown campaign %q (valid: %s)", o.name, experiments.CampaignNames())
 	}

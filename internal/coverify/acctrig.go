@@ -38,6 +38,9 @@ type AcctRigConfig struct {
 	// Batch coalesces per-instant coupling messages into δ-window units
 	// (see SwitchRigConfig.Batch).
 	Batch bool
+	// NoCompiled opts out of the compiled bit-parallel data plane (see
+	// SwitchRigConfig.NoCompiled).
+	NoCompiled bool
 	// Metrics and Trace mirror SwitchRigConfig's observability hooks.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
@@ -190,6 +193,9 @@ func NewAcctRig(cfg AcctRigConfig) *AcctRig {
 		r.Net.Connect(srcNode, 0, split, 0, netsim.LinkParams{})
 		r.Net.Connect(split, 0, refNode, 0, netsim.LinkParams{})
 		r.Net.Connect(split, 1, ifaceNode, 0, netsim.LinkParams{})
+	}
+	if !cfg.NoCompiled {
+		r.HDL.MustCompile()
 	}
 	return r
 }

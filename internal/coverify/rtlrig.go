@@ -96,6 +96,9 @@ func NewRTLRig(cfg SwitchRigConfig) *RTLRig {
 		r.Gens[p] = rtltb.NewGenerator(r.HDL, fmt.Sprintf("gen%d", p), clk,
 			r.DUT.In[p].Data, r.DUT.In[p].Sync, vectors)
 	}
+	if !cfg.NoCompiled {
+		r.HDL.MustCompile()
+	}
 	return r
 }
 

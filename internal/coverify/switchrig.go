@@ -78,6 +78,11 @@ type SwitchRigConfig struct {
 	// cosim.InterfaceProcess.Batch. Event orderings are unchanged; only
 	// the per-message round trips are amortized.
 	Batch bool
+	// NoCompiled keeps the HDL simulator on the plain nine-value event
+	// kernel instead of the compiled bit-parallel data plane (hdl.Compile,
+	// DESIGN.md §18). Observables are byte-identical either way — the flag
+	// exists for differential testing and as the -no-compiled opt-out.
+	NoCompiled bool
 	// Waveforms, when non-nil, receives a VCD dump of the DUT's external
 	// ports — the HDL-side waveform debugging window of Fig. 2.
 	Waveforms io.Writer
@@ -434,6 +439,9 @@ func NewSwitchRig(cfg SwitchRigConfig) *SwitchRig {
 		r.Net.Connect(srcNode, 0, split, 0, netsim.LinkParams{})
 		r.Net.Connect(split, 0, refNode, p, netsim.LinkParams{})
 		r.Net.Connect(split, 1, ifaceNode, p, netsim.LinkParams{})
+	}
+	if !cfg.NoCompiled {
+		r.HDL.MustCompile()
 	}
 	return r
 }

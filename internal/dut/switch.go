@@ -328,7 +328,7 @@ func (p *portModule) beginStream(img [atm.CellBytes]byte, newHdr atm.Header, des
 	p.streamCell = img
 	p.streaming = true
 	p.streamPos = 0
-	p.busDestDrv.Set(hdl.FromUint(uint64(dest), 2))
+	p.busDestDrv.SetUint(uint64(dest))
 	p.streamBeat()
 }
 
@@ -337,9 +337,9 @@ func (p *portModule) streamBeat() {
 	if p.streamPos >= busWords {
 		// Release the bus.
 		p.streaming = false
-		p.busDataDrv.Set(hdl.NewLV(32, hdl.Z))
+		p.busDataDrv.SetZ()
 		p.busValidDrv.SetBit(hdl.Z)
-		p.busDestDrv.Set(hdl.NewLV(2, hdl.Z))
+		p.busDestDrv.SetZ()
 		p.sw.gcu.busFree()
 		return
 	}
@@ -352,7 +352,7 @@ func (p *portModule) streamBeat() {
 		}
 		word = word<<8 | uint64(v)
 	}
-	p.busDataDrv.Set(hdl.FromUint(word, 32))
+	p.busDataDrv.SetUint(word)
 	p.busValidDrv.SetBit(hdl.L1)
 	p.streamPos++
 }

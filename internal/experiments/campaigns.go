@@ -37,6 +37,12 @@ type CampaignConfig struct {
 	// batch over the direct coupling, fault runs push whole batches
 	// through Reliable(Fault(pipe)).
 	Batch bool
+	// NoCompiled elaborates every run's HDL kernel on the plain
+	// event-driven data plane instead of the compiled fast path
+	// (hdl.Compile, DESIGN.md §18) — the castanet -no-compiled escape
+	// hatch, threaded here so campaigns bisect the same way experiments
+	// do.
+	NoCompiled bool
 }
 
 // DefaultCampaignConfig traces every cell and batches the coupling — see
@@ -121,7 +127,8 @@ func switchCells(ccfg CampaignConfig) []campaign.Cell {
 		cells, rec := ccfg.runObs()
 		rig := coverify.NewSwitchRig(coverify.SwitchRigConfig{
 			Seed: rng.Uint64(), Traffic: tr, Cells: cells, Recorder: rec,
-			Batch: ccfg.Batch, Deadline: r.Deadline, Cover: r.Cover(),
+			Batch: ccfg.Batch, NoCompiled: ccfg.NoCompiled,
+			Deadline: r.Deadline, Cover: r.Cover(),
 			Profile: r.Profile(),
 		})
 		if err := rig.Run(horizon); err != nil {
@@ -183,14 +190,15 @@ func faultRun(ccfg CampaignConfig, profile *LinkFaultProfile) campaign.RunFunc {
 		tr, horizon := campaignTraffic(rng)
 		cells, rec := ccfg.runObs()
 		cfg := coverify.SwitchRigConfig{
-			Seed:     rng.Uint64(),
-			Traffic:  tr,
-			Remote:   true,
-			Batch:    ccfg.Batch,
-			Cells:    cells,
-			Recorder: rec,
-			Cover:    r.Cover(),
-			Profile:  r.Profile(),
+			Seed:       rng.Uint64(),
+			Traffic:    tr,
+			Remote:     true,
+			Batch:      ccfg.Batch,
+			NoCompiled: ccfg.NoCompiled,
+			Cells:      cells,
+			Recorder:   rec,
+			Cover:      r.Cover(),
+			Profile:    r.Profile(),
 			// The supervision deadline arms the coupling watchdogs too, so
 			// a hung transport trips inside the run as a typed coupling
 			// error before the supervisor has to reap the whole attempt.

@@ -53,7 +53,7 @@ type cellRecord struct {
 // its cycle-based twin, comparing wall-clock speed and checking that the
 // delivered cells are identical.
 func E6(cells uint64, seed uint64) E6Result {
-	return Factory{Obs: obsRun, Batch: batchOn}.E6(cells, seed)
+	return pkgFactory().E6(cells, seed)
 }
 
 // E6 is the engine comparison against the factory's sink.
@@ -87,6 +87,9 @@ func (f Factory) E6(cells uint64, seed uint64) E6Result {
 		rd := mapping.NewCellPortReader(h, fmt.Sprintf("rx%d", p), clk, sw.Out[p].Data, sw.Out[p].Sync)
 		rd.SkipIdle = true
 		rd.OnCell = func(c *atm.Cell) { eventGot[c.Seq] = cellRecord{port: p, header: c.Header} }
+	}
+	if !f.NoCompiled {
+		h.MustCompile()
 	}
 	horizon := sim.Duration(totalCycles+20*53) * period
 	start := time.Now()

@@ -34,7 +34,7 @@ type E7Result struct {
 
 // E7 runs the sweep against the package-level sink.
 func E7(cellsPerPoint uint64, seed uint64) E7Result {
-	return Factory{Obs: obsRun, Batch: batchOn}.E7(cellsPerPoint, seed)
+	return pkgFactory().E7(cellsPerPoint, seed)
 }
 
 // E7 runs the sweep.
@@ -51,9 +51,10 @@ func (f Factory) E7(cellsPerPoint uint64, seed uint64) E7Result {
 			Sources: []coverify.PolicerSource{
 				{Model: traffic.NewPoisson(contractRate * ratio), VC: vc, Cells: cellsPerPoint},
 			},
-			Metrics: f.Obs.Reg(),
-			Trace:   f.Obs.Trace(),
-			Batch:   f.Batch,
+			Metrics:    f.Obs.Reg(),
+			Trace:      f.Obs.Trace(),
+			Batch:      f.Batch,
+			NoCompiled: f.NoCompiled,
 		})
 		horizon := sim.FromSeconds(float64(cellsPerPoint)/(contractRate*ratio)) + sim.Millisecond
 		if err := rig.Run(horizon); err != nil {

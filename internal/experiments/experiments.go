@@ -37,6 +37,12 @@ type Factory struct {
 	// δ-window batched path (cosim.InterfaceProcess.Batch). Rigs whose
 	// coupling is not batch-capable ignore it.
 	Batch bool
+	// NoCompiled elaborates every HDL kernel the factory builds on the
+	// plain event-driven data plane instead of the compiled bit-parallel
+	// fast path (hdl.Compile, DESIGN.md §18) — the castanet -no-compiled
+	// escape hatch. The two modes are observably equivalent; this exists
+	// for measuring the fast path's contribution and for bisecting.
+	NoCompiled bool
 }
 
 // obsRun is the observability sink installed by Observe. The package-level
@@ -61,6 +67,21 @@ var batchOn = true
 // the batched coupling path (the castanet -batch flag).
 func Batching(on bool) { batchOn = on }
 
+// compiledOn is the package-level compiled-kernel default for the E*
+// harness wrappers, on unless the castanet -no-compiled flag clears it.
+var compiledOn = true
+
+// Compiled sets whether package-level E* calls elaborate their HDL
+// kernels on the compiled bit-parallel fast path (the castanet
+// -compiled/-no-compiled flags).
+func Compiled(on bool) { compiledOn = on }
+
+// pkgFactory is the Factory the package-level E* wrappers use, carrying
+// the flag-controlled defaults.
+func pkgFactory() Factory {
+	return Factory{Obs: obsRun, Batch: batchOn, NoCompiled: !compiledOn}
+}
+
 // observed copies the factory's sink into a rig configuration.
 func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig {
 	cfg.Metrics = f.Obs.Reg()
@@ -69,6 +90,7 @@ func (f Factory) observed(cfg coverify.SwitchRigConfig) coverify.SwitchRigConfig
 	cfg.Cover = f.Obs.CoverReg()
 	cfg.Profile = f.Obs.Prof()
 	cfg.Batch = f.Batch
+	cfg.NoCompiled = f.NoCompiled
 	return cfg
 }
 
@@ -122,7 +144,7 @@ type E1Result struct {
 
 // E1 runs the §2 benchmark workload against the package-level sink.
 func E1(cells uint64, seed uint64) E1Result {
-	return Factory{Obs: obsRun, Batch: batchOn}.E1(cells, seed)
+	return pkgFactory().E1(cells, seed)
 }
 
 // E1 runs the §2 benchmark workload: cells through the 4-port switch with
@@ -201,7 +223,7 @@ type E2Result struct {
 // that §3.2 rejects — showing the message blow-up the timing windows
 // avoid.
 func E2(cells uint64, seed uint64) E2Result {
-	return Factory{Obs: obsRun, Batch: batchOn}.E2(cells, seed)
+	return pkgFactory().E2(cells, seed)
 }
 
 // E2 is the sweep against the factory's sink.
@@ -285,7 +307,7 @@ type E3Result struct {
 
 // E3 measures the event accounting against the package-level sink.
 func E3(cells uint64, seed uint64) E3Result {
-	return Factory{Obs: obsRun, Batch: batchOn}.E3(cells, seed)
+	return pkgFactory().E3(cells, seed)
 }
 
 // E3 measures the two engines' event counts for the same traffic (Fig. 4
@@ -350,7 +372,7 @@ type E4Result struct {
 // amortize the per-cycle SCSI software activity, raising the real-time
 // fraction — the trade the §3.3 memory configuration governs.
 func E4(cells uint64, seed uint64) E4Result {
-	return Factory{Obs: obsRun, Batch: batchOn}.E4(cells, seed)
+	return pkgFactory().E4(cells, seed)
 }
 
 // E4 is the board sweep against the factory's sink.
@@ -404,7 +426,7 @@ type E5Result struct {
 // E5 runs the paper's case study: the accounting unit verified against
 // its algorithmic reference under mixed stochastic traffic, an MPEG
 // trace, and the standardized conformance vectors.
-func E5(seed uint64) E5Result { return Factory{Obs: obsRun, Batch: batchOn}.E5(seed) }
+func E5(seed uint64) E5Result { return pkgFactory().E5(seed) }
 
 // E5 is the case study against the factory's sink.
 func (f Factory) E5(seed uint64) E5Result {
@@ -424,6 +446,7 @@ func (f Factory) E5(seed uint64) E5Result {
 	cfg.Metrics = f.Obs.Reg()
 	cfg.Trace = f.Obs.Trace()
 	cfg.Batch = f.Batch
+	cfg.NoCompiled = f.NoCompiled
 	rig := coverify.NewAcctRig(cfg)
 
 	// Conformance vectors replayed ahead of the stochastic phase.

@@ -1,0 +1,228 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+func TestPackTwoStateRoundtrip(t *testing.T) {
+	cases := []struct {
+		s    string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"1010", 0xA, true},
+		{"11111111", 0xFF, true},
+		{"10X0", 0, false},
+		{"Z", 0, false},
+		{"W011", 0, false},
+		{"U", 0, false},
+	}
+	for _, c := range cases {
+		v := MustParseLV(c.s)
+		w, ok := v.PackTwoState()
+		if ok != c.ok || (ok && w != c.want) {
+			t.Errorf("PackTwoState(%s) = (%#x, %v), want (%#x, %v)", c.s, w, ok, c.want, c.ok)
+		}
+		if ok {
+			back := make(LV, len(v))
+			unpackInto(back, w)
+			if !back.Equal(v) {
+				t.Errorf("unpack(pack(%s)) = %s", c.s, back)
+			}
+		}
+	}
+}
+
+func TestPackedGateMatchesNineValue(t *testing.T) {
+	// On pure two-state words the packed operators must agree with the
+	// nine-value LV fold for every operator.
+	ops := []GateOp{GateAnd, GateOr, GateXor, GateNand, GateNor, GateXnor}
+	words := []uint64{0x0, 0x1, 0xA5, 0xFF, 0x3C, 0x81}
+	const width = 8
+	mask := packMask(width)
+	for _, op := range ops {
+		for _, a := range words {
+			for _, b := range words {
+				got := packedGate(op, []uint64{a, b}, mask)
+				av, bv := fromPacked(a, width), fromPacked(b, width)
+				var ref LV
+				switch op {
+				case GateAnd, GateNand:
+					ref = av.And(bv)
+				case GateOr, GateNor:
+					ref = av.Or(bv)
+				case GateXor, GateXnor:
+					ref = av.Xor(bv)
+				}
+				if op.inverting() {
+					ref = ref.Not()
+				}
+				want, ok := ref.PackTwoState()
+				if !ok {
+					t.Fatalf("nine-value %v of pure inputs not two-state", op)
+				}
+				if got != want {
+					t.Errorf("%v(%#x,%#x) = %#x, want %#x", op, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileLevelization(t *testing.T) {
+	s := New()
+	a := s.Signal("a", 4, U)
+	b := s.Signal("b", 4, U)
+	ab := s.Signal("ab", 4, U)
+	nab := s.Signal("nab", 4, U)
+	x := s.Signal("x", 4, U)
+	g1 := s.Gate("and_ab", GateAnd, ab, a, b)
+	g2 := s.Gate("not_ab", GateNot, nab, ab)
+	g3 := s.Gate("xor_out", GateXor, x, nab, a)
+	pl, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Gates() != 3 || pl.Depth() != 3 {
+		t.Fatalf("plan = %v, want 3 gates over 3 levels", pl)
+	}
+	if g1.Level() != 0 || g2.Level() != 1 || g3.Level() != 2 {
+		t.Errorf("levels = %d,%d,%d, want 0,1,2", g1.Level(), g2.Level(), g3.Level())
+	}
+	if len(pl.Regions()) != 1 {
+		t.Fatalf("regions = %d, want 1 (one connected cone)", len(pl.Regions()))
+	}
+	if got := pl.Regions()[0].Signals(); got != 5 {
+		t.Errorf("region signals = %d, want 5", got)
+	}
+	if !s.Compiled() {
+		t.Error("Compiled() = false after Compile")
+	}
+	if pl2, _ := s.Compile(); pl2 != pl {
+		t.Error("second Compile returned a different plan")
+	}
+}
+
+func TestCompileDisjointRegions(t *testing.T) {
+	s := New()
+	mk := func(p string) { // independent two-gate cone
+		a := s.Signal(p+"a", 1, U)
+		b := s.Signal(p+"b", 1, U)
+		y := s.Signal(p+"y", 1, U)
+		n := s.Signal(p+"n", 1, U)
+		s.Gate(p+"and", GateAnd, y, a, b)
+		s.Gate(p+"not", GateNot, n, y)
+	}
+	mk("p.")
+	mk("q.")
+	pl, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Regions()) != 2 {
+		t.Fatalf("regions = %d, want 2 disjoint cones", len(pl.Regions()))
+	}
+}
+
+func TestCompileCombinationalCycle(t *testing.T) {
+	s := New()
+	a := s.Signal("a", 1, U)
+	y := s.Signal("y", 1, U)
+	z := s.Signal("z", 1, U)
+	s.Gate("loop_and", GateAnd, y, a, z)
+	s.Gate("loop_not", GateNot, z, y)
+	_, err := s.Compile()
+	if err == nil {
+		t.Fatal("Compile accepted a combinational cycle")
+	}
+	for _, name := range []string{"loop_and", "loop_not"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("cycle error %q does not name gate %s", err, name)
+		}
+	}
+}
+
+func TestGateValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	s := New()
+	a := s.Signal("a", 4, U)
+	b := s.Signal("b", 4, U)
+	c1 := s.Signal("c1", 1, U)
+	y := s.Signal("y", 4, U)
+	mustPanic("arity buf", func() { s.Gate("g", GateBuf, y, a, b) })
+	mustPanic("arity and", func() { s.Gate("g", GateAnd, y, a) })
+	mustPanic("width mismatch", func() { s.Gate("g", GateAnd, y, a, c1) })
+	driven := s.Signal("driven", 4, U)
+	driven.Driver("proc")
+	mustPanic("driven output", func() { s.Gate("g", GateAnd, driven, a, b) })
+	s.Gate("ok", GateAnd, y, a, b)
+	if _, err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	z := s.Signal("z", 4, U)
+	mustPanic("gate after compile", func() { s.Gate("late", GateNot, z, a) })
+}
+
+// TestGateEvalBothKernels drives every operator with two-state and impure
+// inputs on a compiled and an event-kernel simulator and requires
+// identical committed outputs — the value-level half of the equivalence
+// claim (scheduling is covered by TestKernelEquivalence).
+func TestGateEvalBothKernels(t *testing.T) {
+	ops := []GateOp{GateBuf, GateNot, GateAnd, GateOr, GateXor, GateNand, GateNor, GateXnor}
+	stimuli := [][2]string{
+		{"0101", "0011"},
+		{"1111", "0000"},
+		{"01X1", "0011"}, // X propagation
+		{"ZZ01", "0110"}, // high impedance
+		{"LH01", "0101"}, // weak values read as levels
+		{"UU11", "1111"}, // uninitialized poisons
+	}
+	for _, op := range ops {
+		for _, st := range stimuli {
+			run := func(compiled bool) string {
+				s := New()
+				a := s.Signal("a", 4, U)
+				b := s.Signal("b", 4, U)
+				y := s.Signal("y", 4, U)
+				da := a.Driver("tb")
+				var db *Driver
+				if op == GateBuf || op == GateNot {
+					s.Gate("g", op, y, a)
+				} else {
+					db = b.Driver("tb")
+					s.Gate("g", op, y, a, b)
+				}
+				if compiled {
+					s.MustCompile()
+				}
+				s.Schedule(10*sim.Nanosecond, func() {
+					da.Set(MustParseLV(st[0]))
+					if db != nil {
+						db.Set(MustParseLV(st[1]))
+					}
+				})
+				if err := s.Run(100 * sim.Nanosecond); err != nil {
+					t.Fatal(err)
+				}
+				return y.Val().String()
+			}
+			evout, cpout := run(false), run(true)
+			if evout != cpout {
+				t.Errorf("%v(%s,%s): event=%s compiled=%s", op, st[0], st[1], evout, cpout)
+			}
+		}
+	}
+}

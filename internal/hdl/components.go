@@ -32,7 +32,13 @@ func NewReg(s *Simulator, name string, clk, d, en, rst *Signal) *Reg {
 			return
 		}
 		if en == nil || en.Bit().IsHigh() {
-			drv.Set(d.Val().Clone())
+			if d.pknown {
+				// Two-state value with a valid packed mirror: move the
+				// word, not the vector. Identical committed value.
+				drv.SetUint(d.pval)
+			} else {
+				drv.Set(d.Val().Clone())
+			}
 		}
 	}, clk)
 	return r

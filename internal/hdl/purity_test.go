@@ -1,0 +1,186 @@
+package hdl
+
+import (
+	"testing"
+
+	"castanet/internal/sim"
+)
+
+// purityRig elaborates a small compiled cone: y <= a AND b, ny <= NOT y,
+// all 4 bits wide, with test-bench drivers on a and b.
+type purityRig struct {
+	s      *Simulator
+	a, b   *Signal
+	y, ny  *Signal
+	da, db *Driver
+	region *Region
+}
+
+func newPurityRig(t *testing.T) *purityRig {
+	t.Helper()
+	s := New()
+	r := &purityRig{
+		s: s,
+		a: s.Signal("a", 4, U),
+		b: s.Signal("b", 4, U),
+		y: s.Signal("y", 4, U),
+	}
+	r.ny = s.Signal("ny", 4, U)
+	r.da = r.a.Driver("tb")
+	r.db = r.b.Driver("tb")
+	s.Gate("and_y", GateAnd, r.y, r.a, r.b)
+	s.Gate("not_y", GateNot, r.ny, r.y)
+	pl := s.MustCompile()
+	if len(pl.Regions()) != 1 {
+		t.Fatalf("regions = %d, want 1", len(pl.Regions()))
+	}
+	r.region = pl.Regions()[0]
+	return r
+}
+
+// settle drives two-state values onto both inputs and runs until the
+// region is pure.
+func (r *purityRig) settle(t *testing.T) {
+	t.Helper()
+	r.s.Schedule(10*sim.Nanosecond, func() {
+		r.da.SetUint(0b0101)
+		r.db.SetUint(0b0111)
+	})
+	if err := r.s.Run(50 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if r.region.Demoted() {
+		t.Fatalf("region still demoted after two-state settle (impure=%d)", r.region.impure)
+	}
+	if got := r.y.Val().String(); got != "0101" {
+		t.Fatalf("y = %s after settle, want 0101", got)
+	}
+}
+
+// TestPurityBoundary is the table-driven demotion/promotion test of
+// ISSUE 10: each non-two-state std_logic value, injected mid-window into
+// a promoted region, must demote it within the same delta cycle as the
+// commit (asserted from an OnChange probe, which fires in the commit's
+// own signal-update phase), produce exactly the event-kernel result, and
+// the region must promote back once the value drains.
+func TestPurityBoundary(t *testing.T) {
+	cases := []struct {
+		inject Logic
+		// expected y = a AND b with a = "0<inject>11" (bit 2 poisoned)
+		// and b = "0111": y2 = inject AND 1.
+		wantY string
+	}{
+		{X, "0X11"},  // X AND 1 = X
+		{Z, "0X11"},  // Z reads as X through AND
+		{W, "0X11"},  // weak unknown = X
+		{U, "0X11"},  // uninitialized poisons like X
+		{DC, "0X11"}, // don't-care propagates as X
+		{WL, "0011"}, // weak 0 reads as 0
+		{WH, "0111"}, // weak 1 reads as 1
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.inject.String(), func(t *testing.T) {
+			r := newPurityRig(t)
+			r.settle(t)
+			demos, promos := r.region.Demotions(), r.region.Promotions()
+
+			// The poisoned vector: bit 2 carries the injected value.
+			poisoned := LV{L1, L1, c.inject, L0} // LSB first: a = "0<inject>11"
+			sameDelta := false
+			r.a.OnChange(func(now sim.Time, old, new LV) {
+				if new.Equal(poisoned) {
+					// Fires inside the commit's signal-update phase: the
+					// guard must already have demoted the region.
+					sameDelta = r.region.Demoted()
+				}
+			})
+			r.s.Schedule(10*sim.Nanosecond, func() { r.da.Set(poisoned) })
+			if err := r.s.Run(sim.Time(100 * sim.Nanosecond)); err != nil {
+				t.Fatal(err)
+			}
+			if !sameDelta {
+				t.Errorf("inject %v: region not demoted within the committing delta", c.inject)
+			}
+			if !r.region.Demoted() {
+				t.Errorf("inject %v: region promoted while %v still on a", c.inject, c.inject)
+			}
+			if r.region.Demotions() != demos+1 {
+				t.Errorf("inject %v: demotions = %d, want %d", c.inject, r.region.Demotions(), demos+1)
+			}
+			// Cross-check the table against the nine-value AND itself.
+			wantY := func() string {
+				av := poisoned
+				bv := MustParseLV("0111")
+				return av.And(bv).String()
+			}()
+			if wantY != c.wantY {
+				t.Fatalf("test table wrong: nine-value AND gives %s, table says %s", wantY, c.wantY)
+			}
+			if got := r.y.Val().String(); got != c.wantY {
+				t.Errorf("inject %v: y = %s, want %s (event-kernel semantics)", c.inject, got, c.wantY)
+			}
+
+			// Drain: drive a fully two-state again; the region must promote.
+			r.s.Schedule(10*sim.Nanosecond, func() { r.da.SetUint(0b0101) })
+			if err := r.s.Run(r.s.Now() + 100*sim.Nanosecond); err != nil {
+				t.Fatal(err)
+			}
+			if r.region.Demoted() {
+				t.Errorf("inject %v: region still demoted after drain (impure=%d)", c.inject, r.region.impure)
+			}
+			if r.region.Promotions() != promos+1 {
+				t.Errorf("inject %v: promotions = %d, want %d", c.inject, r.region.Promotions(), promos+1)
+			}
+			if got := r.y.Val().String(); got != "0101" {
+				t.Errorf("inject %v: y = %s after drain, want 0101", c.inject, got)
+			}
+		})
+	}
+}
+
+// TestPurityMultiDriverZ pins the permanent-demotion case the DUT's
+// internal buses rely on: a region containing a signal with a Z-driving
+// second driver stays on the event kernel while Z is resolved in, then
+// promotes when the bus driver takes over with strong values.
+func TestPurityMultiDriverZ(t *testing.T) {
+	s := New()
+	bus := s.Signal("bus", 4, U)
+	y := s.Signal("y", 4, U)
+	d1 := bus.Driver("port1")
+	d2 := bus.Driver("port2")
+	other := s.Signal("other", 4, U)
+	do := other.Driver("tb")
+	s.Gate("buf_bus", GateBuf, y, bus)
+	s.Gate("and_keep", GateAnd, s.Signal("k", 4, U), bus, other)
+	pl := s.MustCompile()
+	region := pl.Regions()[0]
+
+	// Both port drivers idle at Z: bus resolves to Z, region demoted.
+	s.Schedule(10*sim.Nanosecond, func() {
+		d1.Set(NewLV(4, Z))
+		d2.Set(NewLV(4, Z))
+		do.SetUint(0xF)
+	})
+	if err := s.Run(50 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if !region.Demoted() {
+		t.Fatal("region promoted while the bus floats at Z")
+	}
+	if got := y.Val().String(); got != "ZZZZ" {
+		t.Errorf("y = %s with floating bus, want ZZZZ (a buffer passes Z through)", got)
+	}
+
+	// One port speaks: strong value wins resolution, region promotes.
+	s.Schedule(10*sim.Nanosecond, func() { d1.SetUint(0xA) })
+	if err := s.Run(s.Now() + 50*sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if region.Demoted() {
+		t.Fatalf("region still demoted after strong drive (impure=%d)", region.impure)
+	}
+	if got := y.Val().String(); got != "1010" {
+		t.Errorf("y = %s after strong drive, want 1010", got)
+	}
+}

@@ -14,26 +14,77 @@ import (
 // instead of hanging.
 const MaxDeltas = 10000
 
-// txn is a pending transaction: either a driver update or a plain timed
-// callback (test-bench stimulus, clock edge).
+// txn is a pending heap transaction: either a delayed driver update or a
+// plain timed callback (test-bench stimulus, clock edge). Transactions are
+// pooled; a txn recycles once both of its owners have released it — the
+// heap it was scheduled into and its driver's projected waveform (pending
+// list). Callback transactions are never in a pending list and are born
+// with that bit released. Zero-delay driver transactions in compiled mode
+// do not use this type at all — they ride the delta ring as rtxn values.
 type txn struct {
-	at   sim.Time
-	seq  uint64
-	drv  *Driver
-	val  LV
-	fn   func()
-	dead bool
+	at     sim.Time
+	seq    uint64
+	drv    *Driver
+	val    LV
+	pword  uint64 // packed two-state value when packed is set
+	fn     func()
+	dead   bool
+	packed bool
+	rel    uint8
+	next   *txn // pool free list
+}
+
+const (
+	relContainer uint8 = 1 << iota // dropped from the heap
+	relPending                     // dropped from its driver's pending list
+)
+
+// newTxn takes a transaction from the pool (or allocates one).
+func (s *Simulator) newTxn() *txn {
+	t := s.free
+	if t == nil {
+		return &txn{}
+	}
+	s.free = t.next
+	t.next = nil
+	return t
+}
+
+// releaseTxn marks one ownership released; when both the container and the
+// pending list have let go, the transaction is zeroed and pooled.
+func (s *Simulator) releaseTxn(t *txn, bit uint8) {
+	t.rel |= bit
+	if t.rel != relContainer|relPending {
+		return
+	}
+	*t = txn{next: s.free}
+	s.free = t
+}
+
+// rtxn is a zero-delay driver transaction in the delta ring (compiled
+// mode). Ring entries are plain values — no pool, no pending-list
+// membership, no release bookkeeping. Inertial preemption is a seq
+// handshake: the owning driver remembers the seq of its latest zero-delay
+// assignment (ringSeq/ringArmed), and an entry whose seq no longer
+// matches is dead.
+// The entry is deliberately pointer-free so the ring's backing array is
+// never scanned and the append pays no write barrier: the driver travels
+// as its registry index, packed entries carry their word in pword, and
+// the rare nine-value entry parks its vector in the simulator's ringVals
+// side array with pword holding the index.
+type rtxn struct {
+	seq    uint64
+	pword  uint64
+	di     uint32
+	packed bool
 }
 
 // txnHeap is a min-heap of transactions ordered by (time, insertion seq).
 type txnHeap struct {
 	items []*txn
-	nseq  uint64
 }
 
 func (h *txnHeap) push(t *txn) {
-	t.seq = h.nseq
-	h.nseq++
 	h.items = append(h.items, t)
 	i := len(h.items) - 1
 	for i > 0 {
@@ -52,16 +103,6 @@ func (h *txnHeap) less(i, j int) bool {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
-}
-
-func (h *txnHeap) peek() *txn {
-	for len(h.items) > 0 && h.items[0].dead {
-		h.pop()
-	}
-	if len(h.items) == 0 {
-		return nil
-	}
-	return h.items[0]
 }
 
 func (h *txnHeap) pop() *txn {
@@ -101,6 +142,7 @@ type Process struct {
 	name      string
 	fn        func()
 	id        int // creation-order index into the profiler's accumulators
+	gate      *Gate
 	triggered bool
 	runs      uint64
 }
@@ -117,15 +159,35 @@ func (p *Process) Runs() uint64 { return p.runs }
 // running every process made sensitive by those events. Processes schedule
 // new transactions; zero-delay assignments mature in the next delta of the
 // same simulated instant.
+//
+// After Compile the simulator additionally runs the bit-parallel fast data
+// plane (DESIGN.md §18): zero-delay driver transactions bypass the heap
+// through the delta ring, two-state values travel as packed words, and
+// structural gates evaluate level-ordered from a dirty set instead of the
+// generic sensitivity machinery. The scheduling semantics — which
+// transaction applies in which delta, in which order — are identical in
+// both modes; the shared seq counter across heap and ring is what makes
+// the merge order exact.
 type Simulator struct {
 	now   sim.Time
 	stamp uint64 // increments every delta; signals stamp their events with it
 
 	agenda    txnHeap
+	nseq      uint64 // global transaction order, shared by heap and ring
+	ring      []rtxn // zero-delay driver transactions (compiled mode), FIFO = seq order
+	ringVals  []LV   // vectors of non-packed ring entries, indexed by their pword
+	ringHead  int
+	free      *txn      // txn pool
+	drvs      []*Driver // all drivers in creation order; rtxn.di indexes this
 	processes []*Process
 	runnable  []*Process
 	spare     []*Process // recycled runnable buffer
 	signals   []*Signal
+
+	fast   bool // compiled data plane enabled (set by Compile)
+	plan   *Plan
+	gates  []*Gate
+	ndirty int // gates awaiting evaluation in the current delta
 
 	deltasAtNow  int
 	signalEvents uint64
@@ -170,6 +232,8 @@ func (s *Simulator) Instrument(reg *obs.Registry, prefix string) {
 }
 
 // syncObs publishes the counter deltas accumulated since the last sync.
+// The delta ring is always empty between instants, so the pending gauge is
+// the agenda depth in both kernel modes.
 func (s *Simulator) syncObs() {
 	if s.obsDeltas == nil {
 		return
@@ -212,6 +276,9 @@ func (s *Simulator) Signal(name string, width int, init Logic) *Signal {
 		panic(fmt.Sprintf("hdl: signal %q with width %d", name, width))
 	}
 	g := &Signal{name: name, sim: s, width: width, id: len(s.signals), value: NewLV(width, init), prev: NewLV(width, init)}
+	if width <= 64 {
+		g.pmask = packMask(width)
+	}
 	s.signals = append(s.signals, g)
 	s.prof.growSignal()
 	return g
@@ -247,7 +314,11 @@ func (s *Simulator) Schedule(delay sim.Duration, fn func()) {
 	if fn == nil {
 		panic("hdl: nil callback")
 	}
-	s.agenda.push(&txn{at: s.now + delay, fn: fn})
+	t := s.newTxn()
+	t.at = s.now + delay
+	t.fn = fn
+	t.rel = relPending // callbacks are never in a pending list
+	s.push(t)
 }
 
 // Clock drives sig as a free-running clock with the given period and an
@@ -280,17 +351,104 @@ func (s *Simulator) trigger(p *Process) {
 	}
 }
 
+// markDirty queues a compiled gate for level-ordered evaluation in the
+// process phase of the current delta.
+func (s *Simulator) markDirty(gt *Gate) {
+	if gt.dirty {
+		return
+	}
+	gt.dirty = true
+	s.plan.dirty[gt.level] = append(s.plan.dirty[gt.level], gt)
+	s.ndirty++
+}
+
+// push stamps the transaction with the global order seq and inserts it in
+// the time-ordered heap. Zero-delay driver transactions in compiled mode
+// never come here — they take pushRing instead. The signal-update phase
+// merges the two containers by seq, so the application order is exactly
+// the order the plain event kernel would pop from its heap.
 func (s *Simulator) push(t *txn) {
+	t.seq = s.nseq
+	s.nseq++
 	s.agenda.push(t)
+}
+
+// pushRing appends a zero-delay driver transaction to the delta ring (a
+// FIFO append — ring entries are in seq order by construction) and arms
+// the driver's seq handshake, which both marks the entry live and
+// implicitly kills any older ring entry of the same driver.
+func (s *Simulator) pushRing(d *Driver, w uint64, v LV, packed bool) {
+	seq := s.nseq
+	s.nseq++
+	if !packed {
+		w = uint64(len(s.ringVals))
+		s.ringVals = append(s.ringVals, v)
+	}
+	s.ring = append(s.ring, rtxn{seq: seq, pword: w, di: d.di, packed: packed})
+	d.ringSeq, d.ringArmed = seq, true
+}
+
+// agendaPeek returns the earliest live heap transaction, releasing
+// preempted (dead) ones back to the pool as it goes.
+func (s *Simulator) agendaPeek() *txn {
+	for {
+		n := len(s.agenda.items)
+		if n == 0 {
+			return nil
+		}
+		t := s.agenda.items[0]
+		if !t.dead {
+			return t
+		}
+		s.agenda.pop()
+		s.releaseTxn(t, relContainer)
+	}
+}
+
+// ringPeek returns the earliest live ring transaction, skipping entries
+// whose seq handshake no longer matches (preempted) and compacting the
+// ring when it drains.
+func (s *Simulator) ringPeek() *rtxn {
+	for s.ringHead < len(s.ring) {
+		e := &s.ring[s.ringHead]
+		if d := s.drvs[e.di]; d.ringArmed && d.ringSeq == e.seq {
+			return e
+		}
+		s.ringHead++
+	}
+	if len(s.ring) > 0 {
+		s.ring = s.ring[:0]
+		s.ringHead = 0
+		for i := range s.ringVals {
+			s.ringVals[i] = nil
+		}
+		s.ringVals = s.ringVals[:0]
+	}
+	return nil
+}
+
+// ringPop consumes the head entry; the caller has just ringPeek'ed it, so
+// it is live.
+func (s *Simulator) ringPop() (d *Driver, w uint64, v LV, packed bool) {
+	e := &s.ring[s.ringHead]
+	d, w, packed = s.drvs[e.di], e.pword, e.packed
+	if !packed {
+		v = s.ringVals[w]
+	}
+	s.ringHead++
+	return
 }
 
 // NextTime returns the time of the earliest pending transaction, or
 // sim.Never when idle.
 func (s *Simulator) NextTime() sim.Time {
-	if t := s.agenda.peek(); t != nil {
+	if s.ringPeek() != nil {
+		return s.now
+	}
+	if t := s.agendaPeek(); t != nil {
 		return t.at
 	}
-	if len(s.runnable) > 0 {
+	if len(s.runnable) > 0 || s.ndirty > 0 {
 		return s.now
 	}
 	return sim.Never
@@ -305,11 +463,12 @@ var ErrDeltaOverflow = errors.New("hdl: delta cycle overflow (combinational loop
 // It reports whether anything was executed.
 func (s *Simulator) Step() (bool, error) {
 	// Initial process executions (elaboration) run at the current time.
-	t := s.agenda.peek()
-	if t == nil && len(s.runnable) == 0 {
+	t := s.agendaPeek()
+	idleHere := len(s.runnable) == 0 && s.ndirty == 0 && s.ringPeek() == nil
+	if t == nil && idleHere {
 		return false, nil
 	}
-	if t != nil && len(s.runnable) == 0 {
+	if t != nil && idleHere {
 		if t.at < s.now {
 			panic(fmt.Sprintf("hdl: transaction in the past: now=%v at=%v", s.now, t.at))
 		}
@@ -319,25 +478,47 @@ func (s *Simulator) Step() (bool, error) {
 	s.deltasAtNow = 0
 	for {
 		s.stamp++
-		// Phase 1: signal update — apply every transaction due now.
+		// Phase 1: signal update — apply every transaction due now, in
+		// global seq order across the heap and the delta ring. The heap
+		// peek is cached across ring applies: ring commits run no user
+		// code that schedules or preempts (OnChange probes must not write
+		// signals), so only executing a heap transaction — whose fn may
+		// schedule or preempt — can change the earliest live heap entry.
 		applied := false
+		ht := s.agendaPeek()
+		if ht != nil && ht.at > s.now {
+			ht = nil
+		}
 		for {
-			t := s.agenda.peek()
-			if t == nil || t.at > s.now {
+			rt := s.ringPeek()
+			if ht == nil && rt == nil {
 				break
 			}
-			s.agenda.pop()
 			applied = true
-			if t.fn != nil {
-				t.fn()
+			if rt == nil || (ht != nil && ht.seq < rt.seq) {
+				t := s.agenda.pop()
+				if t.fn != nil {
+					fn := t.fn
+					s.releaseTxn(t, relContainer) // recycle before the call: fn may reuse it
+					fn()
+				} else {
+					t.drv.apply(t)
+					s.releaseTxn(t, relContainer)
+				}
+				ht = s.agendaPeek()
+				if ht != nil && ht.at > s.now {
+					ht = nil
+				}
 			} else {
-				t.drv.apply(t)
+				d, w, v, packed := s.ringPop()
+				d.ringArmed = false
+				d.applyRing(w, v, packed)
 			}
 		}
-		// Phase 2: process execution.
+		// Phase 2: process execution, then level-ordered compiled gates.
 		run := s.runnable
 		s.runnable = s.spare[:0]
-		if !applied && len(run) == 0 {
+		if !applied && len(run) == 0 && s.ndirty == 0 {
 			s.spare = run
 			break
 		}
@@ -353,6 +534,9 @@ func (s *Simulator) Step() (bool, error) {
 			}
 			p.fn()
 		}
+		if s.ndirty > 0 {
+			s.plan.runDirty(s)
+		}
 		s.spare = run[:0]
 		s.deltasAtNow++
 		s.deltaCycles++
@@ -361,8 +545,9 @@ func (s *Simulator) Step() (bool, error) {
 			s.prof.publish()
 			return true, fmt.Errorf("%w at %v", ErrDeltaOverflow, s.now)
 		}
-		if s.agenda.peek() == nil || s.agenda.peek().at > s.now {
-			if len(s.runnable) == 0 {
+		if s.ringPeek() == nil && len(s.runnable) == 0 && s.ndirty == 0 {
+			hp := s.agendaPeek()
+			if hp == nil || hp.at > s.now {
 				break
 			}
 		}

@@ -162,7 +162,10 @@ func (r *CellPortReader) sample(data, cellSync *hdl.Signal) {
 	if !r.inCell {
 		return
 	}
-	b, ok := data.Val().Byte()
+	// Uint serves from the packed two-state mirror on the compiled data
+	// plane (no LV materialization); it degrades to the nine-value read
+	// with identical semantics when the value carries X/Z/weak bits.
+	u, ok := data.Uint()
 	if !ok {
 		// Undefined data mid-cell: abandon the cell.
 		r.inCell = false
@@ -172,7 +175,7 @@ func (r *CellPortReader) sample(data, cellSync *hdl.Signal) {
 		}
 		return
 	}
-	r.buf[r.pos] = b
+	r.buf[r.pos] = byte(u)
 	r.pos++
 	if r.pos < atm.CellBytes {
 		return

@@ -205,12 +205,13 @@ func NewChecker(h *hdl.Simulator, name string, clk, data, sync *hdl.Signal) *Che
 		// register for protocol coverage collection.
 		if bc < 3 {
 			if hv, ok := hdrReg.Uint(); ok {
-				if b, ok2 := data.Val().Byte(); ok2 {
-					dHdr.SetUint((hv<<8 | uint64(b)) & 0xFFFFFF)
+				if dv, ok2 := data.Uint(); ok2 {
+					dHdr.SetUint((hv<<8 | dv) & 0xFFFFFF)
 				}
 			}
 		}
-		b, ok := data.Val().Byte()
+		bu, ok := data.Uint()
+		b := byte(bu)
 		if !ok {
 			ec, _ := c.ErrCount.Uint()
 			dErrs.SetUint(ec + 1)
